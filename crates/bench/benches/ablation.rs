@@ -1,0 +1,222 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! * power-of-two reduction (`& (n−1)`) vs general modulo (`% n`) —
+//!   why the paper rounds AB sizes up to powers of two;
+//! * Figure 7's OR/AND short-circuit evaluation vs naive full-cell
+//!   evaluation;
+//! * hash family choice at equal (n, k): independent roster vs
+//!   double hashing vs SHA-1 split;
+//! * encoding level at equal α.
+
+use ab::{AbConfig, Level};
+use bench::Bundle;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::small_uniform;
+use hashkit::HashFamily;
+use std::time::Duration;
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reduction");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    let n_pow2: u64 = 1 << 20;
+    let n_odd: u64 = (1 << 20) - 77;
+    group.bench_function("mask_pow2", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = hashkit::splitmix64(x);
+            std::hint::black_box(x & (n_pow2 - 1))
+        })
+    });
+    group.bench_function("modulo_general", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = hashkit::splitmix64(x);
+            std::hint::black_box(x % n_odd)
+        })
+    });
+    group.finish();
+}
+
+fn bench_short_circuit(c: &mut Criterion) {
+    let bundle = Bundle::new(small_uniform(10_000, 3, 20, 42));
+    let ab = bundle.ab(&AbConfig::new(Level::PerAttribute).with_alpha(8));
+    let queries = bundle.queries(1000, 5);
+    let mut group = c.benchmark_group("ablation/query_eval");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    group.bench_function("fig7_short_circuit", |b| {
+        b.iter(|| {
+            for q in queries.iter().take(20) {
+                std::hint::black_box(ab.execute_rect(q));
+            }
+        })
+    });
+    group.bench_function("naive_all_cells", |b| {
+        b.iter(|| {
+            for q in queries.iter().take(20) {
+                let mut rows = Vec::new();
+                for row in q.row_lo..=q.row_hi {
+                    let mut and = true;
+                    for r in &q.ranges {
+                        let mut or = false;
+                        for bin in r.lo..=r.hi {
+                            // no break: every cell probed
+                            or |= ab.test_cell(row, r.attribute, bin);
+                        }
+                        and &= or;
+                    }
+                    if and {
+                        rows.push(row);
+                    }
+                }
+                std::hint::black_box(rows);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_families(c: &mut Criterion) {
+    let bundle = Bundle::new(small_uniform(10_000, 2, 20, 42));
+    let queries = bundle.queries(1000, 5);
+    let mut group = c.benchmark_group("ablation/family");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (name, family) in [
+        ("independent", HashFamily::default_independent()),
+        ("double_hashing", HashFamily::DoubleHashing),
+        ("sha1_split", HashFamily::Sha1Split),
+    ] {
+        let cfg = AbConfig::new(Level::PerAttribute)
+            .with_alpha(8)
+            .with_family(family);
+        let ab = bundle.ab(&cfg);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for q in queries.iter().take(20) {
+                    std::hint::black_box(ab.execute_rect(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_levels(c: &mut Criterion) {
+    let bundle = Bundle::new(small_uniform(10_000, 2, 20, 42));
+    let queries = bundle.queries(1000, 5);
+    let mut group = c.benchmark_group("ablation/level");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for level in [Level::PerDataset, Level::PerAttribute, Level::PerColumn] {
+        let ab = bundle.ab(&AbConfig::new(level).with_alpha(8));
+        group.bench_function(format!("{level}"), |b| {
+            b.iter(|| {
+                for q in queries.iter().take(20) {
+                    std::hint::black_box(ab.execute_rect(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocked(c: &mut Criterion) {
+    use ab::BlockedAb;
+    use hashkit::CellMapper;
+    // Standard AB vs cache-blocked AB at equal (n, k): raw cell-probe
+    // throughput over a filter much larger than L2.
+    let s = 2_000_000u64;
+    let n = ab::ab_bits(s, 8);
+    let k = 6;
+    let mapper = CellMapper::RowOnly;
+    let mut plain = ab::ApproximateBitmap::new(n, k, HashFamily::DoubleHashing, mapper);
+    let mut blocked = BlockedAb::new(n, k, mapper);
+    for r in 0..s {
+        plain.insert(r, 0);
+        blocked.insert(r, 0);
+    }
+    let mut group = c.benchmark_group("ablation/blocked");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("plain_probe", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r = r.wrapping_add(0x9E37_79B9);
+            std::hint::black_box(plain.contains(r % (2 * s), 0))
+        })
+    });
+    group.bench_function("blocked_probe", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r = r.wrapping_add(0x9E37_79B9);
+            std::hint::black_box(blocked.contains(r % (2 * s), 0))
+        })
+    });
+    group.finish();
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    use bitmap::{apply_permutation, gray_order, lexicographic_order};
+    use wah::WahIndex;
+    let ds = small_uniform(20_000, 3, 10, 42);
+    let mut group = c.benchmark_group("ablation/reorder");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    group.bench_function("gray_order", |b| {
+        b.iter(|| std::hint::black_box(gray_order(&ds.binned)))
+    });
+    group.bench_function("lexicographic_order", |b| {
+        b.iter(|| std::hint::black_box(lexicographic_order(&ds.binned)))
+    });
+    // Compression effect (reported once; Criterion measures the time,
+    // the sizes go to stderr for EXPERIMENTS.md).
+    let base = WahIndex::build(&ds.binned).size_bytes();
+    let gray =
+        WahIndex::build(&apply_permutation(&ds.binned, &gray_order(&ds.binned))).size_bytes();
+    eprintln!("reorder ablation: WAH {base} bytes unordered -> {gray} bytes gray-ordered");
+    group.finish();
+}
+
+fn bench_parallel_build(c: &mut Criterion) {
+    use ab::AbIndex;
+    let ds = small_uniform(50_000, 8, 20, 42);
+    let cfg = AbConfig::new(Level::PerAttribute).with_alpha(8);
+    let mut group = c.benchmark_group("ablation/parallel_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("threads={threads}"), |b| {
+            b.iter(|| std::hint::black_box(AbIndex::build_parallel(&ds.binned, &cfg, threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reduction,
+    bench_short_circuit,
+    bench_families,
+    bench_levels,
+    bench_blocked,
+    bench_reorder,
+    bench_parallel_build
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Index construction cost: exact bitmaps vs WAH compression vs AB
+//! insertion at each level.
+//!
+//! Not a paper figure, but a number any adopter asks for — and it
+//! shows AB construction is a single hash-and-set pass over the set
+//! bits (Figure 3), independent of cardinality.
+
+use ab::{AbConfig, Level};
+use bitmap::{BitmapIndex, Encoding};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::small_uniform;
+use std::time::Duration;
+use wah::WahIndex;
+
+fn bench_build(c: &mut Criterion) {
+    let ds = small_uniform(20_000, 4, 25, 42);
+    let mut group = c.benchmark_group("build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    group.bench_function("exact_bitmap_index", |b| {
+        b.iter(|| std::hint::black_box(BitmapIndex::build(&ds.binned, Encoding::Equality)))
+    });
+    group.bench_function("wah_index", |b| {
+        b.iter(|| std::hint::black_box(WahIndex::build(&ds.binned)))
+    });
+    for level in [Level::PerDataset, Level::PerAttribute, Level::PerColumn] {
+        let cfg = AbConfig::new(level).with_alpha(8);
+        group.bench_function(format!("ab_{level}"), |b| {
+            b.iter(|| std::hint::black_box(ab::AbIndex::build(&ds.binned, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 14: execution time, WAH vs AB, varying the number of rows
+//! queried.
+//!
+//! The paper's headline: WAH pays a flat full-column cost while AB is
+//! linear in the rows actually queried, so AB wins by 1–3 orders of
+//! magnitude on small row subsets, with the crossover near 15% of the
+//! rows. Row fractions {0.1%, 1%, 10%, 25%} per data set; `wah` is one
+//! flat series per data set.
+
+use bench::Bundle;
+use bitmap::RectQuery;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_wah_vs_ab(c: &mut Criterion) {
+    let bundles = Bundle::paper_bundles(0.01, 42);
+    for bundle in &bundles {
+        let n = bundle.ds.rows();
+        let ab = bundle.paper_ab();
+        let mut group = c.benchmark_group(format!("fig14/{}", bundle.ds.name));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+
+        // WAH: flat cost, independent of rows requested.
+        let queries = bundle.queries(n / 100, 3);
+        group.bench_function("wah(any rows)", |b| {
+            b.iter(|| {
+                for q in queries.iter().take(10) {
+                    let full = RectQuery::new(q.ranges.clone(), 0, n - 1);
+                    std::hint::black_box(bundle.wah.evaluate(&full));
+                }
+            })
+        });
+
+        for permille in [1usize, 10, 100, 250] {
+            let rows = (n * permille / 1000).max(1);
+            let queries = bundle.queries(rows, 3);
+            group.bench_function(format!("ab(rows={rows})"), |b| {
+                b.iter(|| {
+                    for q in queries.iter().take(10) {
+                        std::hint::black_box(ab.execute_rect(q));
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_wah_vs_ab);
+criterion_main!(benches);

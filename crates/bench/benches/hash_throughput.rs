@@ -1,0 +1,45 @@
+//! Hash-function throughput — the §6.4 cost story.
+//!
+//! "As the main purpose of SHA-1 is to have a secure hash function,
+//! the computation cost is very expensive and thus SHA-1 is slower
+//! than the other hash functions used in this work."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hashkit::{CellMapper, HashFamily, HashKind};
+use std::time::Duration;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_throughput");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let n = 1u64 << 20;
+    let k = 6;
+    let mapper = CellMapper::for_columns(100);
+
+    let families: [(&str, HashFamily); 4] = [
+        ("independent(partow)", HashFamily::default_independent()),
+        ("sha1_split", HashFamily::Sha1Split),
+        ("double_hashing", HashFamily::DoubleHashing),
+        (
+            "single(bkdr)x6",
+            HashFamily::Independent(vec![HashKind::Bkdr]),
+        ),
+    ];
+    for (name, family) in &families {
+        group.bench_function(*name, |b| {
+            let mut buf = Vec::with_capacity(k);
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                family.positions(x, x % 100, mapper, k, n, &mut buf);
+                std::hint::black_box(&buf);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! AB vs WAH vs Roaring — placing the paper's 2006 contribution
+//! against the structure the field adopted afterwards.
+//!
+//! Three query strategies over the same row-subset workload:
+//!
+//! * `ab` — approximate, hash probes per cell (the paper's O(c));
+//! * `wah_plan` — exact, flat full-column cost (the paper's baseline);
+//! * `roaring_plan` — exact full-column plan over Roaring containers;
+//! * `roaring_direct` — exact per-row probing via Roaring's O(log)
+//!   direct access, the fair modern counterpart to the AB's claim.
+
+use bench::Bundle;
+use bitmap::RectQuery;
+use criterion::{criterion_group, criterion_main, Criterion};
+use roar::RoaringIndex;
+use std::time::Duration;
+
+fn bench_modern(c: &mut Criterion) {
+    let bundle = Bundle::new(datagen::uniform_dataset(0.2, 42)); // 20k rows
+    let n = bundle.ds.rows();
+    let ab = bundle.paper_ab();
+    let roaring = RoaringIndex::build(&bundle.ds.binned);
+    eprintln!(
+        "modern_baseline sizes: AB {} B, WAH {} B, Roaring {} B, verbatim {} B",
+        ab.size_bytes(),
+        bundle.wah.size_bytes(),
+        roaring.size_bytes(),
+        bundle.exact.size_bytes(),
+    );
+
+    for rows in [n / 1000, n / 100, n / 10] {
+        let queries = bundle.queries(rows, 7);
+        let mut group = c.benchmark_group(format!("modern/rows={rows}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+
+        group.bench_function("ab", |b| {
+            b.iter(|| {
+                for q in queries.iter().take(20) {
+                    std::hint::black_box(ab.execute_rect(q));
+                }
+            })
+        });
+        group.bench_function("wah_plan", |b| {
+            b.iter(|| {
+                for q in queries.iter().take(20) {
+                    let full = RectQuery::new(q.ranges.clone(), 0, n - 1);
+                    std::hint::black_box(bundle.wah.evaluate(&full));
+                }
+            })
+        });
+        group.bench_function("roaring_plan", |b| {
+            b.iter(|| {
+                for q in queries.iter().take(20) {
+                    let full = RectQuery::new(q.ranges.clone(), 0, n - 1);
+                    std::hint::black_box(roaring.evaluate(&full));
+                }
+            })
+        });
+        group.bench_function("roaring_direct", |b| {
+            b.iter(|| {
+                for q in queries.iter().take(20) {
+                    std::hint::black_box(roaring.evaluate_direct(q));
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_modern);
+criterion_main!(benches);

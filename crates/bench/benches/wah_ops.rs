@@ -1,0 +1,76 @@
+//! WAH vs BBC logical-operation speed and the get-bit scan cost.
+//!
+//! Backs two background claims: WAH bit operations are faster than
+//! BBC (2–20×, §2.2.1), and locating a single bit in a run-length
+//! stream is a scan — the direct-access deficiency the AB removes.
+
+use bitmap::BitVec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wah::{BbcBitmap, WahBitmap};
+
+fn clustered(len: usize, runs: usize, seed: u64) -> BitVec {
+    // Alternating runs of pseudo-random lengths: the clustered bit
+    // patterns run-length codes are built for.
+    let mut bv = BitVec::zeros(len);
+    let mut pos = 0usize;
+    let mut state = seed;
+    let mut value = false;
+    while pos < len {
+        state = hashkit::splitmix64(state);
+        let run = (state % (2 * len as u64 / runs as u64 + 1)) as usize + 1;
+        if value {
+            for i in pos..(pos + run).min(len) {
+                bv.set(i);
+            }
+        }
+        pos += run;
+        value = !value;
+    }
+    bv
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let len = 1 << 20;
+    let a = clustered(len, 2000, 1);
+    let b = clustered(len, 2000, 2);
+    let (wa, wb) = (WahBitmap::from_bitvec(&a), WahBitmap::from_bitvec(&b));
+    let (ba, bb) = (BbcBitmap::from_bitvec(&a), BbcBitmap::from_bitvec(&b));
+
+    let mut group = c.benchmark_group("wah_ops");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    group.bench_function("wah_and", |bch| {
+        bch.iter(|| std::hint::black_box(wa.and(&wb)))
+    });
+    group.bench_function("wah_or", |bch| {
+        bch.iter(|| std::hint::black_box(wa.or(&wb)))
+    });
+    group.bench_function("bbc_and", |bch| {
+        bch.iter(|| std::hint::black_box(ba.and(&bb)))
+    });
+    group.bench_function("verbatim_and", |bch| {
+        bch.iter(|| std::hint::black_box(a.and(&b)))
+    });
+    group.bench_function("wah_get_bit_scan", |bch| {
+        let mut i = 0usize;
+        bch.iter(|| {
+            i = (i + 777_777) % len;
+            std::hint::black_box(wa.get(i))
+        })
+    });
+    group.bench_function("verbatim_get_bit", |bch| {
+        let mut i = 0usize;
+        bch.iter(|| {
+            i = (i + 777_777) % len;
+            std::hint::black_box(a.get(i))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates Table 1: one SHA-1 digest split into k=10 partial hash
+//! values of 16 bits each (AB size 2^16).
+//!
+//! Usage: `cargo run --release -p bench --bin repro_sha`
+
+use bench::print_table;
+use hashkit::{sha1, split_digest};
+
+fn main() {
+    let x = 42u64; // an arbitrary hash string F(i, j)
+    let digest = sha1(&x.to_le_bytes());
+    let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+    println!("hash string x = {x}");
+    println!("SHA-1(x)      = {hex}");
+
+    let k = 10;
+    let m = 16;
+    let parts = split_digest(x, k, m);
+    let rows: Vec<Vec<String>> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            vec![
+                format!("H{i}"),
+                format!("bits {}..{}", i * m as usize, (i + 1) * m as usize),
+                format!("{p:#06x}"),
+                p.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: Single Hash Function — 160-bit SHA-1 output split into 10 sets of 16 bits",
+        &[
+            "hash",
+            "digest bits",
+            "value (hex)",
+            "value (dec, AB index)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,141 @@
+//! Minimal argument parsing shared by the repro binaries.
+//!
+//! No external CLI crate is sanctioned offline, so this is a tiny
+//! `--flag value` parser. Common flags:
+//!
+//! * `--scale <f64>` — fraction of the paper's row counts (default
+//!   0.02, large enough for stable precision statistics, small enough
+//!   for seconds-scale runs);
+//! * `--full` — paper-scale data (`--scale 1`);
+//! * `--seed <u64>` — RNG seed (default 42);
+//! * `--queries <usize>` — queries per measurement point (default 100,
+//!   the paper's `q`).
+
+/// Parsed common options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Row-count scale relative to the paper's data sets.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queries per measurement point.
+    pub queries: usize,
+    /// Value of `--table` / `--figure` if present (e.g. "3", "11a",
+    /// "all").
+    pub selector: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 0.02,
+            seed: 42,
+            queries: 100,
+            selector: None,
+        }
+    }
+}
+
+/// Parses `std::env::args`-style iterators.
+///
+/// Unknown flags abort with a usage message (better than silently
+/// ignoring a typoed `--scale`).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Options {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+            }
+            "--full" => opts.scale = 1.0,
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--queries" => {
+                opts.queries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--queries needs an integer"));
+            }
+            "--table" | "--figure" => {
+                opts.selector = Some(it.next().unwrap_or_else(|| usage("selector missing")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    assert!(
+        opts.scale > 0.0 && opts.scale <= 1.0,
+        "scale must be in (0, 1]"
+    );
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: repro_* [--scale F] [--full] [--seed N] [--queries N] \
+         [--table T | --figure F]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Parses the real process arguments (skipping `argv[0]`).
+pub fn from_env() -> Options {
+    parse(std::env::args().skip(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Options {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = p(&[]);
+        assert_eq!(o.scale, 0.02);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.queries, 100);
+        assert_eq!(o.selector, None);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = p(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--queries",
+            "10",
+            "--figure",
+            "11a",
+        ]);
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.queries, 10);
+        assert_eq!(o.selector.as_deref(), Some("11a"));
+    }
+
+    #[test]
+    fn full_sets_scale_one() {
+        assert_eq!(p(&["--full"]).scale, 1.0);
+    }
+
+    #[test]
+    fn table_selector() {
+        assert_eq!(p(&["--table", "4"]).selector.as_deref(), Some("4"));
+    }
+}

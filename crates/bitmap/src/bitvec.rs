@@ -1,0 +1,474 @@
+//! A dense, word-backed bit vector.
+//!
+//! [`BitVec`] is the verbatim (uncompressed) bitmap representation used
+//! throughout the workspace: the exact bitmap index stores one `BitVec`
+//! per bin, the WAH codec compresses from / decompresses to a `BitVec`,
+//! and the Approximate Bitmap uses one as its underlying hash-addressed
+//! bit array.
+//!
+//! Bits are stored in little-endian order within 64-bit words: bit `i`
+//! lives in word `i / 64` at position `i % 64`.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-length, heap-allocated bit vector with word-parallel logical
+/// operations.
+///
+/// # Examples
+///
+/// ```
+/// use bitmap::BitVec;
+///
+/// let mut bv = BitVec::zeros(128);
+/// bv.set(3);
+/// bv.set(100);
+/// assert!(bv.get(3));
+/// assert!(!bv.get(4));
+/// assert_eq!(bv.count_ones(), 2);
+/// assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![3, 100]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    /// Logical length in bits; the final word may be partially used and
+    /// its unused high bits are kept at zero as an invariant.
+    len: usize,
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec(len={}, ones={})", self.len, self.count_ones())
+    }
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates a bit vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut bv = BitVec {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        bv.clear_trailing();
+        bv
+    }
+
+    /// Builds a bit vector from an iterator of set-bit positions.
+    ///
+    /// Positions out of range `0..len` cause a panic.
+    pub fn from_ones<I: IntoIterator<Item = usize>>(len: usize, ones: I) -> Self {
+        let mut bv = Self::zeros(len);
+        for i in ones {
+            bv.set(i);
+        }
+        bv
+    }
+
+    /// Reconstructs a bit vector from raw little-endian words, e.g.
+    /// when deserializing. Unused high bits of the final word are
+    /// cleared to restore the invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` does not match `len.div_ceil(64)`.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count does not match bit length {len}"
+        );
+        let mut bv = BitVec { words, len };
+        bv.clear_trailing();
+        bv
+    }
+
+    /// Builds a bit vector from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut bv = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bv.set(i);
+            }
+        }
+        bv
+    }
+
+    /// Logical length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes used by the word storage (capacity-independent).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Returns the value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i` to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn reset(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Assigns bit `i`.
+    #[inline]
+    pub fn assign(&mut self, i: usize, value: bool) {
+        if value {
+            self.set(i);
+        } else {
+            self.reset(i);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits (`count_ones / len`); zero for empty vectors.
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Number of set bits strictly before position `i` (rank query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len`.
+    pub fn rank(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank index {i} out of range {}", self.len);
+        let full_words = i / WORD_BITS;
+        let mut r: usize = self.words[..full_words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let rem = i % WORD_BITS;
+        if rem != 0 {
+            r += (self.words[full_words] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Iterates over the positions of set bits in increasing order.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterates over all bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Access to the raw word storage (read-only).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// In-place bitwise AND with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place bitwise OR with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place bitwise XOR with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= *b;
+        }
+    }
+
+    /// In-place bitwise AND-NOT (`self & !other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn andnot_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// In-place bitwise NOT.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_trailing();
+    }
+
+    /// Returns `self & other` as a new vector.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// Returns `self | other` as a new vector.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Returns `self ^ other` as a new vector.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Returns `self & !other` as a new vector.
+    pub fn andnot(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.andnot_assign(other);
+        out
+    }
+
+    /// Returns `!self` as a new vector.
+    pub fn not(&self) -> BitVec {
+        let mut out = self.clone();
+        out.not_assign();
+        out
+    }
+
+    /// Zeroes the unused high bits of the last word, restoring the
+    /// invariant after whole-word operations such as NOT.
+    fn clear_trailing(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set-bit positions of a [`BitVec`]. Created by
+/// [`BitVec::iter_ones`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // drop lowest set bit
+        Some(self.word_idx * WORD_BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let bv = BitVec::zeros(130);
+        assert_eq!(bv.len(), 130);
+        assert_eq!(bv.count_ones(), 0);
+        assert!(bv.iter_ones().next().is_none());
+    }
+
+    #[test]
+    fn ones_has_all_ones() {
+        let bv = BitVec::ones(130);
+        assert_eq!(bv.count_ones(), 130);
+        assert!(bv.get(0));
+        assert!(bv.get(129));
+    }
+
+    #[test]
+    fn set_get_reset_roundtrip() {
+        let mut bv = BitVec::zeros(200);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            bv.set(i);
+            assert!(bv.get(i), "bit {i} should be set");
+        }
+        assert_eq!(bv.count_ones(), 8);
+        bv.reset(64);
+        assert!(!bv.get(64));
+        assert_eq!(bv.count_ones(), 7);
+    }
+
+    #[test]
+    fn assign_sets_and_clears() {
+        let mut bv = BitVec::zeros(10);
+        bv.assign(5, true);
+        assert!(bv.get(5));
+        bv.assign(5, false);
+        assert!(!bv.get(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitVec::zeros(8).set(100);
+    }
+
+    #[test]
+    fn from_ones_builds_expected_bits() {
+        let bv = BitVec::from_ones(70, [1, 5, 69]);
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![1, 5, 69]);
+    }
+
+    #[test]
+    fn from_bools_matches() {
+        let bits = [true, false, true, true, false];
+        let bv = BitVec::from_bools(&bits);
+        assert_eq!(bv.iter().collect::<Vec<_>>(), bits.to_vec());
+    }
+
+    #[test]
+    fn rank_counts_prefix_ones() {
+        let bv = BitVec::from_ones(200, [0, 10, 64, 65, 150]);
+        assert_eq!(bv.rank(0), 0);
+        assert_eq!(bv.rank(1), 1);
+        assert_eq!(bv.rank(11), 2);
+        assert_eq!(bv.rank(64), 2);
+        assert_eq!(bv.rank(66), 4);
+        assert_eq!(bv.rank(200), 5);
+    }
+
+    #[test]
+    fn logical_ops_match_bools() {
+        let a = BitVec::from_ones(100, [1, 2, 3, 50, 99]);
+        let b = BitVec::from_ones(100, [2, 3, 4, 99]);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![2, 3, 99]);
+        assert_eq!(
+            a.or(&b).iter_ones().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 50, 99]
+        );
+        assert_eq!(a.xor(&b).iter_ones().collect::<Vec<_>>(), vec![1, 4, 50]);
+        assert_eq!(a.andnot(&b).iter_ones().collect::<Vec<_>>(), vec![1, 50]);
+    }
+
+    #[test]
+    fn not_respects_trailing_bits() {
+        let a = BitVec::from_ones(70, [0, 69]);
+        let n = a.not();
+        assert_eq!(n.len(), 70);
+        assert_eq!(n.count_ones(), 68);
+        assert!(!n.get(0));
+        assert!(n.get(1));
+        assert!(!n.get(69));
+    }
+
+    #[test]
+    fn double_not_is_identity() {
+        let a = BitVec::from_ones(77, [3, 20, 76]);
+        assert_eq!(a.not().not(), a);
+    }
+
+    #[test]
+    fn density_is_fraction_of_ones() {
+        let a = BitVec::from_ones(100, 0..25);
+        assert!((a.density() - 0.25).abs() < 1e-12);
+        assert_eq!(BitVec::zeros(0).density(), 0.0);
+    }
+
+    #[test]
+    fn iter_ones_across_word_boundaries() {
+        let positions: Vec<usize> = (0..300).step_by(7).collect();
+        let bv = BitVec::from_ones(300, positions.iter().copied());
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), positions);
+    }
+
+    #[test]
+    fn size_bytes_reflects_words() {
+        assert_eq!(BitVec::zeros(64).size_bytes(), 8);
+        assert_eq!(BitVec::zeros(65).size_bytes(), 16);
+        assert_eq!(BitVec::zeros(0).size_bytes(), 0);
+    }
+}

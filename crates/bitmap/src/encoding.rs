@@ -1,0 +1,360 @@
+//! Bitmap encoding schemes for one attribute.
+//!
+//! The paper's background (§2.2) lists the classic encodings: equality
+//! [O'Neil & Quass], range [Chan & Ioannidis] and interval [Chan &
+//! Ioannidis]. The AB itself approximates the *equality* encoded bitmap
+//! table (one set bit per row per attribute), but a credible bitmap
+//! library provides all three, and the exact index is used both as the
+//! ground truth in experiments and as the pruning structure for the
+//! exact second-step of query execution.
+
+use crate::binning::BinnedColumn;
+use crate::bitvec::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// How an attribute's bins are mapped onto bitmap vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Encoding {
+    /// One bitmap per bin; `B_j[i] = 1` iff row `i` falls in bin `j`.
+    /// `C` bitmaps for cardinality `C`; exactly one set bit per row.
+    Equality,
+    /// Cumulative bitmaps; `R_j[i] = 1` iff `bin(i) <= j`. The last
+    /// bitmap is all ones and is not stored, giving `C - 1` bitmaps.
+    /// Range queries touch at most two bitmaps.
+    Range,
+    /// Interval bitmaps of Chan & Ioannidis; `I_j[i] = 1` iff
+    /// `j <= bin(i) < j + m` with `m = ceil(C / 2)`, for
+    /// `j in 0..C - m + 1`. Any range query is answered with at most two
+    /// bitmaps via union/intersection/complement combinations.
+    Interval,
+}
+
+impl Encoding {
+    /// Number of stored bitmap vectors for an attribute of cardinality
+    /// `c` under this encoding.
+    pub fn num_bitmaps(&self, c: u32) -> usize {
+        let c = c as usize;
+        match self {
+            Encoding::Equality => c,
+            Encoding::Range => c.saturating_sub(1).max(1),
+            Encoding::Interval => {
+                let m = c.div_ceil(2);
+                c - m + 1
+            }
+        }
+    }
+}
+
+/// The encoded bitmaps of a single attribute.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// Number of bins.
+    pub cardinality: u32,
+    /// Encoding scheme used for `bitmaps`.
+    pub encoding: Encoding,
+    /// The stored bitmap vectors; interpretation depends on `encoding`.
+    pub bitmaps: Vec<BitVec>,
+    num_rows: usize,
+}
+
+impl EncodedAttribute {
+    /// Encodes a binned column under `encoding`.
+    pub fn encode(column: &BinnedColumn, encoding: Encoding) -> Self {
+        let n = column.len();
+        let c = column.cardinality;
+        let bitmaps = match encoding {
+            Encoding::Equality => {
+                let mut maps = vec![BitVec::zeros(n); c as usize];
+                for (row, &bin) in column.bins.iter().enumerate() {
+                    maps[bin as usize].set(row);
+                }
+                maps
+            }
+            Encoding::Range => {
+                // R_j = rows with bin <= j, for j in 0..c-1 (R_{c-1} is
+                // all ones and implicit). Cardinality-1 attributes store
+                // a single all-ones bitmap so the attribute is queryable.
+                let stored = encoding.num_bitmaps(c);
+                let mut maps = vec![BitVec::zeros(n); stored];
+                for (row, &bin) in column.bins.iter().enumerate() {
+                    for m in maps.iter_mut().skip(bin as usize) {
+                        m.set(row);
+                    }
+                }
+                if c == 1 {
+                    maps[0] = BitVec::ones(n);
+                }
+                maps
+            }
+            Encoding::Interval => {
+                let m = (c as usize).div_ceil(2);
+                let stored = encoding.num_bitmaps(c);
+                let mut maps = vec![BitVec::zeros(n); stored];
+                for (row, &bin) in column.bins.iter().enumerate() {
+                    let bin = bin as usize;
+                    // I_j covers [j, j+m-1]; row is in I_j for
+                    // j in [bin-m+1, bin] clamped to [0, stored-1].
+                    let lo = bin.saturating_sub(m - 1);
+                    let hi = bin.min(stored - 1);
+                    for map in maps.iter_mut().take(hi + 1).skip(lo) {
+                        map.set(row);
+                    }
+                }
+                maps
+            }
+        };
+        EncodedAttribute {
+            name: column.name.clone(),
+            cardinality: c,
+            encoding,
+            bitmaps,
+            num_rows: n,
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Total uncompressed size of the stored bitmaps in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bitmaps.iter().map(BitVec::size_bytes).sum()
+    }
+
+    /// Rows whose bin equals `bin` (point query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= cardinality`.
+    pub fn point(&self, bin: u32) -> BitVec {
+        assert!(bin < self.cardinality, "bin {bin} out of range");
+        self.range(bin, bin)
+    }
+
+    /// Rows whose bin lies in `[lo, hi]` (inclusive range query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi >= cardinality`.
+    pub fn range(&self, lo: u32, hi: u32) -> BitVec {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        assert!(hi < self.cardinality, "bin {hi} out of range");
+        let c = self.cardinality as usize;
+        let (lo, hi) = (lo as usize, hi as usize);
+        match self.encoding {
+            Encoding::Equality => {
+                let mut acc = self.bitmaps[lo].clone();
+                for b in &self.bitmaps[lo + 1..=hi] {
+                    acc.or_assign(b);
+                }
+                acc
+            }
+            Encoding::Range => {
+                // rows in [lo, hi] = R_hi AND NOT R_{lo-1}; R_{c-1} = 1s.
+                let upper = if hi == c - 1 {
+                    BitVec::ones(self.num_rows)
+                } else {
+                    self.bitmaps[hi].clone()
+                };
+                if lo == 0 {
+                    upper
+                } else {
+                    upper.andnot(&self.bitmaps[lo - 1])
+                }
+            }
+            Encoding::Interval => self.interval_range(lo, hi),
+        }
+    }
+
+    /// Range evaluation for the interval encoding.
+    ///
+    /// With `m = ceil(C/2)` and stored bitmaps `I_0..I_{C-m}` each
+    /// covering `m` consecutive bins, any `[lo, hi]` decomposes into a
+    /// combination of at most two stored bitmaps (Chan & Ioannidis); the
+    /// fall-back below handles the general case exactly, using the
+    /// identities
+    ///   rows(bin <= j)  = I_0        minus I_{j+1} part, and
+    ///   rows(bin >= j)  = I_{j}      extended by tail coverage,
+    /// expressed through prefix/suffix helpers.
+    fn interval_range(&self, lo: usize, hi: usize) -> BitVec {
+        let c = self.cardinality as usize;
+        let m = c.div_ceil(2);
+        let last = c - m; // largest stored interval start
+        let n = self.num_rows;
+
+        // rows with bin >= j
+        let ge = |j: usize| -> BitVec {
+            if j == 0 {
+                BitVec::ones(n)
+            } else if j <= last {
+                // [j, j+m-1] ∪ [j+m, c-1]; the tail equals
+                // I_last \ [last, j+m-1] … simpler: I_j ∪ (bin >= j+m)
+                // recursion depth <= 2 since j+m > last.
+                let mut acc = self.bitmaps[j].clone();
+                if j + m < c {
+                    acc.or_assign(&self.ge_high(j + m));
+                }
+                acc
+            } else {
+                self.ge_high(j)
+            }
+        };
+        // rows with bin <= j
+        let le = |j: usize| -> BitVec {
+            if j >= c - 1 {
+                BitVec::ones(n)
+            } else {
+                ge(j + 1).not()
+            }
+        };
+
+        if lo == 0 {
+            le(hi)
+        } else if hi == c - 1 {
+            ge(lo)
+        } else {
+            le(hi).and(&ge(lo))
+        }
+    }
+
+    /// rows with `bin >= j` for `j > last` (no stored interval starts at
+    /// `j`): equals `I_last` minus the rows whose bin is in
+    /// `[last, j-1]`, i.e. `I_last AND NOT (bin <= j-1)`. Because
+    /// `j > last` implies every bin `< j` intersects `I_0..I_last`
+    /// coverage, we compute it as `I_last \ (I_last ∩ complement)` using
+    /// the equality relation: a row with bin `b >= j` lies in `I_last`
+    /// (since `b >= j > last` and `b <= c-1 <= last+m-1`), and a row in
+    /// `I_last` has `b >= last`. So
+    /// `rows(bin >= j) = I_last AND NOT rows(bin < j)`, with
+    /// `rows(bin < j) ∩ I_last = rows(last <= bin < j)`, which is the
+    /// union of point differences `I_{b} \ I_{b+1}`-style terms; for
+    /// simplicity and exactness we materialize it from the equality of
+    /// interval memberships: bin == b (for last <= b < j) is
+    /// `I_{b-m+1 .. } …` — in practice `b - m + 1 = b - m + 1 <= last`,
+    /// so bin == b equals `I_{b-m+1} AND I_{min(b, last)} AND NOT
+    /// neighbours`. To keep the code auditable we instead compute the
+    /// complement prefix with the recursion below, which terminates
+    /// because each step strictly decreases the bin span.
+    fn ge_high(&self, j: usize) -> BitVec {
+        let c = self.cardinality as usize;
+        let m = c.div_ceil(2);
+        let last = c - m;
+        debug_assert!(j > last && j < c);
+        // bin >= j  <=>  row ∈ I_last and row ∉ I_{j-m} … I covers
+        // [j-m, j-1] ∌ bins >= j; and any bin in [last, j-1] IS in
+        // I_{j-m} when j-m >= 0 and j-1 <= j-m+m-1 (always) and
+        // last >= j-m (since j <= last+m). So:
+        //   rows(bin >= j) = I_last AND NOT I_{j-m}
+        // validity: bins b in [last, c-1] are exactly I_last's bins with
+        // b >= last; I_{j-m} covers [j-m, j-1], and for b in
+        // [last, j-1] we need b >= j-m, i.e. last >= j-m, i.e.
+        // j <= last + m = c - m + m = c. Holds.
+        let jm = j - m;
+        self.bitmaps[last].andnot(&self.bitmaps[jm])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BinnedColumn {
+        // bins: cardinality 5
+        BinnedColumn::new("x", vec![0, 1, 2, 3, 4, 2, 2, 0, 4, 1], 5)
+    }
+
+    fn brute_range(col: &BinnedColumn, lo: u32, hi: u32) -> Vec<usize> {
+        col.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b >= lo && b <= hi)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn check_all_ranges(encoding: Encoding) {
+        let col = sample();
+        let enc = EncodedAttribute::encode(&col, encoding);
+        for lo in 0..5u32 {
+            for hi in lo..5u32 {
+                let got: Vec<usize> = enc.range(lo, hi).iter_ones().collect();
+                assert_eq!(
+                    got,
+                    brute_range(&col, lo, hi),
+                    "{encoding:?} range [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equality_ranges_match_bruteforce() {
+        check_all_ranges(Encoding::Equality);
+    }
+
+    #[test]
+    fn range_encoding_matches_bruteforce() {
+        check_all_ranges(Encoding::Range);
+    }
+
+    #[test]
+    fn interval_encoding_matches_bruteforce() {
+        check_all_ranges(Encoding::Interval);
+    }
+
+    #[test]
+    fn interval_encoding_even_cardinality() {
+        let col = BinnedColumn::new("x", vec![0, 1, 2, 3, 3, 0, 1, 2], 4);
+        let enc = EncodedAttribute::encode(&col, Encoding::Interval);
+        for lo in 0..4u32 {
+            for hi in lo..4u32 {
+                let got: Vec<usize> = enc.range(lo, hi).iter_ones().collect();
+                assert_eq!(got, brute_range(&col, lo, hi), "range [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn num_bitmaps_per_encoding() {
+        assert_eq!(Encoding::Equality.num_bitmaps(5), 5);
+        assert_eq!(Encoding::Range.num_bitmaps(5), 4);
+        assert_eq!(Encoding::Interval.num_bitmaps(5), 3); // m=3, 5-3+1
+        assert_eq!(Encoding::Interval.num_bitmaps(4), 3); // m=2, 4-2+1
+        assert_eq!(Encoding::Range.num_bitmaps(1), 1);
+    }
+
+    #[test]
+    fn equality_point_query() {
+        let enc = EncodedAttribute::encode(&sample(), Encoding::Equality);
+        assert_eq!(enc.point(2).iter_ones().collect::<Vec<_>>(), vec![2, 5, 6]);
+    }
+
+    #[test]
+    fn cardinality_one_attribute() {
+        let col = BinnedColumn::new("c", vec![0, 0, 0], 1);
+        for e in [Encoding::Equality, Encoding::Range, Encoding::Interval] {
+            let enc = EncodedAttribute::encode(&col, e);
+            assert_eq!(
+                enc.range(0, 0).iter_ones().collect::<Vec<_>>(),
+                vec![0, 1, 2],
+                "{e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equality_bitmaps_partition_rows() {
+        let enc = EncodedAttribute::encode(&sample(), Encoding::Equality);
+        let total: usize = enc.bitmaps.iter().map(BitVec::count_ones).sum();
+        assert_eq!(total, 10); // one set bit per row
+    }
+
+    #[test]
+    fn size_bytes_positive() {
+        let enc = EncodedAttribute::encode(&sample(), Encoding::Equality);
+        assert_eq!(enc.size_bytes(), 5 * 8); // 5 bitmaps, 10 bits -> 1 word
+    }
+}

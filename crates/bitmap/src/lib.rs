@@ -1,0 +1,55 @@
+//! Verbatim bitmap machinery: bit vectors, boolean matrices, attribute
+//! binning, and classic bitmap indexes.
+//!
+//! This crate is the substrate underneath the Approximate Bitmap (AB)
+//! reproduction of *Apaydin, Ferhatosmanoglu, Canahuate, Tosun —
+//! "Approximate Encoding for Direct Access and Query Processing over
+//! Compressed Bitmaps", VLDB 2006*. It provides:
+//!
+//! * [`BitVec`] — a word-backed bit vector with word-parallel logical
+//!   operations, rank, and set-bit iteration.
+//! * [`BoolMatrix`] — dense boolean matrices (paper §3.1 treats bitmap
+//!   tables as boolean matrices).
+//! * [`binning`] — equi-width / equi-depth / explicit discretization of
+//!   numeric attributes into bins (paper §5.1).
+//! * [`Encoding`] / [`EncodedAttribute`] — equality, range and interval
+//!   bitmap encodings (paper §2.2).
+//! * [`BitmapIndex`] — the exact index with rectangular-query
+//!   evaluation, used as ground truth and as the WAH baseline's source.
+//!
+//! # Quick example
+//!
+//! ```
+//! use bitmap::{BinnedTable, Binner, BitmapIndex, Column, Encoding, EquiDepth,
+//!              RectQuery, AttrRange, Table};
+//!
+//! let table = Table::new(vec![
+//!     Column::new("temp", (0..100).map(|i| i as f64).collect()),
+//!     Column::new("pressure", (0..100).map(|i| ((i * 37) % 100) as f64).collect()),
+//! ]);
+//! let binned = BinnedTable::from_table(&table, &EquiDepth::new(10));
+//! let index = BitmapIndex::build(&binned, Encoding::Equality);
+//! // temp in bins 0..=1 AND pressure in bins 5..=9, rows 10..=59
+//! let q = RectQuery::new(
+//!     vec![AttrRange::new(0, 0, 1), AttrRange::new(1, 5, 9)], 10, 59);
+//! let rows = index.evaluate_rows(&q);
+//! assert!(rows.iter().all(|&r| (10..=59).contains(&r)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod bitvec;
+pub mod encoding;
+pub mod index;
+pub mod matrix;
+pub mod reorder;
+pub mod table;
+
+pub use binning::{BinnedColumn, BinnedTable, Binner, EquiDepth, EquiWidth, ExplicitEdges};
+pub use bitvec::BitVec;
+pub use encoding::{EncodedAttribute, Encoding};
+pub use index::{AttrRange, BitmapIndex, RectQuery};
+pub use matrix::BoolMatrix;
+pub use reorder::{apply_permutation, gray_order, lexicographic_order, total_transitions};
+pub use table::{Column, Table};

@@ -1,0 +1,219 @@
+//! Dense boolean matrices.
+//!
+//! The paper (§3.1) treats a bitmap table as a special case of a boolean
+//! matrix and defines the AB encoding over general matrices first.
+//! [`BoolMatrix`] is that general form: a rows × cols grid of bits with
+//! row-major storage, cell access, and iteration over set cells.
+
+use crate::bitvec::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// A dense boolean matrix stored row-major in a single [`BitVec`].
+///
+/// # Examples
+///
+/// ```
+/// use bitmap::BoolMatrix;
+///
+/// // The 8x6 example matrix of Figure 2 has M(6,5) set (1-based in the
+/// // paper; this API is 0-based).
+/// let mut m = BoolMatrix::zeros(8, 6);
+/// m.set(5, 4);
+/// assert!(m.get(5, 4));
+/// assert_eq!(m.count_ones(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoolMatrix {
+    bits: BitVec,
+    rows: usize,
+    cols: usize,
+}
+
+impl BoolMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        BoolMatrix {
+            bits: BitVec::zeros(rows * cols),
+            rows,
+            cols,
+        }
+    }
+
+    /// Builds a matrix from an iterator of set cells `(row, col)`.
+    pub fn from_cells<I: IntoIterator<Item = (usize, usize)>>(
+        rows: usize,
+        cols: usize,
+        cells: I,
+    ) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for (r, c) in cells {
+            m.set(r, c);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of set cells.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of range {}x{}",
+            self.rows,
+            self.cols
+        );
+        row * self.cols + col
+    }
+
+    /// Returns the value of cell `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.bits.get(self.idx(row, col))
+    }
+
+    /// Sets cell `(row, col)` to one.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        let i = self.idx(row, col);
+        self.bits.set(i);
+    }
+
+    /// Clears cell `(row, col)` to zero.
+    #[inline]
+    pub fn reset(&mut self, row: usize, col: usize) {
+        let i = self.idx(row, col);
+        self.bits.reset(i);
+    }
+
+    /// Iterates over set cells as `(row, col)` in row-major order.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.bits
+            .iter_ones()
+            .map(|i| (i / self.cols, i % self.cols))
+    }
+
+    /// Extracts column `col` as a [`BitVec`] of `rows` bits.
+    pub fn column(&self, col: usize) -> BitVec {
+        assert!(col < self.cols, "column {col} out of range {}", self.cols);
+        let mut bv = BitVec::zeros(self.rows);
+        for r in 0..self.rows {
+            if self.get(r, col) {
+                bv.set(r);
+            }
+        }
+        bv
+    }
+
+    /// Extracts row `row` as a [`BitVec`] of `cols` bits.
+    pub fn row(&self, row: usize) -> BitVec {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        let mut bv = BitVec::zeros(self.cols);
+        for c in 0..self.cols {
+            if self.get(row, c) {
+                bv.set(c);
+            }
+        }
+        bv
+    }
+
+    /// The 8×6 boolean matrix of the paper's Figure 2 (0-based cells).
+    ///
+    /// Useful in tests and doc examples across the workspace so that the
+    /// worked examples of §3.1 (queries Q1 and Q2) can be checked against
+    /// the published values.
+    pub fn paper_example() -> Self {
+        // Figure 2 (rows 1..=8, columns 1..=6 in the paper; converted to
+        // 0-based). Set cells chosen to agree with the worked queries:
+        // row 3 (paper) is all zero; column 6 (paper) = (1,0,0,1,0,0,1,1)
+        // has true answer {rows 1,4,8} with the paper's AB answering an
+        // extra false positive at row 7; cell (6,5) is set.
+        Self::from_cells(
+            8,
+            6,
+            [
+                (0, 0),
+                (0, 5),
+                (1, 2),
+                (3, 1),
+                (3, 5),
+                (4, 3),
+                (5, 4),
+                (6, 0),
+                (7, 2),
+                (7, 5),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_matrix_empty() {
+        let m = BoolMatrix::zeros(4, 5);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_reset() {
+        let mut m = BoolMatrix::zeros(3, 3);
+        m.set(2, 1);
+        assert!(m.get(2, 1));
+        assert!(!m.get(1, 2));
+        m.reset(2, 1);
+        assert!(!m.get(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BoolMatrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn iter_set_row_major() {
+        let m = BoolMatrix::from_cells(3, 4, [(2, 0), (0, 3), (1, 1)]);
+        assert_eq!(
+            m.iter_set().collect::<Vec<_>>(),
+            vec![(0, 3), (1, 1), (2, 0)]
+        );
+    }
+
+    #[test]
+    fn column_and_row_extraction() {
+        let m = BoolMatrix::from_cells(3, 3, [(0, 1), (2, 1), (2, 2)]);
+        assert_eq!(m.column(1).iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(m.row(2).iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        let m = BoolMatrix::paper_example();
+        assert_eq!((m.rows(), m.cols()), (8, 6));
+        // Row 3 of the paper (index 2) is all zeros: Q1's exact answer.
+        assert_eq!(m.row(2).count_ones(), 0);
+        // Column 6 of the paper (index 5) = rows {1,4,8} → indices {0,3,7}.
+        assert_eq!(m.column(5).iter_ones().collect::<Vec<_>>(), vec![0, 3, 7]);
+        // Cell (6,5) of the paper (index (5,4)) is set.
+        assert!(m.get(5, 4));
+    }
+}

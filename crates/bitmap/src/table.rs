@@ -1,0 +1,172 @@
+//! A minimal columnar table of numeric attributes.
+//!
+//! Bitmap indexes are built over discretized (binned) attributes; the
+//! source data itself is a table of `f64` columns. This module provides
+//! just enough of a table abstraction to feed the binners and indexes:
+//! named columns, row count, and column access.
+
+use serde::{Deserialize, Serialize};
+
+/// A named column of `f64` values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Attribute name (e.g. `"A"`, `"energy"`).
+    pub name: String,
+    /// Row values, one per table row.
+    pub values: Vec<f64>,
+}
+
+impl Column {
+    /// Creates a column from a name and values.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Column {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Minimum value, or `None` for an empty column. NaNs are ignored.
+    pub fn min(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
+    /// Maximum value, or `None` for an empty column. NaNs are ignored.
+    pub fn max(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+}
+
+/// A columnar table: equal-length named columns.
+///
+/// # Examples
+///
+/// ```
+/// use bitmap::{Column, Table};
+///
+/// let t = Table::new(vec![
+///     Column::new("x", vec![1.0, 2.0, 3.0]),
+///     Column::new("y", vec![0.5, 0.5, 0.9]),
+/// ]);
+/// assert_eq!(t.num_rows(), 3);
+/// assert_eq!(t.num_attributes(), 2);
+/// assert_eq!(t.column_by_name("y").unwrap().values[2], 0.9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Creates a table from columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have differing lengths.
+    pub fn new(columns: Vec<Column>) -> Self {
+        let num_rows = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            assert_eq!(
+                c.len(),
+                num_rows,
+                "column `{}` length {} != {}",
+                c.name,
+                c.len(),
+                num_rows
+            );
+        }
+        Table { columns, num_rows }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of attributes (columns).
+    #[inline]
+    pub fn num_attributes(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by positional index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column lookup by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_basic_accessors() {
+        let t = Table::new(vec![
+            Column::new("a", vec![1.0, 2.0]),
+            Column::new("b", vec![3.0, 4.0]),
+        ]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_attributes(), 2);
+        assert_eq!(t.column(1).name, "b");
+        assert_eq!(t.column_index("b"), Some(1));
+        assert!(t.column_by_name("c").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_lengths_panic() {
+        Table::new(vec![
+            Column::new("a", vec![1.0]),
+            Column::new("b", vec![1.0, 2.0]),
+        ]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec![]);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_attributes(), 0);
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        let c = Column::new("x", vec![f64::NAN, 2.0, -1.0]);
+        assert_eq!(c.min(), Some(-1.0));
+        assert_eq!(c.max(), Some(2.0));
+        assert_eq!(Column::new("e", vec![]).min(), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the bitmap substrate.
+
+use bitmap::{BinnedColumn, Binner, BitVec, Column, EncodedAttribute, Encoding, EquiDepth};
+use proptest::prelude::*;
+
+/// Strategy: a set of distinct bit positions below `len`.
+fn positions(len: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::btree_set(0..len, 0..len.min(64)).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn bitvec_from_ones_iter_roundtrip(ones in positions(500)) {
+        let bv = BitVec::from_ones(500, ones.iter().copied());
+        prop_assert_eq!(bv.iter_ones().collect::<Vec<_>>(), ones.clone());
+        prop_assert_eq!(bv.count_ones(), ones.len());
+    }
+
+    #[test]
+    fn bitvec_rank_matches_prefix_count(ones in positions(300), i in 0usize..=300) {
+        let bv = BitVec::from_ones(300, ones.iter().copied());
+        let expect = ones.iter().filter(|&&p| p < i).count();
+        prop_assert_eq!(bv.rank(i), expect);
+    }
+
+    #[test]
+    fn bitvec_ops_match_setwise(a in positions(256), b in positions(256)) {
+        use std::collections::BTreeSet;
+        let sa: BTreeSet<_> = a.iter().copied().collect();
+        let sb: BTreeSet<_> = b.iter().copied().collect();
+        let va = BitVec::from_ones(256, a.iter().copied());
+        let vb = BitVec::from_ones(256, b.iter().copied());
+        let and: Vec<usize> = sa.intersection(&sb).copied().collect();
+        let or: Vec<usize> = sa.union(&sb).copied().collect();
+        let xor: Vec<usize> = sa.symmetric_difference(&sb).copied().collect();
+        let diff: Vec<usize> = sa.difference(&sb).copied().collect();
+        prop_assert_eq!(va.and(&vb).iter_ones().collect::<Vec<_>>(), and);
+        prop_assert_eq!(va.or(&vb).iter_ones().collect::<Vec<_>>(), or);
+        prop_assert_eq!(va.xor(&vb).iter_ones().collect::<Vec<_>>(), xor);
+        prop_assert_eq!(va.andnot(&vb).iter_ones().collect::<Vec<_>>(), diff);
+    }
+
+    #[test]
+    fn bitvec_demorgan(a in positions(200), b in positions(200)) {
+        let va = BitVec::from_ones(200, a);
+        let vb = BitVec::from_ones(200, b);
+        // !(a | b) == !a & !b
+        prop_assert_eq!(va.or(&vb).not(), va.not().and(&vb.not()));
+        // !(a & b) == !a | !b
+        prop_assert_eq!(va.and(&vb).not(), va.not().or(&vb.not()));
+    }
+
+    #[test]
+    fn equidepth_bins_are_balanced(values in prop::collection::vec(-1e6f64..1e6, 10..200),
+                                   bins in 1u32..10) {
+        let col = Column::new("v", values.clone());
+        let binned = EquiDepth::new(bins).bin(&col);
+        let counts = binned.bin_counts();
+        let n = values.len();
+        let lo = n / bins as usize;
+        // Every bin holds floor(n/bins) or one more row.
+        for c in counts {
+            prop_assert!(c == lo || c == lo + 1, "unbalanced bin: {c} (n={n}, bins={bins})");
+        }
+    }
+
+    #[test]
+    fn all_encodings_agree_on_ranges(bins in prop::collection::vec(0u32..6, 1..120)) {
+        let col = BinnedColumn::new("x", bins, 6);
+        let eq = EncodedAttribute::encode(&col, Encoding::Equality);
+        let rg = EncodedAttribute::encode(&col, Encoding::Range);
+        let iv = EncodedAttribute::encode(&col, Encoding::Interval);
+        for lo in 0..6u32 {
+            for hi in lo..6u32 {
+                let want = eq.range(lo, hi);
+                prop_assert_eq!(&rg.range(lo, hi), &want, "range enc [{},{}]", lo, hi);
+                prop_assert_eq!(&iv.range(lo, hi), &want, "interval enc [{},{}]", lo, hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Theoretical analysis of the Approximate Bitmap (paper §4).
+//!
+//! Notation (Table 2): `N` rows, `d` attributes, `s` set bits, `k` hash
+//! functions, `n` AB size in bits, `m = log2 n`, `α = n / s` the space
+//! multiplier. The central results:
+//!
+//! * false-positive rate `FP(k, α) = (1 − e^{−k/α})^k` (§4.1),
+//! * precision `P = 1 − FP` (§4.2),
+//! * the optimal `k` minimizing FP for a given `α` is `α · ln 2`,
+//! * the `α` achieving a minimum precision for a given `k` is
+//!   `α = −k / ln(1 − e^{ln(1−P)/k})`,
+//! * AB sizes are rounded up to powers of two: `m = ⌈log2(s·α)⌉` (§4.2,
+//!   §6.1), and
+//! * the §4.2 size comparisons decide which encoding level (per data
+//!   set / per attribute / per column) is smallest.
+
+use serde::{Deserialize, Serialize};
+
+/// The resolution at which ABs are built (paper contribution 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// One AB encodes the whole bitmap table (`s = d·N`). Size is
+    /// independent of dimensionality — best for high-dimensional data.
+    PerDataset,
+    /// One AB per attribute (`s = N` each). Size independent of the
+    /// attribute cardinalities.
+    PerAttribute,
+    /// One AB per bitmap column (`s` = rows in that bin). Size depends
+    /// only on the set-bit counts — best for uniform data.
+    PerColumn,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Level::PerDataset => write!(f, "per-dataset"),
+            Level::PerAttribute => write!(f, "per-attribute"),
+            Level::PerColumn => write!(f, "per-column"),
+        }
+    }
+}
+
+/// False-positive rate `(1 − e^{−k/α})^k` of an AB with `k` hash
+/// functions and `α` bits per set bit (§4.1).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `alpha <= 0`.
+pub fn fp_rate(k: usize, alpha: f64) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(alpha > 0.0, "alpha must be positive");
+    (1.0 - (-(k as f64) / alpha).exp()).powi(k as i32)
+}
+
+/// Exact (non-asymptotic) false-positive rate
+/// `(1 − (1 − 1/n)^{k·s})^k` for `s` insertions into `n` bits.
+pub fn fp_rate_exact(k: usize, n: u64, s: u64) -> f64 {
+    assert!(k > 0 && n > 0, "k and n must be positive");
+    let base = 1.0 - 1.0 / n as f64;
+    (1.0 - base.powf((k as u64 * s) as f64)).powi(k as i32)
+}
+
+/// Precision `P = 1 − FP(k, α)` (§4.2).
+pub fn precision(k: usize, alpha: f64) -> f64 {
+    1.0 - fp_rate(k, alpha)
+}
+
+/// The number of hash functions minimizing the false-positive rate for
+/// a given `α`: the integer neighbour of `α · ln 2` with the lower FP
+/// (§4.1, Figure 9).
+pub fn optimal_k(alpha: f64) -> usize {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let ideal = alpha * std::f64::consts::LN_2;
+    let lo = (ideal.floor() as usize).max(1);
+    let hi = lo + 1;
+    if fp_rate(lo, alpha) <= fp_rate(hi, alpha) {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// The space multiplier `α` required to reach precision `p_min` with
+/// `k` hash functions: `α = −k / ln(1 − e^{ln(1−p_min)/k})` (§4.2).
+///
+/// # Panics
+///
+/// Panics unless `0 < p_min < 1` and `k > 0`.
+pub fn alpha_for_precision(p_min: f64, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(
+        p_min > 0.0 && p_min < 1.0,
+        "precision must be in (0, 1), got {p_min}"
+    );
+    let inner = 1.0 - ((1.0 - p_min).ln() / k as f64).exp();
+    -(k as f64) / inner.ln()
+}
+
+/// Smallest power of two ≥ `x` (≥ 1).
+pub fn next_pow2(x: u64) -> u64 {
+    x.max(1).next_power_of_two()
+}
+
+/// AB size in bits for `s` set bits and multiplier `alpha`: the lowest
+/// power of two ≥ `s·α`, i.e. `2^m` with `m = ⌈log2(s·α)⌉` (§4.2).
+pub fn ab_bits(s: u64, alpha: u64) -> u64 {
+    next_pow2(s.saturating_mul(alpha))
+}
+
+/// AB size in bytes (see [`ab_bits`]).
+pub fn ab_size_bytes(s: u64, alpha: u64) -> u64 {
+    ab_bits(s, alpha) / 8
+}
+
+/// Parameters chosen for one AB: its size and hash count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbParams {
+    /// AB size in bits (a power of two under the paper's sizing).
+    pub n_bits: u64,
+    /// Number of hash functions.
+    pub k: usize,
+}
+
+impl AbParams {
+    /// Effective `α = n / s` for `s` set bits.
+    pub fn alpha(&self, s: u64) -> f64 {
+        self.n_bits as f64 / s.max(1) as f64
+    }
+
+    /// Theoretical precision for `s` set bits.
+    pub fn expected_precision(&self, s: u64) -> f64 {
+        1.0 - fp_rate_exact(self.k, self.n_bits, s)
+    }
+}
+
+/// Sizing mode 1 (paper contribution 3): given a maximum size `2^m_max`
+/// bits, build the largest AB that fits and the `k` that maximizes
+/// precision for the resulting `α`.
+pub fn params_for_max_size(s: u64, m_max: u32) -> AbParams {
+    assert!(m_max < 63, "m_max {m_max} too large");
+    let n_bits = 1u64 << m_max;
+    let alpha = n_bits as f64 / s.max(1) as f64;
+    AbParams {
+        n_bits,
+        k: optimal_k(alpha),
+    }
+}
+
+/// Sizing mode 2 (paper contribution 3): given a minimum precision,
+/// find the `(n, k)` pair using the least space (searching `k` over a
+/// practical range and rounding `n` up to a power of two).
+pub fn params_for_min_precision(s: u64, p_min: f64) -> AbParams {
+    let mut best: Option<AbParams> = None;
+    for k in 1..=32usize {
+        let alpha = alpha_for_precision(p_min, k);
+        let n_bits = next_pow2((alpha * s.max(1) as f64).ceil() as u64);
+        // Rounding up to a power of two may allow a better k for the
+        // actual α; re-optimize but verify precision still holds.
+        let actual_alpha = n_bits as f64 / s.max(1) as f64;
+        let k_opt = optimal_k(actual_alpha);
+        let k_use = if precision(k_opt, actual_alpha) >= p_min {
+            k_opt
+        } else {
+            k
+        };
+        if precision(k_use, actual_alpha) < p_min {
+            continue;
+        }
+        let cand = AbParams { n_bits, k: k_use };
+        best = match best {
+            None => Some(cand),
+            Some(b) if cand.n_bits < b.n_bits || (cand.n_bits == b.n_bits && cand.k < b.k) => {
+                Some(cand)
+            }
+            b => b,
+        };
+    }
+    best.expect("a satisfying (n, k) always exists for p_min < 1")
+}
+
+/// Total AB bytes at each level for a data set with `num_rows` rows,
+/// `num_attributes` attributes, per-column set-bit counts
+/// `column_set_bits` (one entry per bitmap column across all
+/// attributes), and multiplier `alpha` (§4.2, Tables 4–6).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelSizes {
+    /// Bytes for one AB over the whole data set.
+    pub per_dataset: u64,
+    /// Total bytes for one AB per attribute.
+    pub per_attribute: u64,
+    /// Total bytes for one AB per column.
+    pub per_column: u64,
+}
+
+/// Computes the §4.2 size comparison across levels.
+pub fn level_sizes(
+    num_rows: u64,
+    num_attributes: u64,
+    column_set_bits: &[u64],
+    alpha: u64,
+) -> LevelSizes {
+    let per_dataset = ab_size_bytes(num_rows * num_attributes, alpha);
+    let per_attribute = num_attributes * ab_size_bytes(num_rows, alpha);
+    let per_column = column_set_bits
+        .iter()
+        .map(|&s| ab_size_bytes(s, alpha))
+        .sum();
+    LevelSizes {
+        per_dataset,
+        per_attribute,
+        per_column,
+    }
+}
+
+/// Picks the smallest-footprint level per the §4.2 comparisons. Ties
+/// prefer coarser levels (fewer ABs to manage).
+pub fn choose_level(sizes: &LevelSizes) -> Level {
+    let mut best = (Level::PerDataset, sizes.per_dataset);
+    if sizes.per_attribute < best.1 {
+        best = (Level::PerAttribute, sizes.per_attribute);
+    }
+    if sizes.per_column < best.1 {
+        best = (Level::PerColumn, sizes.per_column);
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_rate_known_values() {
+        // α = 8, k = 5: classic Bloom numbers ≈ 0.0217.
+        let fp = fp_rate(5, 8.0);
+        assert!((fp - 0.0217).abs() < 0.001, "fp = {fp}");
+        // α = 2, k = 1: 1 - e^{-1/2} ≈ 0.3935.
+        assert!((fp_rate(1, 2.0) - 0.3935).abs() < 0.001);
+    }
+
+    #[test]
+    fn fp_rate_decreases_with_alpha() {
+        // Figure 8: FP falls as α grows, for every k.
+        for k in 1..=8 {
+            let mut prev = 1.0;
+            for alpha in [2.0, 4.0, 8.0, 16.0, 32.0] {
+                let fp = fp_rate(k, alpha);
+                assert!(fp < prev, "k={k} α={alpha}");
+                prev = fp;
+            }
+        }
+    }
+
+    #[test]
+    fn fp_rate_u_shaped_in_k() {
+        // Figure 9: for fixed α, FP falls to a minimum then rises.
+        let alpha = 8.0;
+        let kopt = optimal_k(alpha);
+        assert!(fp_rate(kopt, alpha) <= fp_rate(1, alpha));
+        assert!(fp_rate(kopt, alpha) <= fp_rate(20, alpha));
+    }
+
+    #[test]
+    fn optimal_k_is_alpha_ln2() {
+        assert_eq!(optimal_k(8.0), 6); // 8 ln2 ≈ 5.55 → 6 beats 5
+        assert_eq!(optimal_k(16.0), 11); // 16 ln2 ≈ 11.09
+        assert_eq!(optimal_k(1.0), 1);
+        // Optimality: neighbours are no better.
+        for alpha in [2.0, 4.0, 8.0, 16.0, 23.0] {
+            let k = optimal_k(alpha);
+            let best = fp_rate(k, alpha);
+            if k > 1 {
+                assert!(best <= fp_rate(k - 1, alpha) + 1e-15, "α={alpha}");
+            }
+            assert!(best <= fp_rate(k + 1, alpha) + 1e-15, "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn alpha_for_precision_inverts_fp() {
+        for &(p, k) in &[(0.9, 4), (0.95, 5), (0.99, 7), (0.5, 2)] {
+            let alpha = alpha_for_precision(p, k);
+            let achieved = precision(k, alpha);
+            assert!(
+                (achieved - p).abs() < 1e-9,
+                "p={p} k={k}: α={alpha} gives {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn fp_exact_approaches_asymptotic() {
+        let s = 100_000u64;
+        let alpha = 8u64;
+        let n = s * alpha;
+        let k = 5;
+        let exact = fp_rate_exact(k, n, s);
+        let asym = fp_rate(k, alpha as f64);
+        assert!((exact - asym).abs() < 1e-4, "{exact} vs {asym}");
+    }
+
+    #[test]
+    fn ab_bits_rounds_to_power_of_two() {
+        // Landsat, α = 4 (paper §6.1): s = 16,527,900 → 67,108,864 bits
+        // = 8,388,608 bytes.
+        assert_eq!(ab_bits(16_527_900, 4), 67_108_864);
+        assert_eq!(ab_size_bytes(16_527_900, 4), 8_388_608);
+        // Uniform per-attribute, α = 2: s = 100,000 → 262,144 bits =
+        // 32,768 bytes (Table 5).
+        assert_eq!(ab_size_bytes(100_000, 2), 32_768);
+        // HEP per-attribute, α = 2: s = 2,173,762 → 1,048,576 bytes.
+        assert_eq!(ab_size_bytes(2_173_762, 2), 1_048_576);
+    }
+
+    #[test]
+    fn params_for_max_size_uses_whole_budget() {
+        let p = params_for_max_size(100_000, 20);
+        assert_eq!(p.n_bits, 1 << 20);
+        // α ≈ 10.5 → k ≈ 7.
+        assert_eq!(p.k, optimal_k((1u64 << 20) as f64 / 100_000.0));
+    }
+
+    #[test]
+    fn params_for_min_precision_achieves_target() {
+        for p_min in [0.8, 0.9, 0.95, 0.99] {
+            let params = params_for_min_precision(50_000, p_min);
+            let achieved = params.expected_precision(50_000);
+            assert!(
+                achieved >= p_min - 1e-6,
+                "target {p_min}: got {achieved} with {params:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn params_for_min_precision_is_minimal_pow2() {
+        // Halving the chosen size must break the target for every k in
+        // the search range.
+        let p_min = 0.95;
+        let s = 50_000;
+        let params = params_for_min_precision(s, p_min);
+        let smaller = params.n_bits / 2;
+        for k in 1..=32usize {
+            let alpha = smaller as f64 / s as f64;
+            assert!(
+                precision(k, alpha) < p_min,
+                "smaller AB would satisfy target with k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn level_sizes_match_paper_tables() {
+        // Uniform data set (Table 3): N = 100,000, d = 2, 100 columns
+        // of 2,000 set bits each (uniform). α = 4.
+        let cols = vec![2_000u64; 100];
+        let sizes = level_sizes(100_000, 2, &cols, 4);
+        // Table 4: per data set, α=4 → 131,072 bytes.
+        assert_eq!(sizes.per_dataset, 131_072);
+        // Table 5: per attribute, α=4 → 2 × 65,536 = 131,072 bytes.
+        assert_eq!(sizes.per_attribute, 131_072);
+        // Table 6: per column, α=4 → 100 × 1,024 = 102,400 bytes.
+        assert_eq!(sizes.per_column, 102_400);
+        assert_eq!(choose_level(&sizes), Level::PerColumn);
+    }
+
+    #[test]
+    fn high_dimensional_prefers_per_dataset() {
+        // Landsat-like: d = 60; per-attribute pays the power-of-two
+        // round-up 60 times.
+        let cols = vec![275_465u64 / 15; 900];
+        let sizes = level_sizes(275_465, 60, &cols, 8);
+        let picked = choose_level(&sizes);
+        assert_eq!(picked, Level::PerDataset, "sizes: {sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn fp_rate_rejects_zero_k() {
+        fp_rate(0, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn alpha_for_precision_rejects_p_one() {
+        alpha_for_precision(1.0, 3);
+    }
+
+    #[test]
+    fn next_pow2_cases() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+}

@@ -1,0 +1,209 @@
+//! A classic Bloom filter over arbitrary byte keys.
+//!
+//! The AB "is inspired by Bloom Filters" (paper §2.1, Figure 1): the
+//! cell-addressed AB is a Bloom filter whose universe is bitmap-table
+//! cells. This module provides the general-purpose form — insertion
+//! and membership for arbitrary `&[u8]` keys — so the crate also
+//! serves the §2.1 use cases (query processing, caching, summaries)
+//! directly, and so the AB's behaviour can be cross-checked against
+//! the textbook structure it specializes.
+
+use bitmap::BitVec;
+use hashkit::partow::fnv_hash;
+use hashkit::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// A Bloom filter with `k` double-hashed probes over an `n`-bit array.
+///
+/// # Examples
+///
+/// ```
+/// use ab::bloom::BloomFilter;
+///
+/// let mut f = BloomFilter::with_rate(1000, 0.01);
+/// f.insert(b"tuple:42");
+/// assert!(f.contains(b"tuple:42"));     // no false negatives
+/// assert!(!f.contains(b"tuple:43") || true); // may rarely false-positive
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: BitVec,
+    k: usize,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter of exactly `n_bits` bits and `k` hashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits == 0` or `k == 0`.
+    pub fn new(n_bits: u64, k: usize) -> Self {
+        assert!(n_bits > 0, "filter size must be positive");
+        assert!(k > 0, "k must be positive");
+        BloomFilter {
+            bits: BitVec::zeros(n_bits as usize),
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// Sizes the filter for `expected_items` at the target
+    /// false-positive `rate`: `n = −s·ln(p)/ln(2)²` rounded up to a
+    /// power of two (as the AB does, §4.2), with the FP-optimal `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate < 1`.
+    pub fn with_rate(expected_items: u64, rate: f64) -> Self {
+        assert!(rate > 0.0 && rate < 1.0, "rate must be in (0, 1)");
+        let ln2 = std::f64::consts::LN_2;
+        let bits = (-(expected_items.max(1) as f64) * rate.ln() / (ln2 * ln2)).ceil() as u64;
+        let n_bits = crate::analysis::next_pow2(bits);
+        let alpha = n_bits as f64 / expected_items.max(1) as f64;
+        Self::new(n_bits, crate::analysis::optimal_k(alpha))
+    }
+
+    /// Filter size in bits.
+    pub fn n_bits(&self) -> u64 {
+        self.bits.len() as u64
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of keys inserted.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Storage size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.size_bytes()
+    }
+
+    /// Expected false-positive rate at the current load,
+    /// `fill_ratio^k`.
+    pub fn expected_fp_rate(&self) -> f64 {
+        self.bits.density().powi(self.k as i32)
+    }
+
+    #[inline]
+    fn hashes(&self, key: &[u8]) -> (u64, u64) {
+        let h = fnv_hash(key);
+        (splitmix64(h), splitmix64(h ^ 0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let n = self.n_bits();
+        let (h1, h2) = self.hashes(key);
+        for t in 0..self.k as u64 {
+            self.bits
+                .set((h1.wrapping_add(t.wrapping_mul(h2)) % n) as usize);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests a key: `false` is definite, `true` is probabilistic.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let n = self.n_bits();
+        let (h1, h2) = self.hashes(key);
+        (0..self.k as u64).all(|t| {
+            self.bits
+                .get((h1.wrapping_add(t.wrapping_mul(h2)) % n) as usize)
+        })
+    }
+
+    /// Unions another filter into this one (same `n` and `k` required)
+    /// — the distributed-summary operation of the §2.1 applications
+    /// (web cache sharing, semijoins).
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter mismatch.
+    pub fn union_assign(&mut self, other: &BloomFilter) {
+        assert_eq!(self.n_bits(), other.n_bits(), "filter size mismatch");
+        assert_eq!(self.k, other.k, "hash count mismatch");
+        self.bits.or_assign(&other.bits);
+        self.inserted += other.inserted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = BloomFilter::new(1 << 12, 4);
+        f.insert(b"hello");
+        assert!(f.contains(b"hello"));
+        assert!(!f.contains(b"world"));
+    }
+
+    #[test]
+    fn no_false_negatives_under_load() {
+        let mut f = BloomFilter::new(256, 3);
+        let keys: Vec<String> = (0..100).map(|i| format!("key-{i}")).collect();
+        for k in &keys {
+            f.insert(k.as_bytes());
+        }
+        for k in &keys {
+            assert!(f.contains(k.as_bytes()), "missed {k}");
+        }
+    }
+
+    #[test]
+    fn with_rate_hits_target() {
+        let items = 10_000u64;
+        let rate = 0.01;
+        let mut f = BloomFilter::with_rate(items, rate);
+        for i in 0..items {
+            f.insert(&i.to_le_bytes());
+        }
+        let probes = 50_000u64;
+        let fp = (items..items + probes)
+            .filter(|i| f.contains(&i.to_le_bytes()))
+            .count();
+        let measured = fp as f64 / probes as f64;
+        // Power-of-two round-up makes the real filter at least as big
+        // as requested, so the measured rate must be <= ~1.5x target.
+        assert!(
+            measured <= rate * 1.5,
+            "measured {measured} vs target {rate}"
+        );
+    }
+
+    #[test]
+    fn union_combines_membership() {
+        let mut a = BloomFilter::new(1 << 10, 3);
+        let mut b = BloomFilter::new(1 << 10, 3);
+        a.insert(b"left");
+        b.insert(b"right");
+        a.union_assign(&b);
+        assert!(a.contains(b"left"));
+        assert!(a.contains(b"right"));
+        assert_eq!(a.inserted(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn union_requires_same_shape() {
+        let mut a = BloomFilter::new(1 << 10, 3);
+        let b = BloomFilter::new(1 << 11, 3);
+        a.union_assign(&b);
+    }
+
+    #[test]
+    fn expected_fp_tracks_fill() {
+        let mut f = BloomFilter::new(1 << 10, 2);
+        assert_eq!(f.expected_fp_rate(), 0.0);
+        for i in 0..100u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        assert!(f.expected_fp_rate() > 0.0);
+    }
+}

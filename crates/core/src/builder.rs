@@ -1,0 +1,358 @@
+//! One-stop pipeline from raw data to a queryable AB index.
+//!
+//! [`AbPipeline`] wires together the whole stack the paper assumes:
+//! raw numeric table → binning (§5.1) → equality bitmap semantics → AB
+//! encoding, optionally keeping the exact [`BitmapIndex`] alongside for
+//! the second-step pruning of §1.
+
+use crate::analysis::Level;
+use crate::config::AbConfig;
+use crate::exact::prune_false_positives;
+use crate::level::AbIndex;
+use bitmap::{BinnedTable, Binner, BitmapIndex, Encoding, EquiDepth, RectQuery, Table};
+
+/// A built pipeline: the AB index plus (optionally) the exact index it
+/// approximates and the raw table for aggregation.
+#[derive(Clone, Debug)]
+pub struct AbPipeline {
+    /// The raw source table (kept for aggregate queries).
+    pub raw: Table,
+    /// The binned form of the source table.
+    pub binned: BinnedTable,
+    /// The approximate index.
+    pub ab: AbIndex,
+    /// The exact equality-encoded index, when retained.
+    pub exact: Option<BitmapIndex>,
+}
+
+impl AbPipeline {
+    /// Starts a builder over a raw table.
+    pub fn builder(table: &Table) -> AbPipelineBuilder<'_> {
+        AbPipelineBuilder {
+            table,
+            bins: 10,
+            config: AbConfig::new(Level::PerAttribute),
+            keep_exact: false,
+        }
+    }
+
+    /// Approximate query: superset of the true answer, 100% recall.
+    pub fn query_approx(&self, query: &RectQuery) -> Vec<usize> {
+        self.ab.execute_rect(query)
+    }
+
+    /// Exact query: AB retrieval followed by false-positive pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline was built without `keep_exact`.
+    pub fn query_exact(&self, query: &RectQuery) -> Vec<usize> {
+        let exact = self
+            .exact
+            .as_ref()
+            .expect("exact queries need .keep_exact(true) at build time");
+        let candidates = self.ab.execute_rect(query);
+        prune_false_positives(exact, query, &candidates)
+    }
+
+    /// Exact COUNT(*) of rows matching `query` (AB pre-filter + exact
+    /// pruning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline was built without `keep_exact`.
+    pub fn count_where(&self, query: &RectQuery) -> usize {
+        self.query_exact(query).len()
+    }
+
+    /// Exact SUM of `column` over rows matching `query` — the intro's
+    /// warehouse aggregate ("total sales of every Monday…") computed
+    /// through the AB fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is unknown or the pipeline was built
+    /// without `keep_exact`.
+    pub fn sum_where(&self, query: &RectQuery, column: &str) -> f64 {
+        let col = self
+            .raw
+            .column_by_name(column)
+            .unwrap_or_else(|| panic!("unknown column `{column}`"));
+        self.query_exact(query)
+            .into_iter()
+            .map(|row| col.values[row])
+            .sum()
+    }
+
+    /// Approximate COUNT(*): the AB candidate count, an upper bound on
+    /// the true count with expected overshoot `FP · rows scanned`.
+    pub fn approx_count_where(&self, query: &RectQuery) -> usize {
+        self.ab.execute_rect(query).len()
+    }
+
+    /// Approximate SUM over the AB candidates (biased high; useful
+    /// where the paper's visualization tolerance applies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is unknown.
+    pub fn approx_sum_where(&self, query: &RectQuery, column: &str) -> f64 {
+        let col = self
+            .raw
+            .column_by_name(column)
+            .unwrap_or_else(|| panic!("unknown column `{column}`"));
+        self.ab
+            .execute_rect(query)
+            .into_iter()
+            .map(|row| col.values[row])
+            .sum()
+    }
+
+    /// Translates raw value ranges (`(column, lo, hi)` inclusive) into
+    /// the covering bin intervals using the binner's stored edges —
+    /// the front half of a SQL-style predicate over the AB.
+    ///
+    /// The resulting query is *conservative*: the covering bins may
+    /// admit rows with values just outside the ranges, exactly like
+    /// any binned bitmap index; [`Self::rows_matching_values`] adds the
+    /// value-exact filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown columns, missing bin edges, or an empty range.
+    pub fn value_query(
+        &self,
+        ranges: &[(&str, f64, f64)],
+        row_lo: usize,
+        row_hi: usize,
+    ) -> RectQuery {
+        let attr_ranges = ranges
+            .iter()
+            .map(|&(name, lo, hi)| {
+                let attr = self
+                    .binned
+                    .columns()
+                    .iter()
+                    .position(|c| c.name == name)
+                    .unwrap_or_else(|| panic!("unknown column `{name}`"));
+                let (lo_bin, hi_bin) = self
+                    .binned
+                    .column(attr)
+                    .bins_covering(lo, hi)
+                    .expect("column was binned without edges; use a Binner that supplies them");
+                bitmap::AttrRange::new(attr, lo_bin, hi_bin)
+            })
+            .collect();
+        RectQuery::new(attr_ranges, row_lo, row_hi)
+    }
+
+    /// Rows whose raw values fall in every `(column, lo, hi)` range:
+    /// AB candidate retrieval over the covering bins, then a value-
+    /// exact filter against the raw table. Exact answer, cost
+    /// proportional to the candidates, never a full scan.
+    pub fn rows_matching_values(
+        &self,
+        ranges: &[(&str, f64, f64)],
+        row_lo: usize,
+        row_hi: usize,
+    ) -> Vec<usize> {
+        let query = self.value_query(ranges, row_lo, row_hi);
+        let cols: Vec<(&bitmap::Column, f64, f64)> = ranges
+            .iter()
+            .map(|&(name, lo, hi)| (self.raw.column_by_name(name).unwrap(), lo, hi))
+            .collect();
+        self.ab
+            .execute_rect(&query)
+            .into_iter()
+            .filter(|&row| {
+                cols.iter()
+                    .all(|(c, lo, hi)| (*lo..=*hi).contains(&c.values[row]))
+            })
+            .collect()
+    }
+}
+
+/// Fluent builder for [`AbPipeline`].
+pub struct AbPipelineBuilder<'a> {
+    table: &'a Table,
+    bins: u32,
+    config: AbConfig,
+    keep_exact: bool,
+}
+
+impl AbPipelineBuilder<'_> {
+    /// Number of equi-depth bins per attribute (default 10).
+    pub fn bins(mut self, bins: u32) -> Self {
+        self.bins = bins;
+        self
+    }
+
+    /// Full AB configuration (level, sizing, k, hash family).
+    pub fn config(mut self, config: AbConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Retain the exact bitmap index for second-step pruning.
+    pub fn keep_exact(mut self, keep: bool) -> Self {
+        self.keep_exact = keep;
+        self
+    }
+
+    /// Builds the pipeline.
+    pub fn build(self) -> AbPipeline {
+        let binned = BinnedTable::from_table(self.table, &EquiDepth::new(self.bins));
+        self.build_from_binned(binned)
+    }
+
+    /// Builds with a caller-supplied binner instead of equi-depth.
+    pub fn build_with_binner<B: Binner>(self, binner: &B) -> AbPipeline {
+        let binned = BinnedTable::from_table(self.table, binner);
+        self.build_from_binned(binned)
+    }
+
+    fn build_from_binned(self, binned: BinnedTable) -> AbPipeline {
+        let ab = AbIndex::build(&binned, &self.config);
+        let exact = self
+            .keep_exact
+            .then(|| BitmapIndex::build(&binned, Encoding::Equality));
+        AbPipeline {
+            raw: self.table.clone(),
+            binned,
+            ab,
+            exact,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmap::{AttrRange, Column};
+
+    fn sample_table() -> Table {
+        let n = 1000;
+        Table::new(vec![
+            Column::new(
+                "price",
+                (0..n)
+                    .map(|i| (hashkit::splitmix64(i) % 1000) as f64)
+                    .collect(),
+            ),
+            Column::new(
+                "qty",
+                (0..n)
+                    .map(|i| (hashkit::splitmix64(i ^ 0xABCD) % 50) as f64)
+                    .collect(),
+            ),
+        ])
+    }
+
+    #[test]
+    fn pipeline_builds_and_queries() {
+        let t = sample_table();
+        let p = AbPipeline::builder(&t)
+            .bins(8)
+            .config(AbConfig::new(Level::PerAttribute).with_alpha(8))
+            .keep_exact(true)
+            .build();
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 3)], 100, 500);
+        let approx = p.query_approx(&q);
+        let exact = p.query_exact(&q);
+        // exact ⊆ approx, and exact matches the ground-truth index.
+        for r in &exact {
+            assert!(approx.contains(r));
+        }
+        let truth = p.exact.as_ref().unwrap().evaluate_rows(&q);
+        assert_eq!(exact, truth);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_exact")]
+    fn exact_query_without_exact_index_panics() {
+        let t = sample_table();
+        let p = AbPipeline::builder(&t).build();
+        p.query_exact(&RectQuery::new(vec![], 0, 10));
+    }
+
+    #[test]
+    fn aggregates_match_bruteforce() {
+        let t = sample_table();
+        let p = AbPipeline::builder(&t)
+            .bins(8)
+            .config(AbConfig::new(Level::PerAttribute).with_alpha(8))
+            .keep_exact(true)
+            .build();
+        let q = RectQuery::new(vec![AttrRange::new(1, 0, 3)], 0, 999);
+        let matching = p.query_exact(&q);
+        let want_sum: f64 = matching
+            .iter()
+            .map(|&r| t.column_by_name("price").unwrap().values[r])
+            .sum();
+        assert_eq!(p.count_where(&q), matching.len());
+        assert!((p.sum_where(&q, "price") - want_sum).abs() < 1e-9);
+        // Approximate versions are upper bounds (superset of rows;
+        // prices here are non-negative).
+        assert!(p.approx_count_where(&q) >= matching.len());
+        assert!(p.approx_sum_where(&q, "price") >= want_sum - 1e-9);
+    }
+
+    #[test]
+    fn value_queries_are_exact() {
+        let t = sample_table();
+        let p = AbPipeline::builder(&t)
+            .bins(16)
+            .config(AbConfig::new(Level::PerAttribute).with_alpha(8))
+            .build();
+        let got = p.rows_matching_values(&[("price", 100.0, 300.0)], 0, 999);
+        let want: Vec<usize> = t
+            .column_by_name("price")
+            .unwrap()
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (100.0..=300.0).contains(&v))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn value_query_covers_all_matches() {
+        let t = sample_table();
+        let p = AbPipeline::builder(&t).bins(16).build();
+        let q = p.value_query(&[("qty", 10.0, 20.0)], 0, 999);
+        let candidates = p.query_approx(&q);
+        for (row, &v) in t.column_by_name("qty").unwrap().values.iter().enumerate() {
+            if (10.0..=20.0).contains(&v) {
+                assert!(candidates.contains(&row), "row {row} (qty {v}) missed");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn value_query_validates_column() {
+        let t = sample_table();
+        let p = AbPipeline::builder(&t).build();
+        p.value_query(&[("nope", 0.0, 1.0)], 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn sum_where_validates_column() {
+        let t = sample_table();
+        let p = AbPipeline::builder(&t).keep_exact(true).build();
+        p.sum_where(&RectQuery::new(vec![], 0, 10), "nope");
+    }
+
+    #[test]
+    fn custom_binner_respected() {
+        let t = sample_table();
+        let p = AbPipeline::builder(&t)
+            .config(AbConfig::new(Level::PerColumn).with_alpha(8))
+            .build_with_binner(&bitmap::EquiWidth::new(4));
+        assert_eq!(p.binned.column(0).cardinality, 4);
+        assert_eq!(p.ab.abs().len(), 8); // 2 attrs × 4 bins
+    }
+}

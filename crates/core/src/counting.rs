@@ -1,0 +1,235 @@
+//! Counting Approximate Bitmap — the update extension.
+//!
+//! The paper assumes read-only data ("most of the large scientific
+//! data sets are read-only", §4.1) and its conclusion lists updates as
+//! future work. [`CountingAb`] fills that gap with the standard
+//! counting-Bloom construction: each AB position holds a small
+//! saturating counter instead of a bit, so deletions decrement what
+//! insertions incremented. A saturated counter can no longer be
+//! decremented (it may be shared by many cells), preserving the
+//! no-false-negative guarantee at the cost of stuck-high positions.
+
+use hashkit::{CellMapper, HashFamily};
+use serde::{Deserialize, Serialize};
+
+/// Counter saturation limit (8-bit counters; 255 is effectively ∞ for
+/// realistic loads — the classic analysis puts P[counter ≥ 16] below
+/// 10⁻¹⁵ at optimal k).
+const SATURATED: u8 = u8::MAX;
+
+/// A counting approximate bitmap supporting deletion.
+///
+/// # Examples
+///
+/// ```
+/// use ab::CountingAb;
+/// use hashkit::{CellMapper, HashFamily};
+///
+/// let mut ab = CountingAb::new(
+///     1 << 12, 4, HashFamily::default_independent(), CellMapper::for_columns(8));
+/// ab.insert(10, 3);
+/// assert!(ab.contains(10, 3));
+/// ab.remove(10, 3);
+/// assert!(!ab.contains(10, 3));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CountingAb {
+    counters: Vec<u8>,
+    k: usize,
+    family: HashFamily,
+    mapper: CellMapper,
+    inserted: u64,
+}
+
+impl CountingAb {
+    /// Creates an empty counting AB of `n` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    pub fn new(n: u64, k: usize, family: HashFamily, mapper: CellMapper) -> Self {
+        assert!(n > 0, "size must be positive");
+        assert!(k > 0, "k must be positive");
+        CountingAb {
+            counters: vec![0; n as usize],
+            k,
+            family,
+            mapper,
+            inserted: 0,
+        }
+    }
+
+    /// Number of counter positions.
+    pub fn n(&self) -> u64 {
+        self.counters.len() as u64
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Net number of inserted (non-removed) cells.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Storage size in bytes (8× the plain AB — the standard
+    /// counting-Bloom space penalty).
+    pub fn size_bytes(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Inserts cell `(row, col)`, incrementing its k counters
+    /// (saturating).
+    pub fn insert(&mut self, row: u64, col: u64) {
+        let mut buf = Vec::with_capacity(self.k);
+        self.family
+            .positions(row, col, self.mapper, self.k, self.n(), &mut buf);
+        for &p in &buf {
+            let c = &mut self.counters[p as usize];
+            *c = c.saturating_add(1);
+        }
+        self.inserted += 1;
+    }
+
+    /// Removes a previously inserted cell, decrementing its counters.
+    /// Saturated counters are left untouched (they may be shared).
+    ///
+    /// Removing a cell that was never inserted is undefined for any
+    /// counting filter — it can introduce false negatives for other
+    /// cells. In debug builds this fires an assertion when a counter
+    /// would underflow (proof the cell was absent).
+    pub fn remove(&mut self, row: u64, col: u64) {
+        let mut buf = Vec::with_capacity(self.k);
+        self.family
+            .positions(row, col, self.mapper, self.k, self.n(), &mut buf);
+        for &p in &buf {
+            let c = &mut self.counters[p as usize];
+            debug_assert!(*c > 0, "removing a cell that was never inserted");
+            if *c > 0 && *c < SATURATED {
+                *c -= 1;
+            }
+        }
+        self.inserted = self.inserted.saturating_sub(1);
+    }
+
+    /// Tests cell membership: all k counters non-zero.
+    pub fn contains(&self, row: u64, col: u64) -> bool {
+        let mut buf = Vec::with_capacity(self.k);
+        self.family
+            .positions(row, col, self.mapper, self.k, self.n(), &mut buf);
+        buf.iter().all(|&p| self.counters[p as usize] > 0)
+    }
+
+    /// Collapses to a plain bit-per-position [`super::ApproximateBitmap`]
+    /// (counters > 0 become set bits) — freeze a mutable index into the
+    /// compact read-only form.
+    pub fn freeze(&self) -> crate::ApproximateBitmap {
+        let mut frozen =
+            crate::ApproximateBitmap::new(self.n(), self.k, self.family.clone(), self.mapper);
+        // Direct bit copy: positions are what matter, not re-hashing.
+        for (i, &c) in self.counters.iter().enumerate() {
+            if c > 0 {
+                frozen.set_raw_bit(i);
+            }
+        }
+        frozen.set_inserted(self.inserted);
+        frozen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(n: u64, k: usize) -> CountingAb {
+        CountingAb::new(
+            n,
+            k,
+            HashFamily::default_independent(),
+            CellMapper::for_columns(8),
+        )
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut ab = make(1 << 10, 3);
+        ab.insert(5, 2);
+        assert!(ab.contains(5, 2));
+        assert!(!ab.contains(6, 2));
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        let mut ab = make(1 << 12, 4);
+        ab.insert(5, 2);
+        ab.remove(5, 2);
+        assert!(!ab.contains(5, 2));
+        assert_eq!(ab.inserted(), 0);
+    }
+
+    #[test]
+    fn remove_preserves_other_cells() {
+        let mut ab = make(1 << 12, 4);
+        for r in 0..100 {
+            ab.insert(r, 1);
+        }
+        for r in 0..50 {
+            ab.remove(r, 1);
+        }
+        // Remaining cells must still be present (no false negatives).
+        for r in 50..100 {
+            assert!(ab.contains(r, 1), "false negative at row {r}");
+        }
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_removes() {
+        let mut ab = make(1 << 12, 3);
+        ab.insert(7, 0);
+        ab.insert(7, 0);
+        ab.remove(7, 0);
+        assert!(ab.contains(7, 0), "one copy should remain");
+        ab.remove(7, 0);
+        assert!(!ab.contains(7, 0));
+    }
+
+    #[test]
+    fn saturation_never_causes_false_negative() {
+        // Hammer a tiny filter far past saturation.
+        let mut ab = make(16, 2);
+        for r in 0..10_000u64 {
+            ab.insert(r, 0);
+        }
+        for r in 0..5_000u64 {
+            ab.remove(r, 0);
+        }
+        for r in 5_000..10_000u64 {
+            assert!(ab.contains(r, 0));
+        }
+    }
+
+    #[test]
+    fn freeze_matches_membership() {
+        let mut ab = make(1 << 12, 4);
+        for r in 0..200 {
+            ab.insert(r, 3);
+        }
+        let frozen = ab.freeze();
+        assert_eq!(frozen.inserted(), 200);
+        for r in 0..200 {
+            assert!(frozen.contains(r, 3));
+        }
+        // Frozen filter agrees with the counting filter on negatives too.
+        for r in 200..400 {
+            assert_eq!(frozen.contains(r, 3), ab.contains(r, 3), "row {r}");
+        }
+    }
+
+    #[test]
+    fn size_is_8x_plain_ab() {
+        let ab = make(1 << 10, 2);
+        assert_eq!(ab.size_bytes(), 1 << 10);
+    }
+}

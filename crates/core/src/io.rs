@@ -1,0 +1,408 @@
+//! Persistent binary format for AB indexes.
+//!
+//! A downstream user builds the AB once over a (read-only, per §4.1)
+//! data set and ships it to query nodes — the paper's privacy scenario
+//! (§1, contribution 6) even queries the AB *without* database access.
+//! The format is a versioned little-endian layout:
+//!
+//! ```text
+//! magic "ABIX" | version u16 | level u8 | num_rows u64 |
+//! attr count u32 | { name_len u16, name, cardinality u32, offset u64 }* |
+//! ab count u32  | { n_bits u64, k u32, inserted u64, mapper, family,
+//!                   word count u64, words u64* }*
+//! ```
+
+use crate::analysis::Level;
+use crate::encoding::ApproximateBitmap;
+use crate::level::{AbIndex, AttributeMeta};
+use bitmap::BitVec;
+use hashkit::{CellMapper, HashFamily, HashKind};
+
+/// Errors arising while decoding a serialized AB index.
+#[derive(Debug, PartialEq, Eq)]
+pub enum IoError {
+    /// Input does not start with the `ABIX` magic.
+    BadMagic,
+    /// Format version not understood by this build.
+    UnsupportedVersion(u16),
+    /// Input ended before a field completed.
+    Truncated,
+    /// A tag byte had no defined meaning.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::BadMagic => write!(f, "not an AB index (bad magic)"),
+            IoError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            IoError::Truncated => write!(f, "truncated input"),
+            IoError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            IoError::BadString => write!(f, "invalid UTF-8 in name"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+const MAGIC: &[u8; 4] = b"ABIX";
+const VERSION: u16 = 1;
+
+/// Serializes an [`AbIndex`] to bytes.
+pub fn to_bytes(index: &AbIndex) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + index.size_bytes());
+    out.extend_from_slice(MAGIC);
+    put_u16(&mut out, VERSION);
+    out.push(level_tag(index.level()));
+    put_u64(&mut out, index.num_rows() as u64);
+    put_u32(&mut out, index.attributes().len() as u32);
+    for a in index.attributes() {
+        put_u16(&mut out, a.name.len() as u16);
+        out.extend_from_slice(a.name.as_bytes());
+        put_u32(&mut out, a.cardinality);
+        put_u64(&mut out, a.offset as u64);
+    }
+    put_u32(&mut out, index.abs().len() as u32);
+    for ab in index.abs() {
+        put_u64(&mut out, ab.n_bits());
+        put_u32(&mut out, ab.k() as u32);
+        put_u64(&mut out, ab.inserted());
+        write_mapper(&mut out, ab.mapper());
+        write_family(&mut out, ab.family());
+        let words = ab.bits().words();
+        put_u64(&mut out, words.len() as u64);
+        for &w in words {
+            put_u64(&mut out, w);
+        }
+    }
+    out
+}
+
+/// Deserializes an [`AbIndex`] from bytes produced by [`to_bytes`].
+pub fn from_bytes(data: &[u8]) -> Result<AbIndex, IoError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(IoError::UnsupportedVersion(version));
+    }
+    let level = parse_level(r.u8()?)?;
+    let num_rows = r.u64()? as usize;
+    let attr_count = r.u32()? as usize;
+    // Each attribute record is at least 14 bytes; a count beyond the
+    // remaining input is corrupt. Checking before the reserve keeps a
+    // hostile header from forcing a huge allocation.
+    if attr_count > r.remaining() / 14 {
+        return Err(IoError::Truncated);
+    }
+    let mut attributes = Vec::with_capacity(attr_count);
+    for _ in 0..attr_count {
+        let name_len = r.u16()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| IoError::BadString)?
+            .to_owned();
+        let cardinality = r.u32()?;
+        let offset = r.u64()? as usize;
+        attributes.push(AttributeMeta {
+            name,
+            cardinality,
+            offset,
+        });
+    }
+    let ab_count = r.u32()? as usize;
+    // Each AB record is at least 33 bytes.
+    if ab_count > r.remaining() / 33 {
+        return Err(IoError::Truncated);
+    }
+    let mut abs = Vec::with_capacity(ab_count);
+    for _ in 0..ab_count {
+        let n_bits = r.u64()?;
+        let k = r.u32()? as usize;
+        if k == 0 {
+            return Err(IoError::BadTag(0));
+        }
+        let inserted = r.u64()?;
+        let mapper = read_mapper(&mut r)?;
+        let family = read_family(&mut r)?;
+        let word_count = r.u64()? as usize;
+        if word_count > r.remaining() / 8 || word_count != (n_bits as usize).div_ceil(64) {
+            return Err(IoError::Truncated);
+        }
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            words.push(r.u64()?);
+        }
+        let bits = BitVec::from_words(words, n_bits as usize);
+        if bits.is_empty() {
+            return Err(IoError::Truncated);
+        }
+        abs.push(ApproximateBitmap::from_parts(
+            bits, k, family, mapper, inserted,
+        ));
+    }
+    Ok(AbIndex::from_parts(level, abs, attributes, num_rows))
+}
+
+fn level_tag(level: Level) -> u8 {
+    match level {
+        Level::PerDataset => 0,
+        Level::PerAttribute => 1,
+        Level::PerColumn => 2,
+    }
+}
+
+fn parse_level(tag: u8) -> Result<Level, IoError> {
+    match tag {
+        0 => Ok(Level::PerDataset),
+        1 => Ok(Level::PerAttribute),
+        2 => Ok(Level::PerColumn),
+        t => Err(IoError::BadTag(t)),
+    }
+}
+
+fn kind_tag(kind: HashKind) -> u8 {
+    match kind {
+        HashKind::Rs => 0,
+        HashKind::Js => 1,
+        HashKind::Pjw => 2,
+        HashKind::Elf => 3,
+        HashKind::Bkdr => 4,
+        HashKind::Sdbm => 5,
+        HashKind::Djb => 6,
+        HashKind::Dek => 7,
+        HashKind::Ap => 8,
+        HashKind::Fnv => 9,
+        HashKind::MultiplyShift => 10,
+        HashKind::Circular => 11,
+    }
+}
+
+fn parse_kind(tag: u8) -> Result<HashKind, IoError> {
+    Ok(match tag {
+        0 => HashKind::Rs,
+        1 => HashKind::Js,
+        2 => HashKind::Pjw,
+        3 => HashKind::Elf,
+        4 => HashKind::Bkdr,
+        5 => HashKind::Sdbm,
+        6 => HashKind::Djb,
+        7 => HashKind::Dek,
+        8 => HashKind::Ap,
+        9 => HashKind::Fnv,
+        10 => HashKind::MultiplyShift,
+        11 => HashKind::Circular,
+        t => return Err(IoError::BadTag(t)),
+    })
+}
+
+fn write_mapper(out: &mut Vec<u8>, mapper: CellMapper) {
+    match mapper {
+        CellMapper::Shifted { shift } => {
+            out.push(0);
+            put_u32(out, shift);
+        }
+        CellMapper::RowOnly => {
+            out.push(1);
+            put_u32(out, 0);
+        }
+    }
+}
+
+fn read_mapper(r: &mut Reader<'_>) -> Result<CellMapper, IoError> {
+    let tag = r.u8()?;
+    let shift = r.u32()?;
+    match tag {
+        0 => Ok(CellMapper::Shifted { shift }),
+        1 => Ok(CellMapper::RowOnly),
+        t => Err(IoError::BadTag(t)),
+    }
+}
+
+fn write_family(out: &mut Vec<u8>, family: &HashFamily) {
+    match family {
+        HashFamily::Independent(kinds) => {
+            out.push(0);
+            put_u16(out, kinds.len() as u16);
+            for &k in kinds {
+                out.push(kind_tag(k));
+            }
+        }
+        HashFamily::Sha1Split => out.push(1),
+        HashFamily::DoubleHashing => out.push(2),
+        HashFamily::ColumnGroup { num_columns } => {
+            out.push(3);
+            put_u64(out, *num_columns);
+        }
+    }
+}
+
+fn read_family(r: &mut Reader<'_>) -> Result<HashFamily, IoError> {
+    match r.u8()? {
+        0 => {
+            let count = r.u16()? as usize;
+            if count == 0 {
+                return Err(IoError::BadTag(0));
+            }
+            let mut kinds = Vec::with_capacity(count);
+            for _ in 0..count {
+                kinds.push(parse_kind(r.u8()?)?);
+            }
+            Ok(HashFamily::Independent(kinds))
+        }
+        1 => Ok(HashFamily::Sha1Split),
+        2 => Ok(HashFamily::DoubleHashing),
+        3 => Ok(HashFamily::ColumnGroup {
+            num_columns: r.u64()?,
+        }),
+        t => Err(IoError::BadTag(t)),
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IoError> {
+        if self.pos + n > self.data.len() {
+            return Err(IoError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, IoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, IoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, IoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, IoError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AbConfig, Cell};
+    use bitmap::{BinnedColumn, BinnedTable};
+
+    fn sample_index(level: Level) -> AbIndex {
+        let t = BinnedTable::new(vec![
+            BinnedColumn::new("alpha", vec![0, 1, 2, 0, 1, 1, 0, 2], 3),
+            BinnedColumn::new("beta", vec![2, 0, 1, 1, 0, 1, 0, 2], 3),
+        ]);
+        AbIndex::build(&t, &AbConfig::new(level).with_alpha(8))
+    }
+
+    #[test]
+    fn roundtrip_all_levels() {
+        for level in [Level::PerDataset, Level::PerAttribute, Level::PerColumn] {
+            let idx = sample_index(level);
+            let bytes = to_bytes(&idx);
+            let back = from_bytes(&bytes).unwrap();
+            assert_eq!(back.level(), idx.level());
+            assert_eq!(back.num_rows(), idx.num_rows());
+            assert_eq!(back.attributes(), idx.attributes());
+            assert_eq!(back.abs().len(), idx.abs().len());
+            // Query equivalence on every cell.
+            for row in 0..8 {
+                for attr in 0..2 {
+                    for bin in 0..3 {
+                        assert_eq!(
+                            back.retrieve_cells(&[Cell::new(row, attr, bin)]),
+                            idx.retrieve_cells(&[Cell::new(row, attr, bin)]),
+                            "{level:?} cell ({row},{attr},{bin})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_families() {
+        use hashkit::HashFamily;
+        let t = BinnedTable::new(vec![BinnedColumn::new("x", vec![0, 1, 0, 1], 2)]);
+        for family in [
+            HashFamily::Sha1Split,
+            HashFamily::DoubleHashing,
+            HashFamily::ColumnGroup { num_columns: 0 },
+            HashFamily::default_independent(),
+        ] {
+            let cfg = AbConfig::new(Level::PerAttribute)
+                .with_alpha(8)
+                .with_family(family.clone());
+            let idx = AbIndex::build(&t, &cfg);
+            let back = from_bytes(&to_bytes(&idx)).unwrap();
+            assert_eq!(back.abs()[0].family(), idx.abs()[0].family());
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(from_bytes(b"NOPE....."), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = to_bytes(&sample_index(Level::PerAttribute));
+        for cut in [3, 7, 20, bytes.len() - 1] {
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = to_bytes(&sample_index(Level::PerAttribute));
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(IoError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(IoError::BadMagic.to_string().contains("magic"));
+        assert!(IoError::Truncated.to_string().contains("truncated"));
+        assert!(IoError::BadTag(7).to_string().contains("0x07"));
+    }
+}

@@ -1,0 +1,485 @@
+//! The three-level AB index over a binned table.
+//!
+//! [`AbIndex`] realizes paper contribution 4: the AB encoding applied
+//! at one of three resolutions —
+//!
+//! * **per data set** — one AB covers all `d·N` set bits, addressed by
+//!   `(row, global column)`;
+//! * **per attribute** — `d` ABs, each covering one attribute's `N`
+//!   set bits, addressed by `(row, bin)`;
+//! * **per column** — `Σ C_i` ABs, each covering one bin's rows,
+//!   addressed by `row` alone.
+//!
+//! All three answer the same cell test: *is bit `(row, bin-of-attr)`
+//! set in the equality-encoded bitmap table?*
+
+use crate::analysis::Level;
+use crate::config::AbConfig;
+use crate::encoding::ApproximateBitmap;
+use bitmap::BinnedTable;
+use hashkit::{CellMapper, HashFamily};
+use serde::{Deserialize, Serialize};
+
+/// Schema metadata for one attribute of the indexed table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeMeta {
+    /// Attribute name.
+    pub name: String,
+    /// Number of bins.
+    pub cardinality: u32,
+    /// Global column id of this attribute's bin 0.
+    pub offset: usize,
+}
+
+/// A complete approximate bitmap index.
+///
+/// # Examples
+///
+/// ```
+/// use ab::{AbConfig, AbIndex, Level};
+/// use bitmap::{BinnedColumn, BinnedTable};
+///
+/// let table = BinnedTable::new(vec![
+///     BinnedColumn::new("A", vec![0, 1, 2, 0], 3),
+///     BinnedColumn::new("B", vec![2, 2, 0, 1], 3),
+/// ]);
+/// let index = AbIndex::build(&table, &AbConfig::new(Level::PerAttribute).with_alpha(16));
+/// // Row 2 has A = bin 2: always found (no false negatives).
+/// assert!(index.test_cell(2, 0, 2));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AbIndex {
+    level: Level,
+    abs: Vec<ApproximateBitmap>,
+    attributes: Vec<AttributeMeta>,
+    num_rows: usize,
+}
+
+impl AbIndex {
+    /// Builds the index from a binned table under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.family` is [`HashFamily::ColumnGroup`] at the
+    /// per-column level (the paper restricts that hash to the coarser
+    /// levels), or if the table is empty.
+    pub fn build(table: &BinnedTable, config: &AbConfig) -> Self {
+        assert!(table.num_rows() > 0, "cannot index an empty table");
+        assert!(table.num_attributes() > 0, "table has no attributes");
+
+        let mut attributes = Vec::with_capacity(table.num_attributes());
+        let mut offset = 0usize;
+        for col in table.columns() {
+            attributes.push(AttributeMeta {
+                name: col.name.clone(),
+                cardinality: col.cardinality,
+                offset,
+            });
+            offset += col.cardinality as usize;
+        }
+        let total_columns = offset;
+        let num_rows = table.num_rows();
+
+        let abs = match config.level {
+            Level::PerDataset => {
+                let s = (num_rows * table.num_attributes()) as u64;
+                let params = config.sizing.params(s, config.k);
+                let family = adapt_family(&config.family, total_columns as u64, config.level);
+                let mapper = CellMapper::for_columns(total_columns);
+                let mut ab = ApproximateBitmap::new(params.n_bits, params.k, family, mapper);
+                for (a, col) in table.columns().iter().enumerate() {
+                    let base = attributes[a].offset as u64;
+                    for (row, &bin) in col.bins.iter().enumerate() {
+                        ab.insert(row as u64, base + bin as u64);
+                    }
+                }
+                vec![ab]
+            }
+            Level::PerAttribute => table
+                .columns()
+                .iter()
+                .map(|col| build_attribute_ab(col, config))
+                .collect(),
+            Level::PerColumn => {
+                assert!(
+                    !matches!(config.family, HashFamily::ColumnGroup { .. }),
+                    "the column-group hash is only defined for per-dataset \
+                     and per-attribute ABs (paper §5.2.2)"
+                );
+                table
+                    .columns()
+                    .iter()
+                    .flat_map(|col| build_column_abs(col, config))
+                    .collect()
+            }
+        };
+
+        AbIndex {
+            level: config.level,
+            abs,
+            attributes,
+            num_rows,
+        }
+    }
+
+    /// Builds the index using up to `threads` worker threads. The
+    /// per-attribute and per-column levels parallelize over their
+    /// independent ABs (one attribute per task); the per-dataset level
+    /// has a single AB and falls back to the sequential build. The
+    /// result is bit-identical to [`Self::build`].
+    ///
+    /// The paper assumes read-only scientific data (§4.1) where the
+    /// index is built once over millions of rows — construction is the
+    /// one embarrassingly parallel step.
+    pub fn build_parallel(table: &BinnedTable, config: &AbConfig, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        if threads == 1 || config.level == Level::PerDataset || table.num_attributes() <= 1 {
+            return Self::build(table, config);
+        }
+        if config.level == Level::PerColumn {
+            assert!(
+                !matches!(config.family, HashFamily::ColumnGroup { .. }),
+                "the column-group hash is only defined for per-dataset \
+                 and per-attribute ABs (paper §5.2.2)"
+            );
+        }
+
+        let mut attributes = Vec::with_capacity(table.num_attributes());
+        let mut offset = 0usize;
+        for col in table.columns() {
+            attributes.push(AttributeMeta {
+                name: col.name.clone(),
+                cardinality: col.cardinality,
+                offset,
+            });
+            offset += col.cardinality as usize;
+        }
+
+        let cols = table.columns();
+        let chunk = cols.len().div_ceil(threads);
+        let per_chunk: Vec<Vec<ApproximateBitmap>> = std::thread::scope(|s| {
+            let handles: Vec<_> = cols
+                .chunks(chunk)
+                .map(|chunk_cols| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for col in chunk_cols {
+                            match config.level {
+                                Level::PerAttribute => {
+                                    out.push(build_attribute_ab(col, config));
+                                }
+                                Level::PerColumn => {
+                                    out.extend(build_column_abs(col, config));
+                                }
+                                Level::PerDataset => unreachable!("handled above"),
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("builder thread panicked"))
+                .collect()
+        });
+
+        AbIndex {
+            level: config.level,
+            abs: per_chunk.into_iter().flatten().collect(),
+            attributes,
+            num_rows: table.num_rows(),
+        }
+    }
+
+    /// The encoding level of this index.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Number of rows covered.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of attributes covered.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute metadata, in global column order.
+    pub fn attributes(&self) -> &[AttributeMeta] {
+        &self.attributes
+    }
+
+    /// The underlying ABs (1, `d`, or `Σ C_i` of them).
+    pub fn abs(&self) -> &[ApproximateBitmap] {
+        &self.abs
+    }
+
+    /// Total AB storage in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.abs.iter().map(ApproximateBitmap::size_bytes).sum()
+    }
+
+    /// Tests whether row `row` (approximately) falls in `bin` of
+    /// `attribute` — the cell test of Figures 5/7. Never returns
+    /// `false` for a genuinely set cell; probes short-circuit on the
+    /// first zero bit.
+    #[inline]
+    pub fn test_cell(&self, row: usize, attribute: usize, bin: u32) -> bool {
+        let meta = &self.attributes[attribute];
+        assert!(
+            bin < meta.cardinality,
+            "bin {bin} out of range for attribute {attribute}"
+        );
+        assert!(
+            row < self.num_rows,
+            "row {row} out of range {}",
+            self.num_rows
+        );
+        match self.level {
+            Level::PerDataset => {
+                self.abs[0].contains(row as u64, (meta.offset + bin as usize) as u64)
+            }
+            Level::PerAttribute => self.abs[attribute].contains(row as u64, bin as u64),
+            Level::PerColumn => self.abs[meta.offset + bin as usize].contains(row as u64, 0),
+        }
+    }
+
+    /// Reassembles an index from stored pieces (deserialization).
+    pub(crate) fn from_parts(
+        level: Level,
+        abs: Vec<ApproximateBitmap>,
+        attributes: Vec<AttributeMeta>,
+        num_rows: usize,
+    ) -> Self {
+        AbIndex {
+            level,
+            abs,
+            attributes,
+            num_rows,
+        }
+    }
+
+    /// Average expected false-positive rate across the constituent
+    /// ABs, weighted by nothing (simple mean) — a quick quality probe.
+    pub fn expected_fp_rate(&self) -> f64 {
+        if self.abs.is_empty() {
+            return 0.0;
+        }
+        self.abs
+            .iter()
+            .map(ApproximateBitmap::expected_fp_rate)
+            .sum::<f64>()
+            / self.abs.len() as f64
+    }
+}
+
+/// Builds one attribute-level AB (`s = N` set bits).
+fn build_attribute_ab(col: &bitmap::BinnedColumn, config: &AbConfig) -> ApproximateBitmap {
+    let params = config.sizing.params(col.len() as u64, config.k);
+    let family = adapt_family(&config.family, col.cardinality as u64, Level::PerAttribute);
+    let mapper = CellMapper::for_columns(col.cardinality as usize);
+    let mut ab = ApproximateBitmap::new(params.n_bits, params.k, family, mapper);
+    for (row, &bin) in col.bins.iter().enumerate() {
+        ab.insert(row as u64, bin as u64);
+    }
+    ab
+}
+
+/// Builds one attribute's per-column ABs (one per bin, sized by the
+/// bin's set-bit count).
+fn build_column_abs(col: &bitmap::BinnedColumn, config: &AbConfig) -> Vec<ApproximateBitmap> {
+    let counts = col.bin_counts();
+    let mut bin_abs: Vec<ApproximateBitmap> = counts
+        .iter()
+        .map(|&s| {
+            let params = config.sizing.params(s.max(1) as u64, config.k);
+            ApproximateBitmap::new(
+                params.n_bits,
+                params.k,
+                config.family.clone(),
+                CellMapper::RowOnly,
+            )
+        })
+        .collect();
+    for (row, &bin) in col.bins.iter().enumerate() {
+        bin_abs[bin as usize].insert(row as u64, 0);
+    }
+    bin_abs
+}
+
+/// Instantiates the column-group family with the right group count for
+/// the level; other families pass through.
+fn adapt_family(family: &HashFamily, num_columns: u64, level: Level) -> HashFamily {
+    match family {
+        HashFamily::ColumnGroup { .. } => {
+            assert!(
+                level != Level::PerColumn,
+                "column-group hash invalid at per-column level"
+            );
+            HashFamily::ColumnGroup { num_columns }
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmap::BinnedColumn;
+
+    fn fig6_table() -> BinnedTable {
+        BinnedTable::new(vec![
+            BinnedColumn::new("A", vec![0, 1, 2, 0, 1, 1, 0, 2], 3),
+            BinnedColumn::new("B", vec![2, 0, 1, 1, 0, 1, 0, 2], 3),
+            BinnedColumn::new("C", vec![1, 1, 0, 2, 2, 0, 1, 0], 3),
+        ])
+    }
+
+    fn check_no_false_negatives(index: &AbIndex, table: &BinnedTable) {
+        for (a, col) in table.columns().iter().enumerate() {
+            for (row, &bin) in col.bins.iter().enumerate() {
+                assert!(
+                    index.test_cell(row, a, bin),
+                    "false negative at row {row}, attr {a}, bin {bin} ({:?})",
+                    index.level()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_levels_have_no_false_negatives() {
+        let t = fig6_table();
+        for level in [Level::PerDataset, Level::PerAttribute, Level::PerColumn] {
+            let idx = AbIndex::build(&t, &AbConfig::new(level).with_alpha(4));
+            check_no_false_negatives(&idx, &t);
+        }
+    }
+
+    #[test]
+    fn ab_counts_per_level() {
+        let t = fig6_table();
+        let d = AbIndex::build(&t, &AbConfig::new(Level::PerDataset));
+        let a = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute));
+        let c = AbIndex::build(&t, &AbConfig::new(Level::PerColumn));
+        assert_eq!(d.abs().len(), 1);
+        assert_eq!(a.abs().len(), 3);
+        assert_eq!(c.abs().len(), 9);
+    }
+
+    #[test]
+    fn large_alpha_gives_exact_answers_on_small_table() {
+        // With α = 64 on 8 rows, collisions are (almost) impossible;
+        // verify both positives and negatives against the table.
+        let t = fig6_table();
+        let idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(64));
+        let mut wrong = 0;
+        for (a, col) in t.columns().iter().enumerate() {
+            for (row, &bin) in col.bins.iter().enumerate() {
+                for b in 0..col.cardinality {
+                    let got = idx.test_cell(row, a, b);
+                    let want = b == bin;
+                    if got != want {
+                        assert!(got && !want, "false negative!");
+                        wrong += 1;
+                    }
+                }
+            }
+        }
+        assert!(wrong <= 2, "too many false positives at α=64: {wrong}");
+    }
+
+    #[test]
+    fn column_group_family_adapts_to_levels() {
+        let t = fig6_table();
+        let cfg = AbConfig::new(Level::PerDataset)
+            .with_alpha(8)
+            .with_family(HashFamily::ColumnGroup { num_columns: 0 });
+        let idx = AbIndex::build(&t, &cfg);
+        check_no_false_negatives(&idx, &t);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-dataset")]
+    fn column_group_rejected_at_per_column_level() {
+        let t = fig6_table();
+        let cfg =
+            AbConfig::new(Level::PerColumn).with_family(HashFamily::ColumnGroup { num_columns: 0 });
+        AbIndex::build(&t, &cfg);
+    }
+
+    #[test]
+    fn per_column_abs_sized_by_bin_counts() {
+        // Attribute with a heavily skewed bin: its AB must be larger.
+        let t = BinnedTable::new(vec![BinnedColumn::new(
+            "x",
+            (0..1000).map(|i| if i < 990 { 0 } else { 1 }).collect(),
+            2,
+        )]);
+        let idx = AbIndex::build(&t, &AbConfig::new(Level::PerColumn).with_alpha(4));
+        assert!(idx.abs()[0].n_bits() > idx.abs()[1].n_bits());
+    }
+
+    #[test]
+    fn size_bytes_sums_abs() {
+        let t = fig6_table();
+        let idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(4));
+        let total: usize = idx.abs().iter().map(|a| a.size_bytes()).sum();
+        assert_eq!(idx.size_bytes(), total);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn empty_table_rejected() {
+        AbIndex::build(&BinnedTable::new(vec![]), &AbConfig::new(Level::PerDataset));
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let t = BinnedTable::new(vec![
+            BinnedColumn::new("A", (0..500u32).map(|i| i % 7).collect(), 7),
+            BinnedColumn::new("B", (0..500u32).map(|i| (i * 3) % 5).collect(), 5),
+            BinnedColumn::new("C", (0..500u32).map(|i| (i * 11) % 4).collect(), 4),
+        ]);
+        for level in [Level::PerAttribute, Level::PerColumn] {
+            let cfg = AbConfig::new(level).with_alpha(8);
+            let seq = AbIndex::build(&t, &cfg);
+            for threads in [1usize, 2, 3, 8] {
+                let par = AbIndex::build_parallel(&t, &cfg, threads);
+                assert_eq!(par.abs().len(), seq.abs().len(), "{level} x{threads}");
+                for (a, b) in par.abs().iter().zip(seq.abs()) {
+                    assert_eq!(a.bits(), b.bits(), "{level} x{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_per_dataset_falls_back() {
+        let t = fig6_table();
+        let cfg = AbConfig::new(Level::PerDataset).with_alpha(8);
+        let seq = AbIndex::build(&t, &cfg);
+        let par = AbIndex::build_parallel(&t, &cfg, 4);
+        assert_eq!(par.abs()[0].bits(), seq.abs()[0].bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-dataset")]
+    fn parallel_rejects_column_group_at_per_column() {
+        let t = fig6_table();
+        let cfg =
+            AbConfig::new(Level::PerColumn).with_family(HashFamily::ColumnGroup { num_columns: 0 });
+        AbIndex::build_parallel(&t, &cfg, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn test_cell_validates_bin() {
+        let t = fig6_table();
+        let idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute));
+        idx.test_cell(0, 0, 3);
+    }
+}

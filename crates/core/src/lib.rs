@@ -1,0 +1,91 @@
+//! # Approximate Bitmap (AB) encoding
+//!
+//! A Rust reproduction of *Apaydin, Ferhatosmanoglu, Canahuate, Tosun —
+//! "Approximate Encoding for Direct Access and Query Processing over
+//! Compressed Bitmaps" (VLDB 2006)*.
+//!
+//! Run-length compressed bitmaps (WAH, BBC) answer full-column queries
+//! fast but lose *direct access*: testing "is bit (row, column) set?"
+//! requires scanning the compressed stream. The AB stores the set bits
+//! of a bitmap table in a Bloom-style hash-addressed bit array instead:
+//!
+//! * any cell — and therefore any subset of rows × columns — is tested
+//!   in O(k) bit probes (paper contribution 2: O(c) retrieval for a
+//!   c-cell subset);
+//! * **no false negatives** ever occur; false positives arrive at the
+//!   controllable rate `(1 − e^{−k/α})^k` where `α` is the number of
+//!   AB bits per set bit (§4.1);
+//! * the encoding applies at three levels — per data set, per
+//!   attribute, per column (§3.2) — with closed-form size trade-offs
+//!   (§4.2);
+//! * parameters follow either a maximum size or a minimum precision
+//!   (contribution 3).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ab::{AbConfig, AbPipeline, Level};
+//! use bitmap::{AttrRange, Column, RectQuery, Table};
+//!
+//! // A little sales table, physically ordered by date.
+//! let table = Table::new(vec![
+//!     Column::new("amount", (0..365).map(|d| (d * 37 % 100) as f64).collect()),
+//!     Column::new("region", (0..365).map(|d| (d % 4) as f64).collect()),
+//! ]);
+//!
+//! let pipeline = AbPipeline::builder(&table)
+//!     .bins(4)
+//!     .config(AbConfig::new(Level::PerAttribute).with_alpha(16))
+//!     .keep_exact(true)
+//!     .build();
+//!
+//! // "last week's rows where amount falls in the top bin"
+//! let q = RectQuery::new(vec![AttrRange::new(0, 3, 3)], 358, 364);
+//! let fast_approximate = pipeline.query_approx(&q); // 100% recall
+//! let exact = pipeline.query_exact(&q);             // pruned second step
+//! assert!(exact.iter().all(|r| fast_approximate.contains(r)));
+//! ```
+//!
+//! ## Module map
+//!
+//! | paper section | module |
+//! |---|---|
+//! | §3.1–3.2 insertion/encoding | [`encoding`] |
+//! | §3.2 levels | [`level`] |
+//! | §3.3 query processing (Figs 5, 7) | [`query`] |
+//! | §4 analysis (FP rate, sizing) | [`analysis`] |
+//! | §1 exact second step | [`exact`] |
+//! | contribution 3 parameter modes | [`config`] |
+//! | updates (future work in §7) | [`counting`] |
+//! | persistence | [`io`] |
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod blocked;
+pub mod bloom;
+pub mod builder;
+pub mod config;
+pub mod counting;
+pub mod encoding;
+pub mod exact;
+pub mod io;
+pub mod level;
+pub mod planner;
+pub mod query;
+
+pub use analysis::{
+    ab_bits, ab_size_bytes, alpha_for_precision, choose_level, fp_rate, fp_rate_exact, level_sizes,
+    optimal_k, precision, AbParams, Level, LevelSizes,
+};
+pub use blocked::BlockedAb;
+pub use bloom::BloomFilter;
+pub use builder::{AbPipeline, AbPipelineBuilder};
+pub use config::{AbConfig, Sizing};
+pub use counting::CountingAb;
+pub use encoding::ApproximateBitmap;
+pub use exact::{execute_exact, prune_false_positives, row_matches};
+pub use io::{from_bytes, to_bytes, IoError};
+pub use level::{AbIndex, AttributeMeta};
+pub use planner::{calibrate, plan, CostModel, Engine};
+pub use query::{Cell, PrecisionStats, QueryStats};

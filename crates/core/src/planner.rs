@@ -1,0 +1,186 @@
+//! Cost-based engine selection: AB vs WAH per query.
+//!
+//! Figure 14's lesson is operational: the AB wins while the queried
+//! row fraction is small and loses to WAH's flat full-column cost
+//! beyond a crossover. [`CostModel`] captures both costs (calibrated
+//! from measurements on the actual data), and [`plan`] picks the
+//! engine per query — turning the paper's observation ("executing a
+//! query that selects up to around 15% of the rows by using AB is
+//! still faster") into a planner rule with a data-derived threshold
+//! instead of a hard-coded 15%.
+
+use bitmap::RectQuery;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Which index answers a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Approximate Bitmap: O(rows queried), approximate (100% recall).
+    Ab,
+    /// WAH-compressed bitmaps: flat full-column cost, exact.
+    Wah,
+}
+
+/// Calibrated per-query cost estimates.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Mean cost of one WAH rectangular query (ms) — independent of
+    /// the row range.
+    pub wah_ms_per_query: f64,
+    /// Mean AB cost per (row × constrained attribute) probed (ms).
+    pub ab_ms_per_row_attr: f64,
+}
+
+impl CostModel {
+    /// Estimated AB cost for a query: rows × qdim probe groups.
+    pub fn ab_estimate_ms(&self, query: &RectQuery) -> f64 {
+        self.ab_ms_per_row_attr * query.num_rows() as f64 * query.qdim().max(1) as f64
+    }
+
+    /// Estimated WAH cost (flat).
+    pub fn wah_estimate_ms(&self, _query: &RectQuery) -> f64 {
+        self.wah_ms_per_query
+    }
+
+    /// The row count at which the engines break even for a query of
+    /// dimensionality `qdim` — the calibrated Figure 14 crossover.
+    pub fn crossover_rows(&self, qdim: usize) -> usize {
+        (self.wah_ms_per_query / (self.ab_ms_per_row_attr * qdim.max(1) as f64)).ceil() as usize
+    }
+}
+
+/// Chooses the cheaper engine under the model.
+pub fn plan(model: &CostModel, query: &RectQuery) -> Engine {
+    if model.ab_estimate_ms(query) <= model.wah_estimate_ms(query) {
+        Engine::Ab
+    } else {
+        Engine::Wah
+    }
+}
+
+/// Measures a cost model by timing `sample_queries` against both
+/// indexes (a few iterations each; intended to run once at load time).
+///
+/// # Panics
+///
+/// Panics if `sample_queries` is empty.
+pub fn calibrate(
+    ab: &crate::AbIndex,
+    wah: &wah_like::WahLike<'_>,
+    sample_queries: &[RectQuery],
+) -> CostModel {
+    assert!(!sample_queries.is_empty(), "need sample queries");
+    let t0 = Instant::now();
+    let mut row_attrs = 0usize;
+    for q in sample_queries {
+        std::hint::black_box(ab.execute_rect(q));
+        row_attrs += q.num_rows() * q.qdim().max(1);
+    }
+    let ab_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    for q in sample_queries {
+        wah.evaluate(q);
+    }
+    let wah_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    CostModel {
+        wah_ms_per_query: (wah_ms / sample_queries.len() as f64).max(1e-9),
+        ab_ms_per_row_attr: (ab_ms / row_attrs.max(1) as f64).max(1e-12),
+    }
+}
+
+/// A thin closure wrapper so the planner can calibrate against any WAH
+/// implementation without this crate depending on the `wah` crate
+/// (which sits above `ab` in the workspace graph).
+pub mod wah_like {
+    use bitmap::RectQuery;
+
+    /// An opaque "evaluate a rectangular query" callable.
+    pub struct WahLike<'a> {
+        eval: Box<dyn Fn(&RectQuery) + 'a>,
+    }
+
+    impl<'a> WahLike<'a> {
+        /// Wraps an evaluator closure (it should fully execute the
+        /// query and discard the result).
+        pub fn new<F: Fn(&RectQuery) + 'a>(eval: F) -> Self {
+            WahLike {
+                eval: Box::new(eval),
+            }
+        }
+
+        /// Runs the wrapped evaluator.
+        pub fn evaluate(&self, q: &RectQuery) {
+            (self.eval)(q)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmap::AttrRange;
+
+    fn model() -> CostModel {
+        CostModel {
+            wah_ms_per_query: 1.0,
+            ab_ms_per_row_attr: 0.001,
+        }
+    }
+
+    fn q(rows: usize) -> RectQuery {
+        RectQuery::new(vec![AttrRange::new(0, 0, 1)], 0, rows - 1)
+    }
+
+    #[test]
+    fn small_queries_go_to_ab() {
+        assert_eq!(plan(&model(), &q(100)), Engine::Ab);
+    }
+
+    #[test]
+    fn large_queries_go_to_wah() {
+        assert_eq!(plan(&model(), &q(10_000)), Engine::Wah);
+    }
+
+    #[test]
+    fn crossover_is_consistent_with_plan() {
+        let m = model();
+        let cross = m.crossover_rows(1);
+        assert_eq!(cross, 1000);
+        let q1 = RectQuery::new(vec![AttrRange::new(0, 0, 0)], 0, cross - 2);
+        let q2 = RectQuery::new(vec![AttrRange::new(0, 0, 0)], 0, cross * 2);
+        assert_eq!(plan(&m, &q1), Engine::Ab);
+        assert_eq!(plan(&m, &q2), Engine::Wah);
+    }
+
+    #[test]
+    fn higher_qdim_lowers_crossover() {
+        let m = model();
+        assert!(m.crossover_rows(4) < m.crossover_rows(1));
+    }
+
+    #[test]
+    fn calibrate_produces_positive_costs() {
+        use crate::{AbConfig, AbIndex, Level};
+        use bitmap::{BinnedColumn, BinnedTable, BitmapIndex, Encoding};
+        let t = BinnedTable::new(vec![BinnedColumn::new(
+            "x",
+            (0..2000u32).map(|i| i % 8).collect(),
+            8,
+        )]);
+        let ab = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(8));
+        let exact = BitmapIndex::build(&t, Encoding::Equality);
+        let wah = wah_like::WahLike::new(|q: &RectQuery| {
+            std::hint::black_box(exact.evaluate(q));
+        });
+        let samples: Vec<RectQuery> = (0..5)
+            .map(|i| RectQuery::new(vec![AttrRange::new(0, 0, 3)], i * 100, i * 100 + 199))
+            .collect();
+        let m = calibrate(&ab, &wah, &samples);
+        assert!(m.wah_ms_per_query > 0.0);
+        assert!(m.ab_ms_per_row_attr > 0.0);
+        assert!(m.crossover_rows(1) > 0);
+    }
+}

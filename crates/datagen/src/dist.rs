@@ -1,0 +1,159 @@
+//! Random value distributions for synthetic data sets.
+//!
+//! The experimental data sets (paper Table 3) are uniform (synthetic),
+//! skewed (HEP — high-energy physics events), and correlated (Landsat —
+//! SVD components of satellite imagery). This module provides the
+//! samplers those stand-ins are built from: uniform, Zipf, and Gaussian
+//! (Box–Muller, since only `rand`'s core API is available offline).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source shared by the generators; deterministic for
+/// reproducible experiments.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples a uniform `f64` in `[0, 1)`.
+pub fn uniform01<R: Rng>(rng: &mut R) -> f64 {
+    rng.gen::<f64>()
+}
+
+/// A Zipf sampler over `{0, 1, …, v−1}` with exponent `theta`: value
+/// `i` has probability proportional to `1 / (i+1)^theta`. Uses a
+/// precomputed CDF (cardinalities here are small), binary-searched per
+/// sample.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == 0` or `theta < 0`.
+    pub fn new(v: usize, theta: f64) -> Self {
+        assert!(v > 0, "support size must be positive");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(v);
+        let mut acc = 0.0;
+        for i in 0..v {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u = rng.gen::<f64>();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A standard-normal sampler via the Box–Muller transform; caches the
+/// second variate.
+#[derive(Clone, Debug, Default)]
+pub struct Gaussian {
+    cached: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates the sampler.
+    pub fn new() -> Self {
+        Gaussian { cached: None }
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms → two independent normals.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // avoid ln(0)
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<u32> = (0..5).map(|_| rng(42).gen()).collect();
+        let b: Vec<u32> = (0..5).map(|_| rng(42).gen()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(10, 1.0);
+        let mut r = rng(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // Head value dominates; tail value is rare.
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+        // All values appear.
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(5, 0.0);
+        let mut r = rng(2);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            let expected = 10_000.0;
+            assert!((c as f64 - expected).abs() < expected * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_frequencies_match_law() {
+        let z = Zipf::new(8, 1.0);
+        let mut r = rng(3);
+        let n = 100_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // P(0)/P(3) should be ≈ 4.
+        let ratio = counts[0] as f64 / counts[3] as f64;
+        assert!((ratio - 4.0).abs() < 0.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut g = Gaussian::new();
+        let mut r = rng(4);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zipf_rejects_empty_support() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic data and queries for the AB reproduction.
+//!
+//! * [`dist`] — uniform / Zipf / Gaussian samplers.
+//! * [`datasets`] — the paper's three data sets (Table 3): the exact
+//!   Uniform reconstruction and distribution-matched HEP / Landsat
+//!   stand-ins, all equi-depth binned.
+//! * [`query_gen`] — the sampling query generator of §5.3 (Table 7):
+//!   anchored rectangular queries with a guaranteed non-empty exact
+//!   answer.
+//! * [`zorder`] — the intro's space-filling-curve row mapping for
+//!   spatial workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use datagen::{datasets, query_gen};
+//!
+//! let ds = datasets::small_uniform(2000, 3, 10, 42);
+//! let params = query_gen::QueryGenParams::paper_default(&ds.binned, 200, 1);
+//! let queries = query_gen::generate(&ds.binned, &params);
+//! assert_eq!(queries.len(), 100);
+//! assert!(queries.iter().all(|q| q.num_rows() == 200));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod dist;
+pub mod query_gen;
+pub mod zorder;
+
+pub use datasets::{
+    hep_like, landsat_like, paper_datasets, rebin, small_uniform, uniform_dataset, Dataset,
+};
+pub use dist::{rng, Gaussian, Zipf};
+pub use query_gen::{generate, QueryGenParams};

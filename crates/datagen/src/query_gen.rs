@@ -1,0 +1,255 @@
+//! The sampling query generator of paper §5.3 (Table 7).
+//!
+//! Queries are anchored at sampled rows so the exact answer is never
+//! empty (required for meaningful precision measurements: "if the
+//! number of actual query results is 0, the precision of the AB would
+//! always be 0"). Parameters:
+//!
+//! * `num_queries` (paper `q`, set to 100),
+//! * `qdim` — number of constrained attributes,
+//! * `sel` — fraction of each attribute's cardinality forming the bin
+//!   interval,
+//! * `r` — fraction of rows forming the row range.
+//!
+//! For each query: sample a row `r_j`; pick `qdim` distinct random
+//! attributes; each interval starts at `r_j`'s bin (`l_i = bin(A_i,
+//! r_j)`) and spans `sel·C_i` bins; the row range spans `r·N` rows and
+//! is positioned randomly subject to containing `r_j`, preserving the
+//! at-least-one-match guarantee.
+
+use bitmap::{AttrRange, BinnedTable, RectQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the query generator (paper Table 7).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryGenParams {
+    /// Number of queries to generate (paper: 100).
+    pub num_queries: usize,
+    /// Query dimensionality (constrained attributes).
+    pub qdim: usize,
+    /// Attribute selectivity: fraction of the cardinality per interval.
+    pub sel: f64,
+    /// Fraction of rows in the row range.
+    pub r: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QueryGenParams {
+    /// The experimental workhorse (§5.4): 2-dimensional queries of 4
+    /// bins per attribute, targeting `rows` rows out of `n`.
+    pub fn paper_default(table: &BinnedTable, rows: usize, seed: u64) -> Self {
+        let card = table.column(0).cardinality as f64;
+        QueryGenParams {
+            num_queries: 100,
+            qdim: 2.min(table.num_attributes()),
+            sel: (4.0 / card).min(1.0),
+            r: rows as f64 / table.num_rows() as f64,
+            seed,
+        }
+    }
+}
+
+/// Generates `params.num_queries` rectangular queries over `table`.
+///
+/// Every query's exact answer contains at least the anchor row.
+///
+/// # Panics
+///
+/// Panics if `qdim` exceeds the attribute count, `sel`/`r` are outside
+/// `(0, 1]`, or the table is empty.
+pub fn generate(table: &BinnedTable, params: &QueryGenParams) -> Vec<RectQuery> {
+    let n = table.num_rows();
+    let d = table.num_attributes();
+    assert!(n > 0, "empty table");
+    assert!(
+        params.qdim >= 1 && params.qdim <= d,
+        "qdim {} out of range 1..={d}",
+        params.qdim
+    );
+    assert!(
+        params.sel > 0.0 && params.sel <= 1.0,
+        "sel must be in (0,1], got {}",
+        params.sel
+    );
+    assert!(
+        params.r > 0.0 && params.r <= 1.0,
+        "r must be in (0,1], got {}",
+        params.r
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.num_queries)
+        .map(|_| one_query(table, params, &mut rng))
+        .collect()
+}
+
+fn one_query(table: &BinnedTable, params: &QueryGenParams, rng: &mut StdRng) -> RectQuery {
+    let n = table.num_rows();
+    let d = table.num_attributes();
+    let anchor = rng.gen_range(0..n);
+
+    // qdim distinct attributes by partial Fisher–Yates.
+    let mut attrs: Vec<usize> = (0..d).collect();
+    for i in 0..params.qdim {
+        let j = rng.gen_range(i..d);
+        attrs.swap(i, j);
+    }
+    attrs.truncate(params.qdim);
+    attrs.sort_unstable();
+
+    let ranges = attrs
+        .into_iter()
+        .map(|a| {
+            let col = table.column(a);
+            let c = col.cardinality;
+            let lo = col.bins[anchor];
+            let width = ((params.sel * c as f64).round() as u32).max(1);
+            let hi = (lo + width - 1).min(c - 1);
+            AttrRange::new(a, lo, hi)
+        })
+        .collect();
+
+    // Row range of span r·N containing the anchor.
+    let span = ((params.r * n as f64).round() as usize).clamp(1, n);
+    let lo_min = anchor.saturating_sub(span - 1);
+    let lo_max = anchor.min(n - span);
+    let row_lo = if lo_min >= lo_max {
+        lo_min.min(lo_max)
+    } else {
+        rng.gen_range(lo_min..=lo_max)
+    };
+    let row_hi = (row_lo + span - 1).min(n - 1);
+    debug_assert!((row_lo..=row_hi).contains(&anchor));
+    RectQuery::new(ranges, row_lo, row_hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::small_uniform;
+    use bitmap::{BitmapIndex, Encoding};
+
+    fn table() -> BinnedTable {
+        small_uniform(5000, 4, 10, 3).binned
+    }
+
+    #[test]
+    fn generates_requested_count_and_shape() {
+        let t = table();
+        let p = QueryGenParams {
+            num_queries: 25,
+            qdim: 2,
+            sel: 0.4,
+            r: 0.1,
+            seed: 11,
+        };
+        let qs = generate(&t, &p);
+        assert_eq!(qs.len(), 25);
+        let mut full_width = 0;
+        for q in &qs {
+            assert_eq!(q.qdim(), 2);
+            // span = 10% of 5000 = 500 rows
+            assert_eq!(q.num_rows(), 500);
+            for r in &q.ranges {
+                // 0.4 × 10 bins, clamped at the top of the domain per
+                // the paper's u_i = min(l_i + sel·C_i, C_i).
+                assert!(r.width() <= 4 && r.width() >= 1);
+                if r.width() == 4 {
+                    full_width += 1;
+                }
+            }
+        }
+        assert!(full_width > 20, "most intervals should be unclamped");
+    }
+
+    #[test]
+    fn every_query_has_a_match() {
+        let t = table();
+        let exact = BitmapIndex::build(&t, Encoding::Equality);
+        let p = QueryGenParams {
+            num_queries: 50,
+            qdim: 3,
+            sel: 0.2,
+            r: 0.02,
+            seed: 5,
+        };
+        for (i, q) in generate(&t, &p).iter().enumerate() {
+            assert!(
+                !exact.evaluate_rows(q).is_empty(),
+                "query {i} has an empty exact answer: {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_default_targets_row_count() {
+        let t = table();
+        let p = QueryGenParams::paper_default(&t, 500, 1);
+        assert_eq!(p.qdim, 2);
+        assert!((p.sel - 0.4).abs() < 1e-12);
+        let qs = generate(&t, &p);
+        assert!(qs.iter().all(|q| q.num_rows() == 500));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = table();
+        let p = QueryGenParams {
+            num_queries: 10,
+            qdim: 1,
+            sel: 0.3,
+            r: 0.5,
+            seed: 99,
+        };
+        assert_eq!(generate(&t, &p), generate(&t, &p));
+    }
+
+    #[test]
+    fn full_row_range_supported() {
+        let t = table();
+        let p = QueryGenParams {
+            num_queries: 5,
+            qdim: 1,
+            sel: 1.0,
+            r: 1.0,
+            seed: 2,
+        };
+        for q in generate(&t, &p) {
+            assert_eq!((q.row_lo, q.row_hi), (0, 4999));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "qdim")]
+    fn qdim_validation() {
+        let t = table();
+        generate(
+            &t,
+            &QueryGenParams {
+                num_queries: 1,
+                qdim: 9,
+                sel: 0.5,
+                r: 0.5,
+                seed: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn distinct_attributes_chosen() {
+        let t = table();
+        let p = QueryGenParams {
+            num_queries: 40,
+            qdim: 4,
+            sel: 0.2,
+            r: 0.1,
+            seed: 13,
+        };
+        for q in generate(&t, &p) {
+            let mut attrs: Vec<usize> = q.ranges.iter().map(|r| r.attribute).collect();
+            attrs.dedup();
+            assert_eq!(attrs.len(), 4, "duplicate attributes in {q:?}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Z-order (Morton) space-filling curve mapping.
+//!
+//! The paper's introduction motivates row-subset queries with spatial
+//! data: "we could map the x, y, and z coordinates of a data point to
+//! a single integer by using a well-known mapping function or a
+//! space-filling curve and physically order the points by three
+//! attributes at the same time. When users ask for a particular
+//! region, a small cube within the data space, we can map all the
+//! points in the query to their index and evaluate the query
+//! conditions over the resulting rows." This module provides that
+//! mapping for 2-D and 3-D grids, plus the region → row-id expansion
+//! used by `examples/spatial_viz.rs`.
+
+/// Interleaves the low 32 bits of `x` with zeros (one gap bit).
+fn spread2(x: u64) -> u64 {
+    let mut x = x & 0xFFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread2`].
+fn squash2(x: u64) -> u64 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x
+}
+
+/// Interleaves the low 21 bits of `x` with two gap bits.
+fn spread3(x: u64) -> u64 {
+    let mut x = x & 0x1F_FFFF;
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`spread3`].
+fn squash3(x: u64) -> u64 {
+    let mut x = x & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x0000_0000_001F_FFFF;
+    x
+}
+
+/// Maps 2-D coordinates to their Morton code (row identifier).
+pub fn encode2(x: u32, y: u32) -> u64 {
+    spread2(x as u64) | (spread2(y as u64) << 1)
+}
+
+/// Inverse of [`encode2`].
+pub fn decode2(z: u64) -> (u32, u32) {
+    (squash2(z) as u32, squash2(z >> 1) as u32)
+}
+
+/// Maps 3-D coordinates (each < 2²¹) to their Morton code.
+///
+/// # Panics
+///
+/// Panics if any coordinate needs more than 21 bits.
+pub fn encode3(x: u32, y: u32, z: u32) -> u64 {
+    assert!(
+        x < (1 << 21) && y < (1 << 21) && z < (1 << 21),
+        "3-D Morton coordinates must fit in 21 bits"
+    );
+    spread3(x as u64) | (spread3(y as u64) << 1) | (spread3(z as u64) << 2)
+}
+
+/// Inverse of [`encode3`].
+pub fn decode3(m: u64) -> (u32, u32, u32) {
+    (
+        squash3(m) as u32,
+        squash3(m >> 1) as u32,
+        squash3(m >> 2) as u32,
+    )
+}
+
+/// Enumerates the row identifiers of every point inside a 2-D
+/// rectangle `[x0, x1] × [y0, y1]`, sorted ascending — the "map all
+/// the points in the query to their index" step of the intro's
+/// visualization scenario.
+pub fn region_rows2(x0: u32, x1: u32, y0: u32, y1: u32) -> Vec<u64> {
+    assert!(x0 <= x1 && y0 <= y1, "empty region");
+    let mut rows = Vec::with_capacity(((x1 - x0 + 1) * (y1 - y0 + 1)) as usize);
+    for x in x0..=x1 {
+        for y in y0..=y1 {
+            rows.push(encode2(x, y));
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode2_known_values() {
+        assert_eq!(encode2(0, 0), 0);
+        assert_eq!(encode2(1, 0), 1);
+        assert_eq!(encode2(0, 1), 2);
+        assert_eq!(encode2(1, 1), 3);
+        assert_eq!(encode2(2, 0), 4);
+        assert_eq!(encode2(7, 7), 63);
+    }
+
+    #[test]
+    fn roundtrip2() {
+        for x in [0u32, 1, 2, 255, 1000, u32::MAX] {
+            for y in [0u32, 3, 77, 65535, u32::MAX] {
+                assert_eq!(decode2(encode2(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip3() {
+        for x in [0u32, 1, 1023, (1 << 21) - 1] {
+            for y in [0u32, 7, 2000] {
+                for z in [0u32, 5, 99999] {
+                    assert_eq!(decode3(encode3(x, y, z)), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode2_is_injective_on_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..32 {
+            for y in 0..32 {
+                assert!(seen.insert(encode2(x, y)));
+            }
+        }
+    }
+
+    #[test]
+    fn locality_within_aligned_quads() {
+        // An aligned 2×2 quad occupies 4 consecutive codes.
+        let base = encode2(4, 6);
+        let codes = [encode2(4, 6), encode2(5, 6), encode2(4, 7), encode2(5, 7)];
+        let max = *codes.iter().max().unwrap();
+        assert_eq!(max - base, 3);
+    }
+
+    #[test]
+    fn region_rows_sorted_and_complete() {
+        let rows = region_rows2(2, 5, 3, 4);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        for &r in &rows {
+            let (x, y) = decode2(r);
+            assert!((2..=5).contains(&x) && (3..=4).contains(&y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "21 bits")]
+    fn encode3_rejects_wide_coords() {
+        encode3(1 << 21, 0, 0);
+    }
+}

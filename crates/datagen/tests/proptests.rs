@@ -1,0 +1,76 @@
+//! Property tests for the data and query generators.
+
+use bitmap::{BitmapIndex, Encoding};
+use datagen::{generate, small_uniform, QueryGenParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The §5.3 guarantee: every generated query has a non-empty exact
+    /// answer, across the whole parameter space.
+    #[test]
+    fn queries_always_match_at_least_one_row(
+        rows in 50usize..800,
+        attrs in 1usize..4,
+        bins in 2u32..12,
+        qdim_seed in 0usize..8,
+        sel in 0.05f64..1.0,
+        r in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let ds = small_uniform(rows, attrs, bins, seed);
+        let exact = BitmapIndex::build(&ds.binned, Encoding::Equality);
+        let params = QueryGenParams {
+            num_queries: 5,
+            qdim: qdim_seed % attrs + 1,
+            sel,
+            r,
+            seed,
+        };
+        for q in generate(&ds.binned, &params) {
+            prop_assert!(!exact.evaluate_rows(&q).is_empty(), "empty answer for {:?}", q);
+        }
+    }
+
+    /// Generated row ranges respect the requested fraction.
+    #[test]
+    fn row_ranges_have_requested_span(rows in 100usize..1000, r in 0.01f64..1.0,
+                                      seed in any::<u64>()) {
+        let ds = small_uniform(rows, 2, 5, seed);
+        let params = QueryGenParams { num_queries: 5, qdim: 1, sel: 0.5, r, seed };
+        let span = ((r * rows as f64).round() as usize).clamp(1, rows);
+        for q in generate(&ds.binned, &params) {
+            prop_assert!(q.num_rows() <= span);
+            prop_assert!(q.row_hi < rows);
+        }
+    }
+
+    /// Dataset generation is a pure function of (scale, seed).
+    #[test]
+    fn datasets_deterministic(seed in any::<u64>()) {
+        let a = small_uniform(300, 2, 8, seed);
+        let b = small_uniform(300, 2, 8, seed);
+        prop_assert_eq!(a.binned, b.binned);
+    }
+
+    /// Z-order round trips arbitrary coordinates.
+    #[test]
+    fn zorder_roundtrip(x in any::<u32>(), y in any::<u32>()) {
+        let (gx, gy) = datagen::zorder::decode2(datagen::zorder::encode2(x, y));
+        prop_assert_eq!((gx, gy), (x, y));
+    }
+
+    /// Z-order is monotone within rows of an aligned power-of-two grid
+    /// block (locality sanity).
+    #[test]
+    fn zorder_block_locality(bx in 0u32..256, by in 0u32..256) {
+        // 4-aligned 4x4 block occupies 16 consecutive codes.
+        let (x0, y0) = (bx * 4, by * 4);
+        let mut codes: Vec<u64> = (0..4)
+            .flat_map(|dx| (0..4).map(move |dy| datagen::zorder::encode2(x0 + dx, y0 + dy)))
+            .collect();
+        codes.sort_unstable();
+        prop_assert_eq!(codes[15] - codes[0], 15);
+    }
+}

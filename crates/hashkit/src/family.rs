@@ -1,0 +1,516 @@
+//! Hash families: how a bitmap-table cell becomes k positions in an AB.
+//!
+//! The AB insertion/retrieval algorithms (paper Figures 3 and 5) factor
+//! into two pieces:
+//!
+//! 1. a **cell mapper** `F(i, j)` building the hash string `x` from the
+//!    row and column number (§3.2.1), and
+//! 2. a **hash family** producing `k` bit positions in `[0, n)` from
+//!    `x` (or, for the column-group hash, from the cell directly).
+//!
+//! Both are first-class values here so the experiments of Figure 10 can
+//! swap them freely.
+
+use crate::partow::{
+    ap_hash, bkdr_hash, decimal_key_bytes, dek_hash, djb_hash, elf_hash, fnv_hash, js_hash,
+    pjw_hash, rs_hash, sdbm_hash, splitmix64,
+};
+use crate::sha1::DigestStream;
+use crate::simple::multiply_shift;
+use serde::{Deserialize, Serialize};
+
+/// The hash string mapping function `x = F(i, j)` (paper §3.2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellMapper {
+    /// `x = (row << shift) | col` — used for one AB per data set or per
+    /// attribute. `shift` (the paper's user-defined offset `w`) must be
+    /// large enough to accommodate every column id, making `x` unique.
+    Shifted {
+        /// Bit offset for the row; column ids occupy the low `shift` bits.
+        shift: u32,
+    },
+    /// `x = row` — used for one AB per column, where the column is
+    /// already implied by which AB is addressed.
+    RowOnly,
+}
+
+impl CellMapper {
+    /// A `Shifted` mapper wide enough for `num_columns` global column
+    /// ids.
+    pub fn for_columns(num_columns: usize) -> Self {
+        let shift = usize::BITS - num_columns.max(1).leading_zeros();
+        CellMapper::Shifted { shift }
+    }
+
+    /// Computes the hash string for a cell.
+    #[inline]
+    pub fn map(&self, row: u64, col: u64) -> u64 {
+        match *self {
+            CellMapper::Shifted { shift } => {
+                debug_assert!(
+                    shift == 0 || col < (1 << shift),
+                    "column id overflows shift"
+                );
+                (row << shift) | col
+            }
+            CellMapper::RowOnly => row,
+        }
+    }
+}
+
+/// One general-purpose hash function, dispatchable by value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HashKind {
+    /// Robert Sedgewick's hash.
+    Rs,
+    /// Justin Sobel's bitwise hash.
+    Js,
+    /// Peter J. Weinberger's hash (weak on short keys — see Fig 10a).
+    Pjw,
+    /// The Unix ELF-format hash (PJW variant).
+    Elf,
+    /// Kernighan & Ritchie's multiplicative hash.
+    Bkdr,
+    /// The sdbm library hash.
+    Sdbm,
+    /// Daniel J. Bernstein's times-33 hash.
+    Djb,
+    /// Donald Knuth's shift-xor hash.
+    Dek,
+    /// Arash Partow's alternating hash.
+    Ap,
+    /// FNV-1a (64-bit).
+    Fnv,
+    /// Multiply-shift over the full 64-bit key.
+    MultiplyShift,
+    /// Circular hash `x mod n` (paper §5.2.2).
+    Circular,
+}
+
+impl HashKind {
+    /// All string-style kinds, in the roster order used to assemble
+    /// default independent families.
+    pub const ROSTER: [HashKind; 10] = [
+        HashKind::Bkdr,
+        HashKind::Djb,
+        HashKind::Sdbm,
+        HashKind::Fnv,
+        HashKind::Ap,
+        HashKind::Rs,
+        HashKind::Js,
+        HashKind::Dek,
+        HashKind::Elf,
+        HashKind::Pjw,
+    ];
+
+    /// Hashes the integer key `x` to a full-width value (reduce mod the
+    /// AB size afterwards). String-style kinds hash the decimal ASCII
+    /// form of `x` — see [`decimal_key_bytes`] for why.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let (bytes, len) = decimal_key_bytes(x);
+        self.hash_bytes(&bytes[..len], x)
+    }
+
+    /// Hashes a pre-encoded key (`key` is the string form of `x`; the
+    /// raw integer is still needed for the integer-native kinds).
+    #[inline]
+    pub fn hash_bytes(&self, key: &[u8], x: u64) -> u64 {
+        match self {
+            HashKind::Rs => rs_hash(key),
+            HashKind::Js => js_hash(key),
+            HashKind::Pjw => pjw_hash(key),
+            HashKind::Elf => elf_hash(key),
+            HashKind::Bkdr => bkdr_hash(key),
+            HashKind::Sdbm => sdbm_hash(key),
+            HashKind::Djb => djb_hash(key),
+            HashKind::Dek => dek_hash(key),
+            HashKind::Ap => ap_hash(key),
+            HashKind::Fnv => fnv_hash(key),
+            HashKind::MultiplyShift => multiply_shift(x, 64),
+            HashKind::Circular => x,
+        }
+    }
+}
+
+/// A complete strategy turning a cell into `k` AB bit positions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HashFamily {
+    /// `k` independent functions (paper §5.2.2): the t-th probe is
+    /// `kinds[t % kinds.len()](x ⊕ seed_t) mod n`, where `seed_0 = 0`
+    /// keeps the first probe equal to the raw library function and the
+    /// later seeds decorrelate reused kinds when `k > kinds.len()`.
+    Independent(
+        /// The function roster to cycle through.
+        Vec<HashKind>,
+    ),
+    /// Single SHA-1 digest split into `k` partial values (paper
+    /// §5.2.1, Table 1).
+    Sha1Split,
+    /// Kirsch–Mitzenmacher double hashing: probe t is
+    /// `h1(x) + t·h2(x) mod n`, with splitmix-derived h1/h2. Two mixes
+    /// regardless of `k` — the cheap alternative the paper's "single
+    /// hash function" motivation anticipates.
+    DoubleHashing,
+    /// Column-group hash (paper §5.2.2): the AB splits into one group
+    /// per bitmap column; probe t perturbs the in-group offset by
+    /// double hashing so `k > 1` stays within the cell's group. Only
+    /// valid with [`CellMapper::Shifted`] levels (the column matters).
+    ColumnGroup {
+        /// Total number of bitmap columns covered by the AB.
+        num_columns: u64,
+    },
+}
+
+impl HashFamily {
+    /// The default family used throughout the experiments: the
+    /// independent Partow roster.
+    pub fn default_independent() -> Self {
+        HashFamily::Independent(HashKind::ROSTER.to_vec())
+    }
+
+    /// Computes the `k` bit positions of a cell in an AB of `n` bits
+    /// and appends them to `out` (cleared first).
+    ///
+    /// `row`/`col` are the bitmap-table coordinates; `mapper` builds
+    /// the hash string for string-based families.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    pub fn positions(
+        &self,
+        row: u64,
+        col: u64,
+        mapper: CellMapper,
+        k: usize,
+        n: u64,
+        out: &mut Vec<u64>,
+    ) {
+        assert!(k > 0, "need at least one hash function");
+        out.clear();
+        let mut prober = self.prober(row, col, mapper, n);
+        for _ in 0..k {
+            out.push(prober.next_position());
+        }
+        debug_assert!(out.iter().all(|&p| p < n));
+    }
+
+    /// Prepares the incremental probe sequence for one cell: the
+    /// per-cell work (mapping, key encoding, digest, stride derivation)
+    /// happens once here, and [`Prober::next_position`] then yields the
+    /// t-th position on demand. This is what lets the retrieval
+    /// algorithm (paper Figure 5) break at the first zero bit without
+    /// paying for the remaining k−1 hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (and, for the column-group family, if the
+    /// column is out of range).
+    pub fn prober(&self, row: u64, col: u64, mapper: CellMapper, n: u64) -> Prober<'_> {
+        assert!(n > 0, "AB size must be positive");
+        let state = match self {
+            HashFamily::Independent(kinds) => {
+                assert!(!kinds.is_empty(), "empty hash roster");
+                let x = mapper.map(row, col);
+                // One key encoding covers every unseeded probe.
+                let (bytes, len) = decimal_key_bytes(x);
+                ProbeState::Independent {
+                    kinds,
+                    x,
+                    bytes,
+                    len,
+                }
+            }
+            HashFamily::Sha1Split => {
+                let x = mapper.map(row, col);
+                // Chunk width: enough bits to cover n, as in Table 1
+                // where a 2^16-bit AB uses 16-bit chunks.
+                let m = (64 - (n - 1).leading_zeros().min(63)).max(1);
+                ProbeState::Sha1 {
+                    stream: DigestStream::new(x),
+                    m,
+                }
+            }
+            HashFamily::DoubleHashing => {
+                let x = mapper.map(row, col);
+                ProbeState::Double {
+                    h1: splitmix64(x),
+                    h2: splitmix64(x ^ 0x5851_F42D_4C95_7F2D) | 1, // odd stride
+                }
+            }
+            HashFamily::ColumnGroup { num_columns } => {
+                assert!(*num_columns > 0, "column count must be positive");
+                assert!(
+                    col < *num_columns,
+                    "column {col} out of range {num_columns}"
+                );
+                let group_size = (n / num_columns).max(1);
+                ProbeState::ColumnGroup {
+                    row,
+                    group_size,
+                    group_start: (col * group_size).min(n - 1),
+                    h2: splitmix64(row) | 1,
+                }
+            }
+        };
+        let pow2_mask = if n.is_power_of_two() { n - 1 } else { 0 };
+        Prober {
+            state,
+            n,
+            pow2_mask,
+            t: 0,
+        }
+    }
+}
+
+/// Per-probe state for one family (see [`HashFamily::prober`]).
+enum ProbeState<'f> {
+    Independent {
+        kinds: &'f [HashKind],
+        x: u64,
+        bytes: [u8; 20],
+        len: usize,
+    },
+    Sha1 {
+        stream: DigestStream,
+        m: u32,
+    },
+    Double {
+        h1: u64,
+        h2: u64,
+    },
+    ColumnGroup {
+        row: u64,
+        group_size: u64,
+        group_start: u64,
+        h2: u64,
+    },
+}
+
+/// Lazily yields the probe positions of one cell in increasing probe
+/// order. Created by [`HashFamily::prober`].
+pub struct Prober<'f> {
+    state: ProbeState<'f>,
+    n: u64,
+    /// `n − 1` when `n` is a power of two (the paper always rounds AB
+    /// sizes up to powers of two, §4.2, so reduction is a mask, not a
+    /// division), else 0 meaning "use modulo".
+    pow2_mask: u64,
+    t: u64,
+}
+
+impl Prober<'_> {
+    /// The next probe position, in `[0, n)`. The sequence is unbounded;
+    /// callers take the first `k`.
+    #[inline]
+    pub fn next_position(&mut self) -> u64 {
+        let t = self.t;
+        self.t += 1;
+        match &mut self.state {
+            ProbeState::Independent {
+                kinds,
+                x,
+                bytes,
+                len,
+            } => {
+                let h = if (t as usize) < kinds.len() {
+                    kinds[t as usize].hash_bytes(&bytes[..*len], *x)
+                } else {
+                    // Roster exhausted: decorrelate the reused kind
+                    // with a per-probe seed.
+                    kinds[t as usize % kinds.len()].hash(*x ^ splitmix64(t))
+                };
+                self.reduce_hash(h)
+            }
+            ProbeState::Sha1 { stream, m } => {
+                let h = stream.take(*m);
+                self.reduce_hash(h)
+            }
+            ProbeState::Double { h1, h2 } => {
+                let h = h1.wrapping_add(t.wrapping_mul(*h2));
+                self.reduce_hash(h)
+            }
+            ProbeState::ColumnGroup {
+                row,
+                group_size,
+                group_start,
+                h2,
+            } => {
+                let off = row.wrapping_add(t.wrapping_mul(*h2)) % *group_size;
+                (*group_start + off).min(self.n - 1)
+            }
+        }
+    }
+}
+
+impl Prober<'_> {
+    /// Reduces a full-width hash into `[0, n)`.
+    #[inline]
+    fn reduce_hash(&self, h: u64) -> u64 {
+        if self.pow2_mask != 0 {
+            h & self.pow2_mask
+        } else {
+            h % self.n
+        }
+    }
+}
+
+impl Iterator for Prober<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_position())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions(family: &HashFamily, row: u64, col: u64, k: usize, n: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        family.positions(row, col, CellMapper::for_columns(16), k, n, &mut out);
+        out
+    }
+
+    #[test]
+    fn cell_mapper_shifted_is_injective() {
+        let m = CellMapper::for_columns(100); // shift = 7
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..50u64 {
+            for col in 0..100u64 {
+                assert!(seen.insert(m.map(row, col)), "collision at ({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_mapper_row_only_ignores_column() {
+        let m = CellMapper::RowOnly;
+        assert_eq!(m.map(7, 0), m.map(7, 5));
+        assert_eq!(m.map(7, 0), 7);
+    }
+
+    #[test]
+    fn for_columns_shift_accommodates_ids() {
+        // 100 columns need 7 bits.
+        assert_eq!(
+            CellMapper::for_columns(100),
+            CellMapper::Shifted { shift: 7 }
+        );
+        assert_eq!(
+            CellMapper::for_columns(128),
+            CellMapper::Shifted { shift: 8 }
+        );
+        assert_eq!(CellMapper::for_columns(1), CellMapper::Shifted { shift: 1 });
+    }
+
+    #[test]
+    fn independent_family_yields_k_positions() {
+        let f = HashFamily::default_independent();
+        for k in 1..=15 {
+            let p = positions(&f, 3, 4, k, 1 << 16);
+            assert_eq!(p.len(), k);
+            assert!(p.iter().all(|&x| x < (1 << 16)));
+        }
+    }
+
+    #[test]
+    fn independent_family_deterministic() {
+        let f = HashFamily::default_independent();
+        assert_eq!(positions(&f, 3, 4, 5, 4096), positions(&f, 3, 4, 5, 4096));
+        assert_ne!(positions(&f, 3, 4, 5, 4096), positions(&f, 3, 5, 5, 4096));
+    }
+
+    #[test]
+    fn sha1_split_yields_k_positions() {
+        let f = HashFamily::Sha1Split;
+        let p = positions(&f, 10, 2, 10, 1 << 16);
+        assert_eq!(p.len(), 10);
+        assert!(p.iter().all(|&x| x < (1 << 16)));
+        // k beyond the 160-bit digest still works via extension.
+        assert_eq!(positions(&f, 10, 2, 30, 1 << 16).len(), 30);
+    }
+
+    #[test]
+    fn double_hashing_probes_differ() {
+        let f = HashFamily::DoubleHashing;
+        let p = positions(&f, 10, 2, 8, 1 << 20);
+        let distinct: std::collections::HashSet<_> = p.iter().collect();
+        assert!(distinct.len() >= 7, "degenerate probe sequence: {p:?}");
+    }
+
+    #[test]
+    fn column_group_stays_in_group() {
+        let f = HashFamily::ColumnGroup { num_columns: 8 };
+        let n = 8 * 64; // group size 64
+        for col in 0..8u64 {
+            for row in 0..200u64 {
+                let p = positions(&f, row, col, 3, n);
+                for &pos in &p {
+                    assert!(
+                        pos >= col * 64 && pos < (col + 1) * 64,
+                        "({row},{col}) escaped its group: {pos}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_group_k1_matches_simple_hash() {
+        let f = HashFamily::ColumnGroup { num_columns: 4 };
+        let p = positions(&f, 13, 2, 1, 40);
+        assert_eq!(p, vec![crate::simple::column_group_hash(13, 2, 4, 40)]);
+    }
+
+    #[test]
+    fn families_disagree_with_each_other() {
+        // Sanity: different families genuinely hash differently.
+        let a = positions(&HashFamily::default_independent(), 5, 1, 4, 1 << 14);
+        let b = positions(&HashFamily::Sha1Split, 5, 1, 4, 1 << 14);
+        let c = positions(&HashFamily::DoubleHashing, 5, 1, 4, 1 << 14);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash")]
+    fn zero_k_rejected() {
+        positions(&HashFamily::DoubleHashing, 0, 0, 0, 16);
+    }
+
+    /// Empirical false-positive sanity: inserting `s` random keys into
+    /// an AB of `n = 8s` bits with k=4 via the independent family must
+    /// give an FP rate within 2x of theory ((1-e^{-k/8})^k ≈ 0.024).
+    #[test]
+    fn independent_family_fp_rate_close_to_theory() {
+        let f = HashFamily::default_independent();
+        let s = 2000u64;
+        let n = 8 * s;
+        let k = 4;
+        let mut bits = vec![false; n as usize];
+        let mut buf = Vec::new();
+        for row in 0..s {
+            f.positions(row, 0, CellMapper::RowOnly, k, n, &mut buf);
+            for &p in &buf {
+                bits[p as usize] = true;
+            }
+        }
+        let mut fp = 0;
+        let probes = 4000u64;
+        for row in s..s + probes {
+            f.positions(row, 0, CellMapper::RowOnly, k, n, &mut buf);
+            if buf.iter().all(|&p| bits[p as usize]) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        let theory = (1.0 - (-(k as f64) / 8.0).exp()).powi(k as i32);
+        assert!(
+            rate < theory * 2.0 + 0.01,
+            "measured FP {rate:.4} vs theory {theory:.4}"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! General-purpose string hash functions.
+//!
+//! The paper's *independent hash functions* come "from the General
+//! Purpose Hash Function Algorithms Library (Partow) with small
+//! variations to account for the size of the AB" (§5.2.2). These are
+//! the classic RS, JS, PJW, ELF, BKDR, SDBM, DJB, DEK and AP functions,
+//! re-implemented here over byte strings, widened to 64-bit arithmetic
+//! (the "small variation": more output bits to index large ABs), plus
+//! FNV-1a.
+//!
+//! All functions are `fn(&[u8]) -> u64` and deterministic.
+
+/// RS hash (Robert Sedgewick's *Algorithms in C*).
+pub fn rs_hash(data: &[u8]) -> u64 {
+    let b: u64 = 378551;
+    let mut a: u64 = 63689;
+    let mut hash: u64 = 0;
+    for &c in data {
+        hash = hash.wrapping_mul(a).wrapping_add(c as u64);
+        a = a.wrapping_mul(b);
+    }
+    hash
+}
+
+/// JS hash (Justin Sobel's bitwise hash).
+pub fn js_hash(data: &[u8]) -> u64 {
+    let mut hash: u64 = 1315423911;
+    for &c in data {
+        hash ^= hash
+            .wrapping_shl(5)
+            .wrapping_add(c as u64)
+            .wrapping_add(hash >> 2);
+    }
+    hash
+}
+
+/// PJW hash (Peter J. Weinberger, AT&T Bell Labs), 64-bit widened.
+pub fn pjw_hash(data: &[u8]) -> u64 {
+    const BITS: u32 = 64;
+    const THREE_QUARTERS: u32 = BITS * 3 / 4;
+    const ONE_EIGHTH: u32 = BITS / 8;
+    const HIGH_BITS: u64 = !0u64 << (BITS - ONE_EIGHTH);
+    let mut hash: u64 = 0;
+    for &c in data {
+        hash = (hash << ONE_EIGHTH).wrapping_add(c as u64);
+        let test = hash & HIGH_BITS;
+        if test != 0 {
+            hash = (hash ^ (test >> THREE_QUARTERS)) & !HIGH_BITS;
+        }
+    }
+    hash
+}
+
+/// ELF hash (the Unix ELF object-format hash; a PJW variant).
+pub fn elf_hash(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0;
+    for &c in data {
+        hash = (hash << 4).wrapping_add(c as u64);
+        let x = hash & 0xF000_0000_0000_0000;
+        if x != 0 {
+            hash ^= x >> 56;
+        }
+        hash &= !x;
+    }
+    hash
+}
+
+/// BKDR hash (Brian Kernighan & Dennis Ritchie, *The C Programming
+/// Language*), seed 131.
+pub fn bkdr_hash(data: &[u8]) -> u64 {
+    let seed: u64 = 131;
+    let mut hash: u64 = 0;
+    for &c in data {
+        hash = hash.wrapping_mul(seed).wrapping_add(c as u64);
+    }
+    hash
+}
+
+/// SDBM hash (from the sdbm database library).
+pub fn sdbm_hash(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0;
+    for &c in data {
+        hash = (c as u64)
+            .wrapping_add(hash << 6)
+            .wrapping_add(hash << 16)
+            .wrapping_sub(hash);
+    }
+    hash
+}
+
+/// DJB hash (Daniel J. Bernstein's times-33 hash).
+pub fn djb_hash(data: &[u8]) -> u64 {
+    let mut hash: u64 = 5381;
+    for &c in data {
+        hash = hash
+            .wrapping_shl(5)
+            .wrapping_add(hash)
+            .wrapping_add(c as u64);
+    }
+    hash
+}
+
+/// DEK hash (Donald E. Knuth, *The Art of Computer Programming* vol. 3).
+pub fn dek_hash(data: &[u8]) -> u64 {
+    let mut hash: u64 = data.len() as u64;
+    for &c in data {
+        hash = hash.wrapping_shl(5) ^ (hash >> 27) ^ (c as u64);
+    }
+    hash
+}
+
+/// AP hash (Arash Partow's own alternating hash).
+pub fn ap_hash(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+    for (i, &c) in data.iter().enumerate() {
+        if i & 1 == 0 {
+            hash ^= hash.wrapping_shl(7) ^ (c as u64).wrapping_mul(hash >> 3);
+        } else {
+            hash ^= !(hash.wrapping_shl(11).wrapping_add((c as u64) ^ (hash >> 5)));
+        }
+    }
+    hash
+}
+
+/// FNV-1a, 64-bit.
+pub fn fnv_hash(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &c in data {
+        hash ^= c as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Encodes an integer hash string as its significant little-endian
+/// bytes (at least one byte). Fixed-width encodings leave trailing zero
+/// bytes that degenerate shift-based functions like PJW and ELF on
+/// small keys; the variable-length form behaves like the character
+/// strings the Partow functions were designed for.
+///
+/// Returns the backing array and the number of significant bytes; hash
+/// `&bytes[..len]`.
+#[inline]
+pub fn int_key_bytes(x: u64) -> ([u8; 8], usize) {
+    let bytes = x.to_le_bytes();
+    let len = (8 - (x.leading_zeros() as usize) / 8).max(1);
+    (bytes, len)
+}
+
+/// Encodes an integer hash string as its decimal ASCII digits — the
+/// paper's `F(i, j) = concatenate(i, j)` forms literal number strings
+/// (§3.1), and that choice matters: the Partow functions accumulate
+/// roughly 4–8 bits of state per character, so the longer decimal
+/// encoding (up to 20 chars vs 8 bytes) is what lets their outputs
+/// cover a large AB uniformly ("small variations to account for the
+/// size of the AB", §5.2.2).
+///
+/// Returns the backing array and the digit count; hash `&buf[..len]`.
+#[inline]
+pub fn decimal_key_bytes(x: u64) -> ([u8; 20], usize) {
+    let mut buf = [0u8; 20];
+    if x == 0 {
+        buf[0] = b'0';
+        return (buf, 1);
+    }
+    let mut tmp = x;
+    let mut len = 0usize;
+    while tmp > 0 {
+        len += 1;
+        tmp /= 10;
+    }
+    let mut i = len;
+    let mut v = x;
+    while v > 0 {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+    (buf, len)
+}
+
+/// splitmix64 finalizer — a strong integer mixer used for seeding and
+/// double hashing; not part of the Partow library but standard in
+/// modern Bloom-filter practice.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type HashFn = fn(&[u8]) -> u64;
+    const ALL: &[(&str, HashFn)] = &[
+        ("rs", rs_hash),
+        ("js", js_hash),
+        ("pjw", pjw_hash),
+        ("elf", elf_hash),
+        ("bkdr", bkdr_hash),
+        ("sdbm", sdbm_hash),
+        ("djb", djb_hash),
+        ("dek", dek_hash),
+        ("ap", ap_hash),
+        ("fnv", fnv_hash),
+    ];
+
+    #[test]
+    fn deterministic() {
+        for (name, f) in ALL {
+            assert_eq!(f(b"hello"), f(b"hello"), "{name}");
+        }
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        for (name, f) in ALL {
+            let a = f(&1u64.to_le_bytes());
+            let b = f(&2u64.to_le_bytes());
+            assert_ne!(a, b, "{name} collides on adjacent keys");
+        }
+    }
+
+    #[test]
+    fn functions_differ_from_each_other() {
+        let key = 123456789u64.to_le_bytes();
+        let values: Vec<u64> = ALL.iter().map(|(_, f)| f(&key)).collect();
+        for i in 0..values.len() {
+            for j in i + 1..values.len() {
+                assert_ne!(
+                    values[i], values[j],
+                    "{} and {} agree on the probe key",
+                    ALL[i].0, ALL[j].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn djb_known_value() {
+        // djb2 of "a": 5381*33 + 97 = 177670.
+        assert_eq!(djb_hash(b"a"), 177670);
+    }
+
+    #[test]
+    fn bkdr_known_value() {
+        // "ab" = (97*131 + 98) = 12805.
+        assert_eq!(bkdr_hash(b"ab"), 12805);
+    }
+
+    #[test]
+    fn fnv_known_value() {
+        // FNV-1a 64-bit of empty input is the offset basis.
+        assert_eq!(fnv_hash(b""), 0xCBF2_9CE4_8422_2325);
+        // Published vector: FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn splitmix_mixes_low_entropy_keys() {
+        // Sequential keys must not produce sequential outputs.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert!(a.abs_diff(b) > 1 << 32);
+    }
+
+    /// Rough avalanche check: over 4096 sequential integer keys encoded
+    /// as significant bytes, each function must fill at least half of
+    /// 256 buckets (mod 256).
+    #[test]
+    fn sequential_keys_spread_over_buckets() {
+        for (name, f) in ALL {
+            let mut seen = [false; 256];
+            for x in 0..4096u64 {
+                let (bytes, len) = int_key_bytes(x);
+                seen[(f(&bytes[..len]) % 256) as usize] = true;
+            }
+            let filled = seen.iter().filter(|&&s| s).count();
+            assert!(filled >= 128, "{name} fills only {filled}/256 buckets");
+        }
+    }
+
+    #[test]
+    fn int_key_bytes_strips_trailing_zeros() {
+        assert_eq!(int_key_bytes(0).1, 1);
+        assert_eq!(int_key_bytes(255).1, 1);
+        assert_eq!(int_key_bytes(256).1, 2);
+        assert_eq!(int_key_bytes(u64::MAX).1, 8);
+        let (b, l) = int_key_bytes(0x0102);
+        assert_eq!(&b[..l], &[0x02, 0x01]);
+    }
+}

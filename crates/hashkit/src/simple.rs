@@ -1,0 +1,114 @@
+//! The paper's purpose-built hash functions (§3.2.2, §5.2.2).
+//!
+//! Unlike the general-purpose string hashes, these two exploit the
+//! structure of bitmap tables:
+//!
+//! * [`circular_hash`] — `H(x) = x mod n`: maps the hash string
+//!   directly onto the AB. With one AB per column (where `x = row`)
+//!   this is collision-free until the AB wraps, which is why Figure
+//!   10(a) shows its precision jumping to 1 once `m` is large enough to
+//!   "accommodate all rows".
+//! * [`column_group_hash`] — splits the AB into one group per bitmap
+//!   column; the group is selected by the column number and the offset
+//!   within the group by `row mod group_size`. Only meaningful for the
+//!   per-data-set and per-attribute AB levels.
+
+/// Circular hash: `x mod n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[inline]
+pub fn circular_hash(x: u64, n: u64) -> u64 {
+    assert!(n > 0, "AB size must be positive");
+    x % n
+}
+
+/// Column-group hash: the AB of `n` bits is split into `num_columns`
+/// equal groups; cell `(row, col)` maps into group `col` at offset
+/// `row mod group_size` (paper: `H(i, j) = j·n + (i mod n)` with `n`
+/// the group size).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `num_columns == 0`, or `col >= num_columns`.
+#[inline]
+pub fn column_group_hash(row: u64, col: u64, num_columns: u64, n: u64) -> u64 {
+    assert!(n > 0, "AB size must be positive");
+    assert!(num_columns > 0, "column count must be positive");
+    assert!(col < num_columns, "column {col} out of range {num_columns}");
+    let group_size = (n / num_columns).max(1);
+    let base = col * group_size;
+    (base + row % group_size).min(n - 1)
+}
+
+/// Multiply-shift hash for power-of-two ranges: `(x * phi) >> (64 - m)`
+/// where `phi` is the 64-bit golden-ratio constant. A fast single-
+/// multiplication universal-style hash used as an additional
+/// independent function.
+#[inline]
+pub fn multiply_shift(x: u64, m: u32) -> u64 {
+    assert!((1..=64).contains(&m), "output width {m} out of range");
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circular_wraps() {
+        assert_eq!(circular_hash(0, 32), 0);
+        assert_eq!(circular_hash(31, 32), 31);
+        assert_eq!(circular_hash(32, 32), 0);
+        assert_eq!(circular_hash(100, 32), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn circular_rejects_zero_n() {
+        circular_hash(5, 0);
+    }
+
+    #[test]
+    fn column_group_partitions_ab() {
+        // 4 columns, AB of 40 bits -> group size 10.
+        assert_eq!(column_group_hash(0, 0, 4, 40), 0);
+        assert_eq!(column_group_hash(9, 0, 4, 40), 9);
+        assert_eq!(column_group_hash(10, 0, 4, 40), 0); // wraps in group
+        assert_eq!(column_group_hash(0, 1, 4, 40), 10);
+        assert_eq!(column_group_hash(3, 3, 4, 40), 33);
+    }
+
+    #[test]
+    fn column_group_never_exceeds_ab() {
+        // More columns than bits: degenerate but must stay in range.
+        for col in 0..10 {
+            let h = column_group_hash(99, col, 10, 4);
+            assert!(h < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn column_group_rejects_bad_column() {
+        column_group_hash(0, 5, 4, 40);
+    }
+
+    #[test]
+    fn multiply_shift_stays_in_range() {
+        for x in 0..1000u64 {
+            assert!(multiply_shift(x, 10) < 1024);
+        }
+    }
+
+    #[test]
+    fn multiply_shift_spreads_sequential_keys() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..512u64 {
+            seen.insert(multiply_shift(x, 16));
+        }
+        // Sequential keys should not collapse into few slots.
+        assert!(seen.len() > 450, "only {} distinct", seen.len());
+    }
+}

@@ -1,0 +1,423 @@
+//! Roaring containers: the 2^16-bit chunks of a Roaring bitmap.
+//!
+//! Each container holds the low 16 bits of the values sharing one
+//! 16-bit high prefix, in one of two physical forms:
+//!
+//! * [`Container::Array`] — a sorted `Vec<u16>` (≤ 4096 entries,
+//!   2 bytes per value);
+//! * [`Container::Bitmap`] — a verbatim 8 KiB bitset (for > 4096
+//!   entries, where the array form would exceed the bitset's size).
+//!
+//! Containers convert between forms automatically at the 4096-element
+//! threshold, the classic Roaring design point where both forms cost
+//! the same space.
+
+use serde::{Deserialize, Serialize};
+
+/// Array/bitmap conversion threshold (elements).
+pub const ARRAY_MAX: usize = 4096;
+/// Words in a bitmap container.
+const WORDS: usize = 1024;
+
+/// One 65536-value chunk.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Container {
+    /// Sorted list of low-16-bit values.
+    Array(Vec<u16>),
+    /// Verbatim 65536-bit set.
+    Bitmap(Box<[u64]>),
+}
+
+impl Container {
+    /// An empty array container.
+    pub fn new() -> Self {
+        Container::Array(Vec::new())
+    }
+
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Bitmap(w) => w.iter().map(|x| x.count_ones() as usize).sum(),
+        }
+    }
+
+    /// `true` when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Container::Array(v) => v.is_empty(),
+            Container::Bitmap(w) => w.iter().all(|&x| x == 0),
+        }
+    }
+
+    /// Heap bytes used.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len() * 2,
+            Container::Bitmap(_) => WORDS * 8,
+        }
+    }
+
+    /// Inserts a value; returns `true` if it was newly added.
+    pub fn insert(&mut self, v: u16) -> bool {
+        match self {
+            Container::Array(vals) => match vals.binary_search(&v) {
+                Ok(_) => false,
+                Err(pos) => {
+                    vals.insert(pos, v);
+                    if vals.len() > ARRAY_MAX {
+                        *self = Self::array_to_bitmap(vals);
+                    }
+                    true
+                }
+            },
+            Container::Bitmap(words) => {
+                let (w, b) = (v as usize / 64, v as usize % 64);
+                let was = words[w] >> b & 1 == 1;
+                words[w] |= 1 << b;
+                !was
+            }
+        }
+    }
+
+    /// Inserts every value in `lo..=hi` (inclusive), converting to a
+    /// bitmap container when the result exceeds the array threshold.
+    pub fn insert_range(&mut self, lo: u16, hi: u16) {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as usize + 1;
+        if let Container::Array(vals) = self {
+            if vals.len() + span > ARRAY_MAX {
+                *self = Self::array_to_bitmap(vals);
+            }
+        }
+        match self {
+            Container::Array(vals) => {
+                // Small range into a small array: merge.
+                let mut merged = Vec::with_capacity(vals.len() + span);
+                let mut it = vals.iter().copied().peekable();
+                while let Some(&v) = it.peek() {
+                    if v >= lo {
+                        break;
+                    }
+                    merged.push(v);
+                    it.next();
+                }
+                merged.extend(lo..=hi);
+                for v in it {
+                    if v > hi {
+                        merged.push(v);
+                    }
+                }
+                *vals = merged;
+                if vals.len() > ARRAY_MAX {
+                    *self = Self::array_to_bitmap(vals);
+                }
+            }
+            Container::Bitmap(words) => {
+                for w in lo as usize / 64..=hi as usize / 64 {
+                    let from = (lo as usize).max(w * 64) - w * 64;
+                    let to = (hi as usize).min(w * 64 + 63) - w * 64;
+                    let mask = if to == 63 {
+                        !0u64 << from
+                    } else {
+                        ((1u64 << (to + 1)) - 1) & (!0u64 << from)
+                    };
+                    words[w] |= mask;
+                }
+            }
+        }
+    }
+
+    /// Removes a value; returns `true` if it was present. Bitmap
+    /// containers demote back to arrays at the threshold.
+    pub fn remove(&mut self, v: u16) -> bool {
+        match self {
+            Container::Array(vals) => match vals.binary_search(&v) {
+                Ok(pos) => {
+                    vals.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitmap(words) => {
+                let (w, b) = (v as usize / 64, v as usize % 64);
+                let was = words[w] >> b & 1 == 1;
+                words[w] &= !(1u64 << b);
+                if was && self.len() <= ARRAY_MAX {
+                    *self = Container::Array(self.iter().collect());
+                }
+                was
+            }
+        }
+    }
+
+    /// Membership test — O(log n) for arrays, O(1) for bitmaps. This
+    /// is the *direct access* run-length codes lack.
+    pub fn contains(&self, v: u16) -> bool {
+        match self {
+            Container::Array(vals) => vals.binary_search(&v).is_ok(),
+            Container::Bitmap(words) => words[v as usize / 64] >> (v as usize % 64) & 1 == 1,
+        }
+    }
+
+    /// Iterates values in ascending order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = u16> + '_> {
+        match self {
+            Container::Array(vals) => Box::new(vals.iter().copied()),
+            Container::Bitmap(words) => {
+                Box::new(words.iter().enumerate().flat_map(|(wi, &w)| BitIter {
+                    word: w,
+                    base: wi * 64,
+                }))
+            }
+        }
+    }
+
+    fn array_to_bitmap(vals: &[u16]) -> Container {
+        let mut words = vec![0u64; WORDS].into_boxed_slice();
+        for &v in vals {
+            words[v as usize / 64] |= 1 << (v as usize % 64);
+        }
+        Container::Bitmap(words)
+    }
+
+    /// Normalizes the physical form to match the element count (array
+    /// iff ≤ 4096), used after bulk operations.
+    fn normalize(self) -> Container {
+        let n = self.len();
+        match (&self, n) {
+            (Container::Bitmap(_), n) if n <= ARRAY_MAX => Container::Array(self.iter().collect()),
+            (Container::Array(vals), n) if n > ARRAY_MAX => Self::array_to_bitmap(vals),
+            _ => self,
+        }
+    }
+
+    /// Intersection.
+    pub fn and(&self, other: &Container) -> Container {
+        let out = match (self, other) {
+            (Container::Array(a), Container::Array(b)) => Container::Array(intersect_sorted(a, b)),
+            (Container::Array(a), bm @ Container::Bitmap(_))
+            | (bm @ Container::Bitmap(_), Container::Array(a)) => {
+                Container::Array(a.iter().copied().filter(|&v| bm.contains(v)).collect())
+            }
+            (Container::Bitmap(a), Container::Bitmap(b)) => {
+                let words: Vec<u64> = a.iter().zip(b.iter()).map(|(x, y)| x & y).collect();
+                Container::Bitmap(words.into_boxed_slice())
+            }
+        };
+        out.normalize()
+    }
+
+    /// Union.
+    pub fn or(&self, other: &Container) -> Container {
+        let out = match (self, other) {
+            (Container::Array(a), Container::Array(b)) => Container::Array(union_sorted(a, b)),
+            (Container::Array(a), Container::Bitmap(bw))
+            | (Container::Bitmap(bw), Container::Array(a)) => {
+                let mut words = bw.clone();
+                for &v in a {
+                    words[v as usize / 64] |= 1 << (v as usize % 64);
+                }
+                Container::Bitmap(words)
+            }
+            (Container::Bitmap(a), Container::Bitmap(b)) => {
+                let words: Vec<u64> = a.iter().zip(b.iter()).map(|(x, y)| x | y).collect();
+                Container::Bitmap(words.into_boxed_slice())
+            }
+        };
+        out.normalize()
+    }
+
+    /// Difference (`self \ other`).
+    pub fn andnot(&self, other: &Container) -> Container {
+        let out = match (self, other) {
+            (Container::Array(a), _) => {
+                Container::Array(a.iter().copied().filter(|&v| !other.contains(v)).collect())
+            }
+            (Container::Bitmap(aw), Container::Bitmap(bw)) => {
+                let words: Vec<u64> = aw.iter().zip(bw.iter()).map(|(x, y)| x & !y).collect();
+                Container::Bitmap(words.into_boxed_slice())
+            }
+            (Container::Bitmap(aw), Container::Array(b)) => {
+                let mut words = aw.clone();
+                for &v in b {
+                    words[v as usize / 64] &= !(1u64 << (v as usize % 64));
+                }
+                Container::Bitmap(words)
+            }
+        };
+        out.normalize()
+    }
+}
+
+impl Default for Container {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Set-bit iterator over one word.
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some((self.base + tz) as u16)
+    }
+}
+
+fn intersect_sorted(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn union_sorted(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_array() {
+        let mut c = Container::new();
+        assert!(c.insert(5));
+        assert!(!c.insert(5));
+        assert!(c.insert(3));
+        assert!(c.contains(3) && c.contains(5) && !c.contains(4));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn promotes_to_bitmap_past_threshold() {
+        let mut c = Container::new();
+        for v in 0..=ARRAY_MAX as u16 {
+            c.insert(v * 10);
+        }
+        assert!(matches!(c, Container::Bitmap(_)));
+        assert_eq!(c.len(), ARRAY_MAX + 1);
+        assert!(c.contains(40960));
+        assert!(!c.contains(5));
+    }
+
+    #[test]
+    fn demotes_on_remove() {
+        let mut c = Container::new();
+        for v in 0..=(ARRAY_MAX as u16) {
+            c.insert(v);
+        }
+        assert!(matches!(c, Container::Bitmap(_)));
+        assert!(c.remove(0));
+        assert!(matches!(c, Container::Array(_)));
+        assert_eq!(c.len(), ARRAY_MAX);
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut c = Container::new();
+        c.insert(1);
+        assert!(!c.remove(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn bitmap_iter_is_sorted() {
+        let mut c = Container::new();
+        let vals: Vec<u16> = (0..5000).map(|i| (i * 13) as u16).collect();
+        for &v in &vals {
+            c.insert(v);
+        }
+        let got: Vec<u16> = c.iter().collect();
+        let mut want: Vec<u16> = vals.clone();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ops_across_forms() {
+        // One array, one bitmap container.
+        let mut a = Container::new();
+        for v in (0..1000u16).step_by(2) {
+            a.insert(v);
+        }
+        let mut b = Container::new();
+        for v in 0..5000u16 {
+            b.insert(v);
+        }
+        assert!(matches!(a, Container::Array(_)));
+        assert!(matches!(b, Container::Bitmap(_)));
+        assert_eq!(a.and(&b).len(), 500);
+        assert_eq!(a.or(&b).len(), 5000);
+        assert_eq!(a.andnot(&b).len(), 0);
+        assert_eq!(b.andnot(&a).len(), 4500);
+    }
+
+    #[test]
+    fn and_result_normalizes_to_array() {
+        let mut a = Container::new();
+        let mut b = Container::new();
+        for v in 0..5000u16 {
+            a.insert(v);
+            b.insert(v + 4000);
+        }
+        let i = a.and(&b); // 1000 common values → array form
+        assert!(matches!(i, Container::Array(_)));
+        assert_eq!(i.len(), 1000);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mut c = Container::new();
+        c.insert(1);
+        c.insert(2);
+        assert_eq!(c.size_bytes(), 4);
+        for v in 0..5000u16 {
+            c.insert(v);
+        }
+        assert_eq!(c.size_bytes(), 8192);
+    }
+}

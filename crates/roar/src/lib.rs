@@ -1,0 +1,315 @@
+//! A compact Roaring-style bitmap.
+//!
+//! Roaring (Chambi, Lemire, Kaser, Godin, 2014) is where the bitmap
+//! field settled after the WAH/BBC era the paper competes in: values
+//! are partitioned by their high 16 bits into 65536-value chunks, each
+//! stored as a sorted array (sparse) or a verbatim bitset (dense).
+//! Unlike run-length codes, Roaring *keeps* O(log) direct access — so
+//! it is the natural modern baseline for the Approximate Bitmap's
+//! direct-access claim, alongside the paper's WAH comparisons. The
+//! `bench` crate races all three.
+//!
+//! This is a self-contained reimplementation of the core design (no
+//! run containers, no SIMD), enough for honest size and speed
+//! comparisons.
+//!
+//! # Examples
+//!
+//! ```
+//! use roar::RoaringBitmap;
+//!
+//! let mut rb = RoaringBitmap::new();
+//! rb.insert(3);
+//! rb.insert(1_000_000);
+//! assert!(rb.contains(3) && rb.contains(1_000_000));
+//! assert_eq!(rb.iter().collect::<Vec<_>>(), vec![3, 1_000_000]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod index;
+
+pub use container::Container;
+pub use index::RoaringIndex;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of `u32` values with chunked array/bitmap storage.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoaringBitmap {
+    /// `(high 16 bits, container)`, sorted by key.
+    chunks: Vec<(u16, Container)>,
+}
+
+impl RoaringBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        RoaringBitmap { chunks: Vec::new() }
+    }
+
+    /// Builds from an ascending iterator of values (duplicates allowed).
+    pub fn from_sorted<I: IntoIterator<Item = u32>>(values: I) -> Self {
+        let mut rb = Self::new();
+        for v in values {
+            rb.insert(v);
+        }
+        rb
+    }
+
+    #[inline]
+    fn split(v: u32) -> (u16, u16) {
+        ((v >> 16) as u16, (v & 0xFFFF) as u16)
+    }
+
+    fn chunk_index(&self, key: u16) -> Result<usize, usize> {
+        self.chunks.binary_search_by_key(&key, |(k, _)| *k)
+    }
+
+    /// Inserts a value; returns `true` if newly added.
+    pub fn insert(&mut self, v: u32) -> bool {
+        let (key, low) = Self::split(v);
+        match self.chunk_index(key) {
+            Ok(i) => self.chunks[i].1.insert(low),
+            Err(i) => {
+                let mut c = Container::new();
+                c.insert(low);
+                self.chunks.insert(i, (key, c));
+                true
+            }
+        }
+    }
+
+    /// Inserts every value in `lo..=hi` — container-level fills, far
+    /// cheaper than per-value insertion for dense ranges (used for the
+    /// §3.3 row-range masks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn insert_range(&mut self, lo: u32, hi: u32) {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let (klo, khi) = ((lo >> 16) as u16, (hi >> 16) as u16);
+        for key in klo..=khi {
+            let from = if key == klo { (lo & 0xFFFF) as u16 } else { 0 };
+            let to = if key == khi {
+                (hi & 0xFFFF) as u16
+            } else {
+                0xFFFF
+            };
+            let i = match self.chunk_index(key) {
+                Ok(i) => i,
+                Err(i) => {
+                    self.chunks.insert(i, (key, Container::new()));
+                    i
+                }
+            };
+            self.chunks[i].1.insert_range(from, to);
+        }
+    }
+
+    /// Removes a value; returns `true` if it was present.
+    pub fn remove(&mut self, v: u32) -> bool {
+        let (key, low) = Self::split(v);
+        if let Ok(i) = self.chunk_index(key) {
+            let removed = self.chunks[i].1.remove(low);
+            if self.chunks[i].1.is_empty() {
+                self.chunks.remove(i);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Membership test: O(log chunks + log container) — direct access.
+    pub fn contains(&self, v: u32) -> bool {
+        let (key, low) = Self::split(v);
+        match self.chunk_index(key) {
+            Ok(i) => self.chunks[i].1.contains(low),
+            Err(_) => false,
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|(_, c)| c.len()).sum()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Heap bytes used by containers (plus 2 bytes per chunk key).
+    pub fn size_bytes(&self) -> usize {
+        self.chunks.iter().map(|(_, c)| c.size_bytes() + 2).sum()
+    }
+
+    /// Iterates values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.chunks.iter().flat_map(|(key, c)| {
+            let base = (*key as u32) << 16;
+            c.iter().map(move |low| base | low as u32)
+        })
+    }
+
+    /// Merging binary operation over chunk lists.
+    fn merge<F>(&self, other: &RoaringBitmap, keep_left: bool, keep_right: bool, op: F) -> Self
+    where
+        F: Fn(&Container, &Container) -> Container,
+    {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ka, ca) = &self.chunks[i];
+            let (kb, cb) = &other.chunks[j];
+            match ka.cmp(kb) {
+                std::cmp::Ordering::Less => {
+                    if keep_left {
+                        out.push((*ka, ca.clone()));
+                    }
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    if keep_right {
+                        out.push((*kb, cb.clone()));
+                    }
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let c = op(ca, cb);
+                    if !c.is_empty() {
+                        out.push((*ka, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if keep_left {
+            out.extend_from_slice(&self.chunks[i..]);
+        }
+        if keep_right {
+            out.extend_from_slice(&other.chunks[j..]);
+        }
+        RoaringBitmap { chunks: out }
+    }
+
+    /// Intersection.
+    pub fn and(&self, other: &RoaringBitmap) -> RoaringBitmap {
+        self.merge(other, false, false, Container::and)
+    }
+
+    /// Union.
+    pub fn or(&self, other: &RoaringBitmap) -> RoaringBitmap {
+        self.merge(other, true, true, Container::or)
+    }
+
+    /// Difference (`self \ other`).
+    pub fn andnot(&self, other: &RoaringBitmap) -> RoaringBitmap {
+        self.merge(other, true, false, Container::andnot)
+    }
+}
+
+impl FromIterator<u32> for RoaringBitmap {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut rb = RoaringBitmap::new();
+        for v in iter {
+            rb.insert(v);
+        }
+        rb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_across_chunks() {
+        let mut rb = RoaringBitmap::new();
+        for v in [0u32, 65_535, 65_536, 1 << 20, u32::MAX] {
+            assert!(rb.insert(v));
+            assert!(!rb.insert(v));
+        }
+        assert_eq!(rb.len(), 5);
+        assert!(rb.contains(65_536));
+        assert!(!rb.contains(65_537));
+    }
+
+    #[test]
+    fn remove_prunes_empty_chunks() {
+        let mut rb = RoaringBitmap::from_sorted([1, 2, 100_000]);
+        assert!(rb.remove(100_000));
+        assert!(!rb.remove(100_000));
+        assert_eq!(rb.len(), 2);
+        // The chunk for key 1 must be gone entirely.
+        assert_eq!(rb.chunks.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted_across_chunks() {
+        let vals = [5u32, 70_000, 3, 200_000, 70_001];
+        let rb: RoaringBitmap = vals.iter().copied().collect();
+        assert_eq!(
+            rb.iter().collect::<Vec<_>>(),
+            vec![3, 5, 70_000, 70_001, 200_000]
+        );
+    }
+
+    #[test]
+    fn set_ops_match_btreeset() {
+        use std::collections::BTreeSet;
+        let a: Vec<u32> = (0..2000).map(|i| i * 37).collect();
+        let b: Vec<u32> = (0..2000).map(|i| i * 53 + 11).collect();
+        let (sa, sb): (BTreeSet<u32>, BTreeSet<u32>) =
+            (a.iter().copied().collect(), b.iter().copied().collect());
+        let (ra, rb): (RoaringBitmap, RoaringBitmap) =
+            (a.into_iter().collect(), b.into_iter().collect());
+        assert_eq!(
+            ra.and(&rb).iter().collect::<Vec<_>>(),
+            sa.intersection(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            ra.or(&rb).iter().collect::<Vec<_>>(),
+            sa.union(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            ra.andnot(&rb).iter().collect::<Vec<_>>(),
+            sa.difference(&sb).copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn insert_range_matches_per_value() {
+        for (lo, hi) in [(0u32, 10), (65_530, 65_540), (100, 200_000), (4_000, 8_200)] {
+            let mut fast = RoaringBitmap::new();
+            fast.insert_range(lo, hi);
+            let slow: RoaringBitmap = (lo..=hi).collect();
+            assert_eq!(fast, slow, "range {lo}..={hi}");
+            assert_eq!(fast.len(), (hi - lo + 1) as usize);
+        }
+    }
+
+    #[test]
+    fn insert_range_merges_with_existing() {
+        let mut rb: RoaringBitmap = [1u32, 5, 100].into_iter().collect();
+        rb.insert_range(3, 6);
+        assert_eq!(rb.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5, 6, 100]);
+    }
+
+    #[test]
+    fn sparse_data_stays_compact() {
+        // 1000 values spread over 4G space: ~2 bytes each + keys.
+        let rb: RoaringBitmap = (0..1000u32).map(|i| i * 4_000_000).collect();
+        assert!(rb.size_bytes() < 8_192, "{} bytes", rb.size_bytes());
+    }
+
+    #[test]
+    fn dense_chunk_uses_bitmap_container() {
+        let rb: RoaringBitmap = (0..60_000u32).collect();
+        assert_eq!(rb.size_bytes(), 8_192 + 2); // one bitmap container
+        assert_eq!(rb.len(), 60_000);
+    }
+}

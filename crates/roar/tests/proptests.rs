@@ -1,0 +1,68 @@
+//! Property tests: the Roaring-style bitmap is semantically a set of
+//! u32, across container promotions/demotions and chunk boundaries.
+
+use proptest::prelude::*;
+use roar::RoaringBitmap;
+use std::collections::BTreeSet;
+
+/// Values clustered near chunk boundaries plus random spread —
+/// exercises both container forms and chunk splits.
+fn values() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u32..200_000,
+            Just(65_535u32),
+            Just(65_536u32),
+            (0u32..5).prop_map(|i| u32::MAX - i),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    #[test]
+    fn insert_matches_btreeset(vals in values()) {
+        let set: BTreeSet<u32> = vals.iter().copied().collect();
+        let rb: RoaringBitmap = vals.iter().copied().collect();
+        prop_assert_eq!(rb.len(), set.len());
+        prop_assert_eq!(rb.iter().collect::<Vec<_>>(),
+                        set.iter().copied().collect::<Vec<_>>());
+        for &v in set.iter().take(50) {
+            prop_assert!(rb.contains(v));
+        }
+    }
+
+    #[test]
+    fn remove_matches_btreeset(vals in values(), removals in values()) {
+        let mut set: BTreeSet<u32> = vals.iter().copied().collect();
+        let mut rb: RoaringBitmap = vals.iter().copied().collect();
+        for &v in &removals {
+            prop_assert_eq!(rb.remove(v), set.remove(&v), "value {}", v);
+        }
+        prop_assert_eq!(rb.iter().collect::<Vec<_>>(),
+                        set.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ops_match_setwise(a in values(), b in values()) {
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        let ra: RoaringBitmap = a.iter().copied().collect();
+        let rb: RoaringBitmap = b.iter().copied().collect();
+        prop_assert_eq!(ra.and(&rb).iter().collect::<Vec<_>>(),
+                        sa.intersection(&sb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(ra.or(&rb).iter().collect::<Vec<_>>(),
+                        sa.union(&sb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(ra.andnot(&rb).iter().collect::<Vec<_>>(),
+                        sa.difference(&sb).copied().collect::<Vec<_>>());
+    }
+
+    /// Dense chunks must round-trip through bitmap-container promotion.
+    #[test]
+    fn dense_chunk_roundtrip(start in 0u32..10_000, len in 4_000u32..9_000) {
+        let vals: Vec<u32> = (start..start + len).collect();
+        let rb: RoaringBitmap = vals.iter().copied().collect();
+        prop_assert_eq!(rb.len(), len as usize);
+        prop_assert_eq!(rb.iter().collect::<Vec<_>>(), vals);
+    }
+}

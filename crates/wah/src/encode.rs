@@ -1,0 +1,566 @@
+//! The Word-Aligned Hybrid (WAH) compressed bitmap representation.
+//!
+//! WAH (Wu, Otoo, Shoshani) stores a bitmap as a sequence of 32-bit
+//! words of two kinds (paper §2.2.1):
+//!
+//! * **literal** — most significant bit 0; the lower 31 bits carry 31
+//!   verbatim bitmap bits.
+//! * **fill** — most significant bit 1; the second most significant bit
+//!   is the fill value; the remaining 30 bits count how many 31-bit
+//!   groups the fill spans.
+//!
+//! The word alignment of fills is what lets logical operations work on
+//! whole words without bit-level shifting — and also what destroys
+//! direct access: locating bit *i* requires scanning the word stream.
+//! [`WahBitmap::get`] implements that scan so the cost the paper
+//! describes is measurable.
+
+use bitmap::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// Bits carried by one literal word / one fill group.
+pub const GROUP_BITS: usize = 31;
+/// Mask of the 31 payload bits of a literal word.
+pub const LITERAL_MASK: u32 = 0x7FFF_FFFF;
+/// Flag bit distinguishing fill words from literal words.
+const FILL_FLAG: u32 = 0x8000_0000;
+/// Fill-value bit of a fill word.
+const FILL_BIT: u32 = 0x4000_0000;
+/// Maximum group count representable in one fill word.
+const MAX_FILL: u32 = 0x3FFF_FFFF;
+
+/// A WAH-compressed bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use bitmap::BitVec;
+/// use wah::WahBitmap;
+///
+/// let bv = BitVec::from_ones(100_000, [5usize, 70_000]);
+/// let wah = WahBitmap::from_bitvec(&bv);
+/// assert!(wah.size_bytes() < bv.size_bytes());      // sparse → compresses
+/// assert_eq!(wah.to_bitvec(), bv);                  // lossless
+/// assert!(wah.get(70_000) && !wah.get(70_001));     // O(words) scan
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WahBitmap {
+    pub(crate) words: Vec<u32>,
+    pub(crate) num_bits: usize,
+}
+
+impl WahBitmap {
+    /// An empty bitmap of zero logical length.
+    pub fn new() -> Self {
+        WahBitmap {
+            words: Vec::new(),
+            num_bits: 0,
+        }
+    }
+
+    /// Compresses a verbatim bit vector.
+    pub fn from_bitvec(bv: &BitVec) -> Self {
+        let num_bits = bv.len();
+        let groups = num_bits.div_ceil(GROUP_BITS);
+        let mut out = WahBuilder::with_capacity(groups / 4 + 1);
+        let words = bv.words();
+        for g in 0..groups {
+            out.append_group(extract_group(words, g * GROUP_BITS));
+        }
+        out.finish(num_bits)
+    }
+
+    /// Compresses a bitmap of `len` bits given its set positions.
+    pub fn from_ones<I: IntoIterator<Item = usize>>(len: usize, ones: I) -> Self {
+        Self::from_bitvec(&BitVec::from_ones(len, ones))
+    }
+
+    /// Decompresses back to a verbatim bit vector.
+    pub fn to_bitvec(&self) -> BitVec {
+        let mut bv = BitVec::zeros(self.num_bits);
+        let mut base = 0usize;
+        for run in self.runs() {
+            match run {
+                Run::Fill { value, groups } => {
+                    if value {
+                        let end = (base + groups as usize * GROUP_BITS).min(self.num_bits);
+                        for i in base..end {
+                            bv.set(i);
+                        }
+                    }
+                    base += groups as usize * GROUP_BITS;
+                }
+                Run::Literal(w) => {
+                    let end = (base + GROUP_BITS).min(self.num_bits);
+                    let mut bits = w;
+                    while bits != 0 {
+                        let tz = bits.trailing_zeros() as usize;
+                        if base + tz < end {
+                            bv.set(base + tz);
+                        }
+                        bits &= bits - 1;
+                    }
+                    base += GROUP_BITS;
+                }
+            }
+        }
+        bv
+    }
+
+    /// Logical (uncompressed) length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.num_bits
+    }
+
+    /// `true` when the logical length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_bits == 0
+    }
+
+    /// Compressed size in bytes (4 bytes per stored word).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Number of stored 32-bit words.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Raw word stream (literal / fill encoding as documented above).
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Number of set bits, counted from the compressed form.
+    pub fn count_ones(&self) -> usize {
+        let mut total = 0usize;
+        let mut base = 0usize;
+        for run in self.runs() {
+            match run {
+                Run::Fill { value, groups } => {
+                    let span = groups as usize * GROUP_BITS;
+                    if value {
+                        total += span.min(self.num_bits - base);
+                    }
+                    base += span;
+                }
+                Run::Literal(w) => {
+                    // Trailing literal may be partial; mask to num_bits.
+                    let valid = (self.num_bits - base).min(GROUP_BITS);
+                    let mask = if valid == GROUP_BITS {
+                        LITERAL_MASK
+                    } else {
+                        (1u32 << valid) - 1
+                    };
+                    total += (w & mask).count_ones() as usize;
+                    base += GROUP_BITS;
+                }
+            }
+        }
+        total
+    }
+
+    /// Reads bit `pos` by scanning the word stream — the operation whose
+    /// cost motivates the Approximate Bitmap: O(compressed words), not
+    /// O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`.
+    pub fn get(&self, pos: usize) -> bool {
+        assert!(
+            pos < self.num_bits,
+            "bit {pos} out of range {}",
+            self.num_bits
+        );
+        let target_group = pos / GROUP_BITS;
+        let offset = pos % GROUP_BITS;
+        let mut group = 0usize;
+        for run in self.runs() {
+            match run {
+                Run::Fill { value, groups } => {
+                    if target_group < group + groups as usize {
+                        return value;
+                    }
+                    group += groups as usize;
+                }
+                Run::Literal(w) => {
+                    if target_group == group {
+                        return (w >> offset) & 1 == 1;
+                    }
+                    group += 1;
+                }
+            }
+        }
+        unreachable!("group accounting covered all bits")
+    }
+
+    /// Iterates over the word stream as decoded runs.
+    pub fn runs(&self) -> impl Iterator<Item = Run> + '_ {
+        self.words.iter().map(|&w| {
+            if w & FILL_FLAG != 0 {
+                Run::Fill {
+                    value: w & FILL_BIT != 0,
+                    groups: w & MAX_FILL,
+                }
+            } else {
+                Run::Literal(w)
+            }
+        })
+    }
+
+    /// Iterates over the positions of set bits in increasing order,
+    /// without decompressing.
+    pub fn iter_ones(&self) -> WahOnes<'_> {
+        WahOnes {
+            wah: self,
+            word_idx: 0,
+            base: 0,
+            pending_literal: 0,
+            fill_end: 0,
+            fill_pos: 0,
+        }
+    }
+
+    /// Compression ratio: compressed bytes / verbatim bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.num_bits == 0 {
+            return 0.0;
+        }
+        self.size_bytes() as f64 / (self.num_bits as f64 / 8.0)
+    }
+}
+
+impl Default for WahBitmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A decoded WAH run: either one literal group or a multi-group fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Run {
+    /// A fill of `groups` consecutive 31-bit groups of all-`value` bits.
+    Fill {
+        /// The repeated bit value.
+        value: bool,
+        /// Number of 31-bit groups spanned.
+        groups: u32,
+    },
+    /// A single 31-bit literal group (payload in the low 31 bits).
+    Literal(u32),
+}
+
+/// Iterator over set-bit positions of a [`WahBitmap`].
+pub struct WahOnes<'a> {
+    wah: &'a WahBitmap,
+    word_idx: usize,
+    /// Bit position of the start of the current word's coverage.
+    base: usize,
+    /// Remaining set bits of the current literal (shifted copy).
+    pending_literal: u32,
+    /// One-fill currently being emitted: [fill_pos, fill_end).
+    fill_end: usize,
+    fill_pos: usize,
+}
+
+impl Iterator for WahOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            // Drain an in-progress one-fill.
+            if self.fill_pos < self.fill_end {
+                let p = self.fill_pos;
+                self.fill_pos += 1;
+                if p < self.wah.num_bits {
+                    return Some(p);
+                }
+                continue;
+            }
+            // Drain an in-progress literal.
+            if self.pending_literal != 0 {
+                let tz = self.pending_literal.trailing_zeros() as usize;
+                self.pending_literal &= self.pending_literal - 1;
+                let p = self.base - GROUP_BITS + tz;
+                if p < self.wah.num_bits {
+                    return Some(p);
+                }
+                continue;
+            }
+            // Load the next word.
+            let w = *self.wah.words.get(self.word_idx)?;
+            self.word_idx += 1;
+            if w & FILL_FLAG != 0 {
+                let groups = (w & MAX_FILL) as usize;
+                let span = groups * GROUP_BITS;
+                if w & FILL_BIT != 0 {
+                    self.fill_pos = self.base;
+                    self.fill_end = self.base + span;
+                }
+                self.base += span;
+            } else {
+                self.base += GROUP_BITS;
+                self.pending_literal = w;
+            }
+        }
+    }
+}
+
+/// Extracts the 31-bit group starting at `bit_pos` from 64-bit words;
+/// bits beyond the words are zero.
+#[inline]
+pub(crate) fn extract_group(words: &[u64], bit_pos: usize) -> u32 {
+    let w = bit_pos / 64;
+    if w >= words.len() {
+        return 0;
+    }
+    let o = bit_pos % 64;
+    let lo = words[w] >> o;
+    let hi = if o > 64 - GROUP_BITS && w + 1 < words.len() {
+        words[w + 1] << (64 - o)
+    } else {
+        0
+    };
+    ((lo | hi) as u32) & LITERAL_MASK
+}
+
+/// Incrementally builds a WAH word stream with run coalescing.
+#[derive(Clone, Debug)]
+pub struct WahBuilder {
+    words: Vec<u32>,
+}
+
+impl WahBuilder {
+    /// Creates a builder with pre-reserved word capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        WahBuilder {
+            words: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Appends one 31-bit group, choosing literal or fill encoding and
+    /// coalescing with the previous word where possible.
+    #[inline]
+    pub fn append_group(&mut self, group: u32) {
+        debug_assert_eq!(group & !LITERAL_MASK, 0, "group exceeds 31 bits");
+        match group {
+            0 => self.append_fill(false, 1),
+            LITERAL_MASK => self.append_fill(true, 1),
+            w => self.words.push(w),
+        }
+    }
+
+    /// Appends `count` identical fill groups of `value`, coalescing.
+    pub fn append_fill(&mut self, value: bool, mut count: u32) {
+        if count == 0 {
+            return;
+        }
+        let vbit = if value { FILL_BIT } else { 0 };
+        if let Some(last) = self.words.last_mut() {
+            if *last & (FILL_FLAG | FILL_BIT) == FILL_FLAG | vbit {
+                let existing = *last & MAX_FILL;
+                let take = count.min(MAX_FILL - existing);
+                *last += take;
+                count -= take;
+            }
+        }
+        while count > 0 {
+            let take = count.min(MAX_FILL);
+            self.words.push(FILL_FLAG | vbit | take);
+            count -= take;
+        }
+    }
+
+    /// Appends `count` copies of an arbitrary group value.
+    pub fn append_group_n(&mut self, group: u32, count: u32) {
+        match group {
+            0 => self.append_fill(false, count),
+            LITERAL_MASK => self.append_fill(true, count),
+            w => {
+                for _ in 0..count {
+                    self.words.push(w);
+                }
+            }
+        }
+    }
+
+    /// Finalizes the stream with the logical bit length.
+    pub fn finish(self, num_bits: usize) -> WahBitmap {
+        WahBitmap {
+            words: self.words,
+            num_bits,
+        }
+    }
+}
+
+impl Default for WahBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bitmap() {
+        let w = WahBitmap::new();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.count_ones(), 0);
+        assert!(w.iter_ones().next().is_none());
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let bv = BitVec::from_ones(10, [0, 3, 9]);
+        let w = WahBitmap::from_bitvec(&bv);
+        assert_eq!(w.to_bitvec(), bv);
+        assert_eq!(w.count_ones(), 3);
+    }
+
+    #[test]
+    fn roundtrip_exact_group_boundary() {
+        for len in [31usize, 62, 93, 64, 128] {
+            let bv = BitVec::from_ones(len, [0, len - 1]);
+            let w = WahBitmap::from_bitvec(&bv);
+            assert_eq!(w.to_bitvec(), bv, "len {len}");
+        }
+    }
+
+    #[test]
+    fn zero_run_compresses_to_one_fill() {
+        let bv = BitVec::zeros(31 * 1000);
+        let w = WahBitmap::from_bitvec(&bv);
+        assert_eq!(w.num_words(), 1);
+        let first = w.runs().next().unwrap();
+        match first {
+            Run::Fill { value, groups } => {
+                assert!(!value);
+                assert_eq!(groups, 1000);
+            }
+            r => panic!("expected fill, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn one_run_compresses_to_one_fill() {
+        let bv = BitVec::ones(31 * 50);
+        let w = WahBitmap::from_bitvec(&bv);
+        assert_eq!(w.num_words(), 1);
+        assert_eq!(w.count_ones(), 31 * 50);
+    }
+
+    #[test]
+    fn alternating_bits_stay_literal() {
+        let bv = BitVec::from_ones(31 * 4, (0..31 * 4).step_by(2));
+        let w = WahBitmap::from_bitvec(&bv);
+        assert_eq!(w.num_words(), 4); // no compression possible
+        assert_eq!(w.to_bitvec(), bv);
+    }
+
+    #[test]
+    fn get_matches_bitvec() {
+        let bv = BitVec::from_ones(500, [0, 31, 62, 100, 311, 499]);
+        let w = WahBitmap::from_bitvec(&bv);
+        for i in 0..500 {
+            assert_eq!(w.get(i), bv.get(i), "bit {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        WahBitmap::from_bitvec(&BitVec::zeros(10)).get(10);
+    }
+
+    #[test]
+    fn iter_ones_matches_bitvec() {
+        let ones = [0usize, 5, 30, 31, 32, 61, 62, 93, 200, 930, 931];
+        let bv = BitVec::from_ones(1000, ones);
+        let w = WahBitmap::from_bitvec(&bv);
+        assert_eq!(w.iter_ones().collect::<Vec<_>>(), ones.to_vec());
+    }
+
+    #[test]
+    fn iter_ones_through_one_fill() {
+        let bv = BitVec::ones(100);
+        let w = WahBitmap::from_bitvec(&bv);
+        assert_eq!(
+            w.iter_ones().collect::<Vec<_>>(),
+            (0..100).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn count_ones_with_partial_tail_group() {
+        // 40 bits: one full group + 9-bit tail, all ones.
+        let bv = BitVec::ones(40);
+        let w = WahBitmap::from_bitvec(&bv);
+        assert_eq!(w.count_ones(), 40);
+    }
+
+    #[test]
+    fn sparse_bitmap_compresses() {
+        let bv = BitVec::from_ones(1_000_000, (0..1_000_000).step_by(50_000));
+        let w = WahBitmap::from_bitvec(&bv);
+        assert!(w.size_bytes() < 1_000_000 / 8 / 100);
+        assert!(w.compression_ratio() < 0.01);
+    }
+
+    #[test]
+    fn builder_coalesces_fills() {
+        let mut b = WahBuilder::new();
+        b.append_fill(false, 3);
+        b.append_fill(false, 4);
+        b.append_fill(true, 2);
+        let w = b.finish(31 * 9);
+        assert_eq!(w.num_words(), 2);
+        assert_eq!(w.count_ones(), 62);
+    }
+
+    #[test]
+    fn builder_fill_overflow_splits_words() {
+        let mut b = WahBuilder::new();
+        b.append_fill(false, MAX_FILL);
+        b.append_fill(false, 5);
+        let w = b.finish((MAX_FILL as usize + 5) * GROUP_BITS);
+        assert_eq!(w.num_words(), 2);
+        let runs: Vec<Run> = w.runs().collect();
+        assert_eq!(
+            runs,
+            vec![
+                Run::Fill {
+                    value: false,
+                    groups: MAX_FILL
+                },
+                Run::Fill {
+                    value: false,
+                    groups: 5
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn extract_group_spans_word_boundary() {
+        // Set bits 60..70 in a 128-bit vector; group 1 covers bits 31..62,
+        // group 2 covers bits 62..93.
+        let bv = BitVec::from_ones(128, 60..70);
+        let g1 = extract_group(bv.words(), 31);
+        let g2 = extract_group(bv.words(), 62);
+        // Bits 60,61 → positions 29,30 of group 1.
+        assert_eq!(g1, (1 << 29) | (1 << 30));
+        // Bits 62..70 → positions 0..8 of group 2.
+        assert_eq!(g2, 0xFF);
+    }
+}

@@ -1,0 +1,449 @@
+//! EWAH — the Enhanced Word-Aligned Hybrid code.
+//!
+//! EWAH (Lemire, Kaser, Aouiche; the format inside git's bitmap
+//! index) is WAH's 64-bit descendant. The stream alternates *marker*
+//! words and runs of verbatim *literal* words:
+//!
+//! ```text
+//! marker: bit 0      — value of the clean run (all-0 / all-1 words)
+//!         bits 1..33 — clean run length, in 64-bit words
+//!         bits 33..64— number of literal words following the marker
+//! ```
+//!
+//! Compared with WAH, EWAH never splits a machine word (no 31-bit
+//! groups), wastes no flag bit per literal, and can skip whole literal
+//! runs during operations — at the cost of one marker word even for
+//! isolated literals. It rounds out the run-length family next to
+//! [`crate::WahBitmap`] and [`crate::BbcBitmap`].
+
+use bitmap::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// Maximum clean-run length per marker (32 bits of count).
+const MAX_RUN: u64 = (1 << 32) - 1;
+/// Maximum literal words per marker (31 bits of count).
+const MAX_LIT: u64 = (1 << 31) - 1;
+
+/// An EWAH-compressed bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use bitmap::BitVec;
+/// use wah::EwahBitmap;
+///
+/// let bv = BitVec::from_ones(1_000_000, [5usize, 700_000]);
+/// let e = EwahBitmap::from_bitvec(&bv);
+/// assert!(e.size_bytes() < bv.size_bytes() / 100);
+/// assert_eq!(e.to_bitvec(), bv);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EwahBitmap {
+    words: Vec<u64>,
+    num_bits: usize,
+}
+
+/// A decoded EWAH segment: one marker's clean run plus its literals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Segment {
+    run_value: bool,
+    run_words: u64,
+    literal_words: u32,
+}
+
+#[inline]
+fn marker(run_value: bool, run_words: u64, literal_words: u64) -> u64 {
+    debug_assert!(run_words <= MAX_RUN && literal_words <= MAX_LIT);
+    (run_value as u64) | (run_words << 1) | (literal_words << 33)
+}
+
+#[inline]
+fn parse_marker(w: u64) -> Segment {
+    Segment {
+        run_value: w & 1 == 1,
+        run_words: (w >> 1) & MAX_RUN,
+        literal_words: (w >> 33) as u32,
+    }
+}
+
+impl EwahBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        EwahBitmap {
+            words: Vec::new(),
+            num_bits: 0,
+        }
+    }
+
+    /// Compresses a verbatim bit vector.
+    pub fn from_bitvec(bv: &BitVec) -> Self {
+        let num_bits = bv.len();
+        let n_words = num_bits.div_ceil(64);
+        let src = bv.words();
+        let word_at = |i: usize| -> u64 { src.get(i).copied().unwrap_or(0) };
+        // Mask of valid bits in the final word.
+        let tail_mask = if num_bits.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (num_bits % 64)) - 1
+        };
+        let get = |i: usize| -> u64 {
+            let w = word_at(i);
+            if i + 1 == n_words {
+                w & tail_mask
+            } else {
+                w
+            }
+        };
+
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < n_words {
+            // Measure the clean run (prefer the first word's kind).
+            let first = get(i);
+            let run_value = first == u64::MAX;
+            let clean = |w: u64| -> bool { w == if run_value { u64::MAX } else { 0 } };
+            let mut run = 0u64;
+            while i < n_words && clean(get(i)) && run < MAX_RUN {
+                run += 1;
+                i += 1;
+            }
+            // Collect following literal words (stop at the next clean
+            // pair to let the next marker take over; a single clean
+            // word between literals is cheaper kept literal only if it
+            // is not extendable, so we stop at any clean word — simple
+            // and canonical).
+            let lit_start = i;
+            while i < n_words && ((i - lit_start) as u64) < MAX_LIT {
+                let w = get(i);
+                if w == 0 || w == u64::MAX {
+                    break;
+                }
+                i += 1;
+            }
+            let lits = (i - lit_start) as u64;
+            if run == 0 && lits == 0 {
+                // A clean word of the *other* kind than `run_value`
+                // guessed: loop again with correct kind.
+                // get(i) is clean (0 or MAX) but not matching run_value
+                // guess; since run_value was derived from get(i) this
+                // cannot happen — defensive break.
+                unreachable!("encoder made no progress");
+            }
+            out.push(marker(run_value, run, lits));
+            out.extend((lit_start..i).map(get));
+        }
+        EwahBitmap {
+            words: out,
+            num_bits,
+        }
+    }
+
+    /// Compresses a bitmap of `len` bits given its set positions.
+    pub fn from_ones<I: IntoIterator<Item = usize>>(len: usize, ones: I) -> Self {
+        Self::from_bitvec(&BitVec::from_ones(len, ones))
+    }
+
+    /// Decompresses back to a verbatim bit vector.
+    pub fn to_bitvec(&self) -> BitVec {
+        let mut words = Vec::with_capacity(self.num_bits.div_ceil(64));
+        let mut i = 0usize;
+        while i < self.words.len() {
+            let seg = parse_marker(self.words[i]);
+            i += 1;
+            let fill = if seg.run_value { u64::MAX } else { 0 };
+            words.extend(std::iter::repeat_n(fill, seg.run_words as usize));
+            for _ in 0..seg.literal_words {
+                words.push(self.words[i]);
+                i += 1;
+            }
+        }
+        words.resize(self.num_bits.div_ceil(64), 0);
+        BitVec::from_words(words, self.num_bits)
+    }
+
+    /// Logical length in bits.
+    pub fn len(&self) -> usize {
+        self.num_bits
+    }
+
+    /// `true` when the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.num_bits == 0
+    }
+
+    /// Compressed size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Number of set bits, from the compressed form.
+    pub fn count_ones(&self) -> usize {
+        let mut total = 0usize;
+        let mut bit_base = 0usize;
+        let mut i = 0usize;
+        while i < self.words.len() {
+            let seg = parse_marker(self.words[i]);
+            i += 1;
+            let run_bits = seg.run_words as usize * 64;
+            if seg.run_value {
+                total += run_bits.min(self.num_bits.saturating_sub(bit_base));
+            }
+            bit_base += run_bits;
+            for _ in 0..seg.literal_words {
+                total += self.words[i].count_ones() as usize;
+                i += 1;
+                bit_base += 64;
+            }
+        }
+        total
+    }
+
+    /// Reads bit `pos` by scanning the marker stream — like WAH, no
+    /// direct access, but markers let whole literal runs be skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`.
+    pub fn get(&self, pos: usize) -> bool {
+        assert!(
+            pos < self.num_bits,
+            "bit {pos} out of range {}",
+            self.num_bits
+        );
+        let target_word = pos / 64;
+        let bit = pos % 64;
+        let mut word_base = 0usize;
+        let mut i = 0usize;
+        while i < self.words.len() {
+            let seg = parse_marker(self.words[i]);
+            i += 1;
+            if target_word < word_base + seg.run_words as usize {
+                return seg.run_value;
+            }
+            word_base += seg.run_words as usize;
+            let lits = seg.literal_words as usize;
+            if target_word < word_base + lits {
+                // Jump straight into the literal block.
+                let w = self.words[i + (target_word - word_base)];
+                return w >> bit & 1 == 1;
+            }
+            i += lits;
+            word_base += lits;
+        }
+        false // trailing zero words are implicit
+    }
+
+    /// Iterates set-bit positions in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut positions = Vec::new();
+        // EWAH iteration is simplest via segment walk; bounded by the
+        // number of set bits, so collecting is linear in output size.
+        let mut bit_base = 0usize;
+        let mut i = 0usize;
+        while i < self.words.len() {
+            let seg = parse_marker(self.words[i]);
+            i += 1;
+            if seg.run_value {
+                let end = (bit_base + seg.run_words as usize * 64).min(self.num_bits);
+                positions.extend(bit_base..end);
+            }
+            bit_base += seg.run_words as usize * 64;
+            for _ in 0..seg.literal_words {
+                let mut w = self.words[i];
+                i += 1;
+                while w != 0 {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    if bit_base + tz < self.num_bits {
+                        positions.push(bit_base + tz);
+                    }
+                }
+                bit_base += 64;
+            }
+        }
+        positions.into_iter()
+    }
+
+    /// Word-wise binary operation in the compressed domain.
+    fn binary_op<F: Fn(u64, u64) -> u64>(&self, other: &EwahBitmap, op: F) -> EwahBitmap {
+        assert_eq!(
+            self.num_bits, other.num_bits,
+            "EWAH logical op on different lengths"
+        );
+        let mut xa = WordCursor::new(self);
+        let mut xb = WordCursor::new(other);
+        let n_words = self.num_bits.div_ceil(64);
+        // Produce the result as raw words, then re-encode: EWAH's
+        // markers make streaming merge bookkeeping heavy; for this
+        // library the simple route is exact and still O(words).
+        let mut raw = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            raw.push(op(xa.next_word(), xb.next_word()));
+        }
+        let mut bv = BitVec::from_words(raw, n_words * 64);
+        if bv.len() != self.num_bits {
+            // Rebuild at the exact logical length.
+            let mut exact = BitVec::zeros(self.num_bits);
+            for p in bv.iter_ones().filter(|&p| p < self.num_bits) {
+                exact.set(p);
+            }
+            bv = exact;
+        }
+        EwahBitmap::from_bitvec(&bv)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, other: &EwahBitmap) -> EwahBitmap {
+        self.binary_op(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &EwahBitmap) -> EwahBitmap {
+        self.binary_op(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &EwahBitmap) -> EwahBitmap {
+        self.binary_op(other, |a, b| a ^ b)
+    }
+}
+
+impl Default for EwahBitmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Streams the decompressed 64-bit words of an EWAH bitmap.
+struct WordCursor<'a> {
+    words: &'a [u64],
+    idx: usize,
+    run_left: u64,
+    run_fill: u64,
+    lits_left: u32,
+}
+
+impl<'a> WordCursor<'a> {
+    fn new(e: &'a EwahBitmap) -> Self {
+        WordCursor {
+            words: &e.words,
+            idx: 0,
+            run_left: 0,
+            run_fill: 0,
+            lits_left: 0,
+        }
+    }
+
+    fn next_word(&mut self) -> u64 {
+        loop {
+            if self.run_left > 0 {
+                self.run_left -= 1;
+                return self.run_fill;
+            }
+            if self.lits_left > 0 {
+                self.lits_left -= 1;
+                let w = self.words[self.idx];
+                self.idx += 1;
+                return w;
+            }
+            if self.idx >= self.words.len() {
+                return 0; // implicit trailing zeros
+            }
+            let seg = parse_marker(self.words[self.idx]);
+            self.idx += 1;
+            self.run_left = seg.run_words;
+            self.run_fill = if seg.run_value { u64::MAX } else { 0 };
+            self.lits_left = seg.literal_words;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let e = EwahBitmap::new();
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.count_ones(), 0);
+    }
+
+    #[test]
+    fn roundtrip_patterns() {
+        for (len, ones) in [
+            (10usize, vec![0usize, 9]),
+            (64, vec![0, 63]),
+            (65, vec![64]),
+            (1000, (0..1000).step_by(3).collect()),
+            (1000, vec![]),
+            (1000, (0..1000).collect()),
+        ] {
+            let bv = BitVec::from_ones(len, ones);
+            let e = EwahBitmap::from_bitvec(&bv);
+            assert_eq!(e.to_bitvec(), bv, "len {len}");
+            assert_eq!(e.count_ones(), bv.count_ones(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn long_runs_compress_to_two_words() {
+        let e = EwahBitmap::from_bitvec(&BitVec::zeros(64 * 10_000));
+        assert_eq!(e.size_bytes(), 8); // one marker
+        let e1 = EwahBitmap::from_bitvec(&BitVec::ones(64 * 10_000));
+        assert_eq!(e1.size_bytes(), 8);
+        assert_eq!(e1.count_ones(), 64 * 10_000);
+    }
+
+    #[test]
+    fn get_matches_bitvec() {
+        let bv = BitVec::from_ones(500, [0, 63, 64, 127, 128, 300, 499]);
+        let e = EwahBitmap::from_bitvec(&bv);
+        for i in 0..500 {
+            assert_eq!(e.get(i), bv.get(i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn iter_ones_matches() {
+        let ones = vec![1usize, 63, 64, 65, 200, 449];
+        let bv = BitVec::from_ones(450, ones.clone());
+        let e = EwahBitmap::from_bitvec(&bv);
+        assert_eq!(e.iter_ones().collect::<Vec<_>>(), ones);
+    }
+
+    #[test]
+    fn ops_match_bitvec() {
+        let a = BitVec::from_ones(1000, (0..1000).step_by(7));
+        let b = BitVec::from_ones(1000, (0..1000).step_by(5));
+        let (ea, eb) = (EwahBitmap::from_bitvec(&a), EwahBitmap::from_bitvec(&b));
+        assert_eq!(ea.and(&eb).to_bitvec(), a.and(&b));
+        assert_eq!(ea.or(&eb).to_bitvec(), a.or(&b));
+        assert_eq!(ea.xor(&eb).to_bitvec(), a.xor(&b));
+    }
+
+    #[test]
+    fn ewah_denser_than_wah_on_incompressible_data() {
+        // Dense alternating bits: nothing to run-length. WAH pays a
+        // flag bit per 31 payload bits (~3.2% overhead); EWAH stores
+        // whole 64-bit literals behind one marker.
+        let bv = BitVec::from_ones(64 * 1000, (0..64 * 1000).step_by(2));
+        let e = EwahBitmap::from_bitvec(&bv);
+        let w = crate::WahBitmap::from_bitvec(&bv);
+        assert!(
+            e.size_bytes() < w.size_bytes(),
+            "ewah {} vs wah {}",
+            e.size_bytes(),
+            w.size_bytes()
+        );
+        // And within 1% of the verbatim size.
+        assert!(e.size_bytes() as f64 <= bv.size_bytes() as f64 * 1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range() {
+        EwahBitmap::from_bitvec(&BitVec::zeros(5)).get(5);
+    }
+}

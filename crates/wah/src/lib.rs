@@ -1,0 +1,46 @@
+//! Run-length bitmap compression baselines: WAH and BBC.
+//!
+//! This crate implements the two compression schemes the paper's
+//! background covers (§2.2.1) and that the evaluation compares the
+//! Approximate Bitmap against:
+//!
+//! * [`WahBitmap`] — the Word-Aligned Hybrid code of Wu, Otoo and
+//!   Shoshani: 32-bit literal/fill words, compressed-domain
+//!   AND/OR/XOR/NOT, the fastest-query run-length scheme and the
+//!   paper's primary baseline.
+//! * [`BbcBitmap`] — a Byte-aligned Bitmap Code variant: better
+//!   compression, slower operations.
+//!
+//! Both types deliberately expose [`WahBitmap::get`] / [`BbcBitmap::get`]
+//! as stream scans: run-length encoding loses direct access, which is
+//! precisely the deficiency the Approximate Bitmap addresses.
+//!
+//! # Example: the classic bitmap query plan
+//!
+//! ```
+//! use bitmap::BitVec;
+//! use wah::WahBitmap;
+//!
+//! // Two bin bitmaps of one attribute and a row-range mask.
+//! let bin1 = WahBitmap::from_ones(1000, (0..1000).step_by(3));
+//! let bin2 = WahBitmap::from_ones(1000, (1..1000).step_by(3));
+//! let mask = WahBitmap::from_bitvec(&BitVec::from_ones(1000, 100..200));
+//!
+//! // attribute IN {bin1, bin2} AND row IN [100, 200)
+//! let result = bin1.or(&bin2).and(&mask);
+//! assert_eq!(result.count_ones(), 67);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bbc;
+pub mod encode;
+pub mod ewah;
+pub mod index;
+pub mod ops;
+
+pub use bbc::{BbcBitmap, ByteRun};
+pub use encode::{Run, WahBitmap, WahBuilder, GROUP_BITS, LITERAL_MASK};
+pub use ewah::EwahBitmap;
+pub use index::{WahAttribute, WahIndex};
+pub use ops::binary_op;

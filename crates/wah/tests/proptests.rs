@@ -1,0 +1,178 @@
+//! Property-based tests: WAH and BBC behave exactly like verbatim
+//! bitmaps under every operation.
+
+use bitmap::BitVec;
+use proptest::prelude::*;
+use wah::{BbcBitmap, EwahBitmap, WahBitmap};
+
+/// Strategy: (length, set positions) pairs with clustered and scattered
+/// bits — clustering exercises fills, scattering exercises literals.
+fn bitmap_strategy() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (1usize..2000).prop_flat_map(|len| {
+        let positions = prop::collection::btree_set(0..len, 0..len.min(80))
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+        (Just(len), positions)
+    })
+}
+
+/// Strategy: dense run-structured bitmaps (long fills of both values).
+fn runs_strategy() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    prop::collection::vec((0usize..50, any::<bool>()), 1..30).prop_map(|runs| {
+        let mut ones = Vec::new();
+        let mut pos = 0;
+        for (len, val) in runs {
+            if val {
+                ones.extend(pos..pos + len);
+            }
+            pos += len;
+        }
+        (pos.max(1), ones)
+    })
+}
+
+proptest! {
+    #[test]
+    fn wah_roundtrip((len, ones) in bitmap_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let w = WahBitmap::from_bitvec(&bv);
+        prop_assert_eq!(w.to_bitvec(), bv);
+    }
+
+    #[test]
+    fn wah_roundtrip_runs((len, ones) in runs_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let w = WahBitmap::from_bitvec(&bv);
+        prop_assert_eq!(&w.to_bitvec(), &bv);
+        prop_assert_eq!(w.count_ones(), bv.count_ones());
+    }
+
+    #[test]
+    fn wah_get_matches((len, ones) in bitmap_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let w = WahBitmap::from_bitvec(&bv);
+        for i in (0..len).step_by((len / 17).max(1)) {
+            prop_assert_eq!(w.get(i), bv.get(i));
+        }
+    }
+
+    #[test]
+    fn wah_iter_ones_matches((len, ones) in runs_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let w = WahBitmap::from_bitvec(&bv);
+        prop_assert_eq!(
+            w.iter_ones().collect::<Vec<_>>(),
+            bv.iter_ones().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn wah_ops_match_bitvec((len, a) in bitmap_strategy(), bseed in prop::collection::vec(any::<u16>(), 0..80)) {
+        let b: Vec<usize> = bseed.into_iter().map(|x| x as usize % len).collect();
+        let (va, vb) = (BitVec::from_ones(len, a), BitVec::from_ones(len, b));
+        let (wa, wb) = (WahBitmap::from_bitvec(&va), WahBitmap::from_bitvec(&vb));
+        prop_assert_eq!(wa.and(&wb).to_bitvec(), va.and(&vb));
+        prop_assert_eq!(wa.or(&wb).to_bitvec(), va.or(&vb));
+        prop_assert_eq!(wa.xor(&wb).to_bitvec(), va.xor(&vb));
+        prop_assert_eq!(wa.andnot(&wb).to_bitvec(), va.andnot(&vb));
+    }
+
+    #[test]
+    fn wah_not_matches_bitvec((len, ones) in runs_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let w = WahBitmap::from_bitvec(&bv);
+        prop_assert_eq!(w.not().to_bitvec(), bv.not());
+        prop_assert_eq!(w.not().not().to_bitvec(), bv);
+    }
+
+    #[test]
+    fn bbc_roundtrip((len, ones) in bitmap_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let b = BbcBitmap::from_bitvec(&bv);
+        prop_assert_eq!(b.to_bitvec(), bv);
+    }
+
+    #[test]
+    fn bbc_roundtrip_runs((len, ones) in runs_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let b = BbcBitmap::from_bitvec(&bv);
+        prop_assert_eq!(&b.to_bitvec(), &bv);
+        prop_assert_eq!(b.count_ones(), bv.count_ones());
+    }
+
+    #[test]
+    fn bbc_ops_match_bitvec((len, a) in runs_strategy(), bseed in prop::collection::vec(any::<u16>(), 0..40)) {
+        let b: Vec<usize> = bseed.into_iter().map(|x| x as usize % len).collect();
+        let (va, vb) = (BitVec::from_ones(len, a), BitVec::from_ones(len, b));
+        let (ba, bb) = (BbcBitmap::from_bitvec(&va), BbcBitmap::from_bitvec(&vb));
+        prop_assert_eq!(ba.and(&bb).to_bitvec(), va.and(&vb));
+        prop_assert_eq!(ba.or(&bb).to_bitvec(), va.or(&vb));
+        prop_assert_eq!(ba.xor(&bb).to_bitvec(), va.xor(&vb));
+    }
+
+    #[test]
+    fn bbc_get_matches((len, ones) in runs_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let b = BbcBitmap::from_bitvec(&bv);
+        for i in 0..len {
+            prop_assert_eq!(b.get(i), bv.get(i), "bit {}", i);
+        }
+    }
+
+    #[test]
+    fn wah_count_ones_matches((len, ones) in bitmap_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        prop_assert_eq!(WahBitmap::from_bitvec(&bv).count_ones(), bv.count_ones());
+    }
+
+    #[test]
+    fn ewah_roundtrip((len, ones) in bitmap_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let e = EwahBitmap::from_bitvec(&bv);
+        prop_assert_eq!(e.to_bitvec(), bv);
+    }
+
+    #[test]
+    fn ewah_roundtrip_runs((len, ones) in runs_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let e = EwahBitmap::from_bitvec(&bv);
+        prop_assert_eq!(&e.to_bitvec(), &bv);
+        prop_assert_eq!(e.count_ones(), bv.count_ones());
+        prop_assert_eq!(
+            e.iter_ones().collect::<Vec<_>>(),
+            bv.iter_ones().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ewah_get_matches((len, ones) in runs_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let e = EwahBitmap::from_bitvec(&bv);
+        for i in 0..len {
+            prop_assert_eq!(e.get(i), bv.get(i), "bit {}", i);
+        }
+    }
+
+    #[test]
+    fn ewah_ops_match_bitvec((len, a) in runs_strategy(), bseed in prop::collection::vec(any::<u16>(), 0..60)) {
+        let b: Vec<usize> = bseed.into_iter().map(|x| x as usize % len).collect();
+        let (va, vb) = (BitVec::from_ones(len, a), BitVec::from_ones(len, b));
+        let (ea, eb) = (EwahBitmap::from_bitvec(&va), EwahBitmap::from_bitvec(&vb));
+        prop_assert_eq!(ea.and(&eb).to_bitvec(), va.and(&vb));
+        prop_assert_eq!(ea.or(&eb).to_bitvec(), va.or(&vb));
+        prop_assert_eq!(ea.xor(&eb).to_bitvec(), va.xor(&vb));
+    }
+
+    /// All three run-length codecs agree on every derived quantity.
+    #[test]
+    fn codecs_agree((len, ones) in runs_strategy()) {
+        let bv = BitVec::from_ones(len, ones);
+        let w = WahBitmap::from_bitvec(&bv);
+        let b = BbcBitmap::from_bitvec(&bv);
+        let e = EwahBitmap::from_bitvec(&bv);
+        prop_assert_eq!(w.count_ones(), bv.count_ones());
+        prop_assert_eq!(b.count_ones(), bv.count_ones());
+        prop_assert_eq!(e.count_ones(), bv.count_ones());
+        prop_assert_eq!(w.to_bitvec(), e.to_bitvec());
+        prop_assert_eq!(b.to_bitvec(), e.to_bitvec());
+    }
+}

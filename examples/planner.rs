@@ -1,0 +1,64 @@
+//! Cost-based engine selection: calibrate the AB-vs-WAH crossover on
+//! your own data and let the planner route each query.
+//!
+//! Figure 14 of the paper fixes the crossover at "around 15% of the
+//! rows" for its 2006 testbed; on different hardware the constant
+//! moves, so this library measures it instead.
+//!
+//! Run with: `cargo run --release --example planner`
+
+use ab::planner::{calibrate, plan, wah_like::WahLike, Engine};
+use ab::{AbConfig, AbIndex, Level};
+use bitmap::RectQuery;
+use datagen::{generate, small_uniform, QueryGenParams};
+use wah::WahIndex;
+
+fn main() {
+    let ds = small_uniform(100_000, 2, 50, 2006);
+    let n = ds.rows();
+    println!("data: {} rows x {} attributes", n, ds.attributes());
+
+    let ab = AbIndex::build(&ds.binned, &AbConfig::new(Level::PerColumn).with_alpha(16));
+    let wah = WahIndex::build(&ds.binned);
+    println!(
+        "index sizes: AB {} bytes, WAH {} bytes",
+        ab.size_bytes(),
+        wah.size_bytes()
+    );
+
+    // Calibrate on a handful of sampled queries.
+    let params = QueryGenParams::paper_default(&ds.binned, 1_000, 7);
+    let samples = generate(&ds.binned, &params);
+    let wah_eval = WahLike::new(|q: &RectQuery| {
+        // WAH pays the full-column plan regardless of the row range.
+        let full = RectQuery::new(q.ranges.clone(), 0, n - 1);
+        std::hint::black_box(wah.evaluate(&full));
+    });
+    let model = calibrate(&ab, &wah_eval, &samples[..10]);
+    println!(
+        "calibrated model: WAH {:.4} ms/query, AB {:.6} ms per row x attribute",
+        model.wah_ms_per_query, model.ab_ms_per_row_attr
+    );
+    println!(
+        "=> crossover for 2-attribute queries: ~{} rows (~{:.1}% of the table)",
+        model.crossover_rows(2),
+        100.0 * model.crossover_rows(2) as f64 / n as f64
+    );
+
+    // Route a spread of query sizes.
+    println!("\n{:>10}  {:>8}  routed to", "rows", "% of N");
+    for rows in [50usize, 500, 2_000, 10_000, 50_000, n] {
+        let q_params = QueryGenParams::paper_default(&ds.binned, rows, 11);
+        let q = &generate(&ds.binned, &q_params)[0];
+        let engine = plan(&model, q);
+        println!(
+            "{:>10}  {:>7.2}%  {}",
+            q.num_rows(),
+            100.0 * q.num_rows() as f64 / n as f64,
+            match engine {
+                Engine::Ab => "AB  (O(rows), approximate, 100% recall)",
+                Engine::Wah => "WAH (flat full-column cost, exact)",
+            }
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Row-reordering preprocessing (paper §2.2.1): improve WAH
+//! compression by physically reordering the rows — lexicographic sort
+//! vs the Gray-code heuristic of Pinar, Tao & Ferhatosmanoglu — and
+//! see how the choice interacts with the AB (whose size is *immune* to
+//! row order: it depends only on the number of set bits).
+//!
+//! Run with: `cargo run --release --example reordering`
+
+use ab::{AbConfig, AbIndex, Level};
+use bitmap::{apply_permutation, gray_order, lexicographic_order, total_transitions};
+use datagen::small_uniform;
+use wah::WahIndex;
+
+fn main() {
+    let ds = small_uniform(50_000, 3, 12, 2006);
+    println!(
+        "data: {} rows x {} attributes, {} bitmap columns\n",
+        ds.rows(),
+        ds.attributes(),
+        ds.total_bitmaps()
+    );
+
+    let orders: [(&str, Option<bitmap::reorder::Permutation>); 3] = [
+        ("original order", None),
+        ("lexicographic sort", Some(lexicographic_order(&ds.binned))),
+        ("gray-code order", Some(gray_order(&ds.binned))),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>12} {:>12}",
+        "row order", "transitions", "WAH bytes", "AB bytes"
+    );
+    for (name, perm) in &orders {
+        let table = match perm {
+            None => ds.binned.clone(),
+            Some(p) => apply_permutation(&ds.binned, p),
+        };
+        let wah = WahIndex::build(&table);
+        let ab = AbIndex::build(&table, &AbConfig::new(Level::PerAttribute).with_alpha(8));
+        println!(
+            "{:<20} {:>12} {:>12} {:>12}",
+            name,
+            total_transitions(&table),
+            wah.size_bytes(),
+            ab.size_bytes(),
+        );
+    }
+
+    println!(
+        "\nWAH shrinks with better ordering (fewer bit transitions = longer \
+         fills);\nthe AB's size never moves — hashed set bits don't care \
+         where the rows sit.\nThat is the trade: WAH + reordering wins on \
+         space for full scans; the AB\nkeeps O(1) direct access regardless \
+         of physical order."
+    );
+}

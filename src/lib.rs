@@ -1,0 +1,6 @@
+//! Facade crate: re-exports the workspace public API for examples and integration tests.
+pub use ab;
+pub use bitmap;
+pub use datagen;
+pub use hashkit;
+pub use wah;
