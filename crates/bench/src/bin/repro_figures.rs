@@ -16,7 +16,7 @@
 use ab::{AbConfig, Sizing};
 use bench::{
     ab_query_time_ms, cli, mean_precision, mean_tuples, paper_alpha, paper_level, print_table,
-    wah_query_time_ms, Bundle,
+    wah_query_time_ms, write_bench_snapshot, Bundle,
 };
 use hashkit::{HashFamily, HashKind};
 
@@ -68,6 +68,12 @@ fn main() {
     if !matched {
         eprintln!("unknown figure `{which}`");
         std::process::exit(2);
+    }
+    // The figures above accumulate into the global registry as a side
+    // effect; dump whatever this run touched.
+    match write_bench_snapshot("figures", &obs::global().snapshot()) {
+        Ok(path) => println!("\nMetrics snapshot written to {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics snapshot: {e}"),
     }
 }
 

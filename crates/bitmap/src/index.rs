@@ -140,6 +140,7 @@ impl BitmapIndex {
             query.row_hi,
             self.num_rows
         );
+        obs::counter!("bitmap.exact.queries").inc();
         let mut acc: Option<BitVec> = None;
         for r in &query.ranges {
             let ored = self.attributes[r.attribute].range(r.lo, r.hi);

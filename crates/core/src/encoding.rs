@@ -116,14 +116,25 @@ impl ApproximateBitmap {
     /// large k.
     #[inline]
     pub fn contains(&self, row: u64, col: u64) -> bool {
+        self.contains_counted(row, col).0
+    }
+
+    /// [`Self::contains`] plus the number of AB bits actually read
+    /// before the verdict — at most `k`, and exactly the per-probe term
+    /// of the paper's O(c·k) retrieval bound. Feeds
+    /// [`crate::QueryStats::bits_read`].
+    #[inline]
+    pub fn contains_counted(&self, row: u64, col: u64) -> (bool, u32) {
         let mut prober = self.family.prober(row, col, self.mapper, self.n_bits());
+        let mut read = 0u32;
         for _ in 0..self.k {
             let p = prober.next_position();
+            read += 1;
             if !self.bits.get(p as usize) {
-                return false; // Figure 5 line 9: break loop
+                return (false, read); // Figure 5 line 9: break loop
             }
         }
-        true
+        (true, read)
     }
 
     /// Inserts every set cell of a boolean matrix (Figure 3).
@@ -312,6 +323,18 @@ mod tests {
         }
         let f = ab.fill_ratio();
         assert!((ab.expected_fp_rate() - f * f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_counted_bounds_reads_by_k() {
+        let mut ab = small_ab(1 << 12, 4);
+        ab.insert(1, 2);
+        let (hit, read) = ab.contains_counted(1, 2);
+        assert!(hit);
+        assert_eq!(read, 4, "a present cell reads all k bits");
+        let (hit, read) = ab.contains_counted(77, 9);
+        assert!(!hit);
+        assert!((1..=4).contains(&read), "miss short-circuits within k");
     }
 
     #[test]

@@ -29,11 +29,15 @@ pub fn prune_false_positives(
             "pruning probes equality-encoded bins"
         );
     }
-    candidates
+    let kept: Vec<usize> = candidates
         .iter()
         .copied()
         .filter(|&row| row_matches(index, query, row))
-        .collect()
+        .collect();
+    // Candidates the exact check discards are, by definition, the AB's
+    // false positives for this query.
+    obs::counter!("ab.query.false_positives").add((candidates.len() - kept.len()) as u64);
+    kept
 }
 
 /// Exact check of one row against a rectangular query.

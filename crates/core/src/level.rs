@@ -64,6 +64,7 @@ impl AbIndex {
     /// per-column level (the paper restricts that hash to the coarser
     /// levels), or if the table is empty.
     pub fn build(table: &BinnedTable, config: &AbConfig) -> Self {
+        let t0 = std::time::Instant::now();
         assert!(table.num_rows() > 0, "cannot index an empty table");
         assert!(table.num_attributes() > 0, "table has no attributes");
 
@@ -114,12 +115,14 @@ impl AbIndex {
             }
         };
 
-        AbIndex {
+        let index = AbIndex {
             level: config.level,
             abs,
             attributes,
             num_rows,
-        }
+        };
+        index.record_build_metrics(t0.elapsed().as_micros() as u64);
+        index
     }
 
     /// Builds the index using up to `threads` worker threads. The
@@ -132,6 +135,7 @@ impl AbIndex {
     /// index is built once over millions of rows — construction is the
     /// one embarrassingly parallel step.
     pub fn build_parallel(table: &BinnedTable, config: &AbConfig, threads: usize) -> Self {
+        let t0 = std::time::Instant::now();
         assert!(threads >= 1, "need at least one thread");
         if threads == 1 || config.level == Level::PerDataset || table.num_attributes() <= 1 {
             return Self::build(table, config);
@@ -184,11 +188,42 @@ impl AbIndex {
                 .collect()
         });
 
-        AbIndex {
+        let index = AbIndex {
             level: config.level,
             abs: per_chunk.into_iter().flatten().collect(),
             attributes,
             num_rows: table.num_rows(),
+        };
+        index.record_build_metrics(t0.elapsed().as_micros() as u64);
+        index
+    }
+
+    /// Flushes the `ab.build.*` metrics for one finished build: total
+    /// insertions and set bits (summed over the constituent ABs, so the
+    /// registry matches what [`ApproximateBitmap::inserted`] reports)
+    /// and the wall time, both overall and per level.
+    fn record_build_metrics(&self, elapsed_us: u64) {
+        #[cfg(feature = "obs-off")]
+        let _ = elapsed_us;
+        #[cfg(not(feature = "obs-off"))]
+        {
+            obs::counter!("ab.build.indexes").inc();
+            let insertions: u64 = self.abs.iter().map(ApproximateBitmap::inserted).sum();
+            obs::counter!("ab.build.insertions").add(insertions);
+            let bits_set: u64 = self
+                .abs
+                .iter()
+                .map(|ab| ab.bits().count_ones() as u64)
+                .sum();
+            obs::counter!("ab.build.bits_set").add(bits_set);
+            obs::histogram!("ab.build.us").record(elapsed_us);
+            match self.level {
+                Level::PerDataset => obs::histogram!("ab.build.per_dataset_us").record(elapsed_us),
+                Level::PerAttribute => {
+                    obs::histogram!("ab.build.per_attribute_us").record(elapsed_us)
+                }
+                Level::PerColumn => obs::histogram!("ab.build.per_column_us").record(elapsed_us),
+            }
         }
     }
 
@@ -228,6 +263,14 @@ impl AbIndex {
     /// first zero bit.
     #[inline]
     pub fn test_cell(&self, row: usize, attribute: usize, bin: u32) -> bool {
+        self.test_cell_counted(row, attribute, bin).0
+    }
+
+    /// [`Self::test_cell`] plus the number of AB bits read before the
+    /// verdict (≤ the AB's k; see
+    /// [`ApproximateBitmap::contains_counted`]).
+    #[inline]
+    pub fn test_cell_counted(&self, row: usize, attribute: usize, bin: u32) -> (bool, u32) {
         let meta = &self.attributes[attribute];
         assert!(
             bin < meta.cardinality,
@@ -240,11 +283,19 @@ impl AbIndex {
         );
         match self.level {
             Level::PerDataset => {
-                self.abs[0].contains(row as u64, (meta.offset + bin as usize) as u64)
+                self.abs[0].contains_counted(row as u64, (meta.offset + bin as usize) as u64)
             }
-            Level::PerAttribute => self.abs[attribute].contains(row as u64, bin as u64),
-            Level::PerColumn => self.abs[meta.offset + bin as usize].contains(row as u64, 0),
+            Level::PerAttribute => self.abs[attribute].contains_counted(row as u64, bin as u64),
+            Level::PerColumn => {
+                self.abs[meta.offset + bin as usize].contains_counted(row as u64, 0)
+            }
         }
+    }
+
+    /// Largest k across the constituent ABs — the constant in the
+    /// O(c·k) probe bound.
+    pub fn max_k(&self) -> usize {
+        self.abs.iter().map(ApproximateBitmap::k).max().unwrap_or(0)
     }
 
     /// Reassembles an index from stored pieces (deserialization).
@@ -473,6 +524,20 @@ mod tests {
         let cfg =
             AbConfig::new(Level::PerColumn).with_family(HashFamily::ColumnGroup { num_columns: 0 });
         AbIndex::build_parallel(&t, &cfg, 2);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn build_flushes_insertion_metrics() {
+        let ins = obs::global().counter("ab.build.insertions");
+        let builds = obs::global().counter("ab.build.indexes");
+        let (i0, b0) = (ins.get(), builds.get());
+        let t = fig6_table();
+        let idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(4));
+        let inserted: u64 = idx.abs().iter().map(|a| a.inserted()).sum();
+        assert_eq!(inserted, 24); // 3 attributes × 8 rows
+        assert!(ins.get() >= i0 + inserted);
+        assert!(builds.get() >= b0 + 1);
     }
 
     #[test]

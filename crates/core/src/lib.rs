@@ -88,4 +88,4 @@ pub use exact::{execute_exact, prune_false_positives, row_matches};
 pub use io::{from_bytes, to_bytes, IoError};
 pub use level::{AbIndex, AttributeMeta};
 pub use planner::{calibrate, plan, CostModel, Engine};
-pub use query::{Cell, PrecisionStats, QueryStats};
+pub use query::{Cell, PrecisionStats, QueryError, QueryStats};

@@ -22,7 +22,7 @@ pub enum Engine {
     Wah,
 }
 
-/// Calibrated per-query cost estimates.
+/// Calibrated per-query cost estimates, with per-sample dispersion.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
     /// Mean cost of one WAH rectangular query (ms) — independent of
@@ -30,9 +30,26 @@ pub struct CostModel {
     pub wah_ms_per_query: f64,
     /// Mean AB cost per (row × constrained attribute) probed (ms).
     pub ab_ms_per_row_attr: f64,
+    /// Population stddev of the per-query WAH cost across the
+    /// calibration samples (0 for a hand-built model).
+    pub wah_ms_stddev: f64,
+    /// Population stddev of the per-(row × attribute) AB cost across
+    /// the calibration samples (0 for a hand-built model).
+    pub ab_ms_stddev: f64,
 }
 
 impl CostModel {
+    /// A model from point estimates alone (no dispersion), e.g. for
+    /// tests or externally supplied costs.
+    pub fn new(wah_ms_per_query: f64, ab_ms_per_row_attr: f64) -> Self {
+        CostModel {
+            wah_ms_per_query,
+            ab_ms_per_row_attr,
+            wah_ms_stddev: 0.0,
+            ab_ms_stddev: 0.0,
+        }
+    }
+
     /// Estimated AB cost for a query: rows × qdim probe groups.
     pub fn ab_estimate_ms(&self, query: &RectQuery) -> f64 {
         self.ab_ms_per_row_attr * query.num_rows() as f64 * query.qdim().max(1) as f64
@@ -48,19 +65,51 @@ impl CostModel {
     pub fn crossover_rows(&self, qdim: usize) -> usize {
         (self.wah_ms_per_query / (self.ab_ms_per_row_attr * qdim.max(1) as f64)).ceil() as usize
     }
+
+    /// The crossover as a `(low, mid, high)` interval: `mid` is
+    /// [`Self::crossover_rows`]; `low`/`high` re-solve it with both
+    /// costs shifted one stddev against/for the AB. A wide interval
+    /// means noisy calibration — the single-number crossover should
+    /// not be trusted to the row.
+    pub fn crossover_rows_spread(&self, qdim: usize) -> (usize, usize, usize) {
+        let mid = self.crossover_rows(qdim);
+        let q = qdim.max(1) as f64;
+        let lo = ((self.wah_ms_per_query - self.wah_ms_stddev).max(0.0)
+            / ((self.ab_ms_per_row_attr + self.ab_ms_stddev) * q))
+            .ceil() as usize;
+        let hi = ((self.wah_ms_per_query + self.wah_ms_stddev)
+            / ((self.ab_ms_per_row_attr - self.ab_ms_stddev).max(1e-15) * q))
+            .ceil() as usize;
+        (lo.min(mid), mid, hi.max(mid))
+    }
 }
 
-/// Chooses the cheaper engine under the model.
+/// Chooses the cheaper engine under the model (and counts the choice
+/// into `planner.plan.ab` / `planner.plan.wah`).
 pub fn plan(model: &CostModel, query: &RectQuery) -> Engine {
     if model.ab_estimate_ms(query) <= model.wah_estimate_ms(query) {
+        obs::counter!("planner.plan.ab").inc();
         Engine::Ab
     } else {
+        obs::counter!("planner.plan.wah").inc();
         Engine::Wah
     }
 }
 
+fn mean_and_stddev(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
 /// Measures a cost model by timing `sample_queries` against both
-/// indexes (a few iterations each; intended to run once at load time).
+/// indexes (intended to run once at load time). Each sample is timed
+/// individually — one clock read per sample boundary, since the read
+/// that ends sample *i* also starts sample *i+1* — so the model
+/// carries per-sample dispersion, and each sample's elapsed time lands
+/// in the `planner.calibrate.{ab,wah}_us` histograms. After fitting,
+/// every sample's |actual − estimated| lands in `planner.residual_us`.
 ///
 /// # Panics
 ///
@@ -71,24 +120,50 @@ pub fn calibrate(
     sample_queries: &[RectQuery],
 ) -> CostModel {
     assert!(!sample_queries.is_empty(), "need sample queries");
-    let t0 = Instant::now();
-    let mut row_attrs = 0usize;
+
+    let mut ab_ms = Vec::with_capacity(sample_queries.len());
+    let mut ab_per_row_attr = Vec::with_capacity(sample_queries.len());
+    let mut last = Instant::now();
     for q in sample_queries {
         std::hint::black_box(ab.execute_rect(q));
-        row_attrs += q.num_rows() * q.qdim().max(1);
+        let now = Instant::now();
+        let ms = (now - last).as_secs_f64() * 1e3;
+        last = now;
+        obs::histogram!("planner.calibrate.ab_us").record((ms * 1e3) as u64);
+        let row_attrs = (q.num_rows() * q.qdim().max(1)).max(1);
+        ab_ms.push(ms);
+        ab_per_row_attr.push(ms / row_attrs as f64);
     }
-    let ab_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let t1 = Instant::now();
+    let mut wah_ms = Vec::with_capacity(sample_queries.len());
+    let mut last = Instant::now();
     for q in sample_queries {
         wah.evaluate(q);
+        let now = Instant::now();
+        let ms = (now - last).as_secs_f64() * 1e3;
+        last = now;
+        obs::histogram!("planner.calibrate.wah_us").record((ms * 1e3) as u64);
+        wah_ms.push(ms);
     }
-    let wah_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-    CostModel {
-        wah_ms_per_query: (wah_ms / sample_queries.len() as f64).max(1e-9),
-        ab_ms_per_row_attr: (ab_ms / row_attrs.max(1) as f64).max(1e-12),
+    let (wah_mean, wah_sd) = mean_and_stddev(&wah_ms);
+    let (ab_mean, ab_sd) = mean_and_stddev(&ab_per_row_attr);
+    let model = CostModel {
+        wah_ms_per_query: wah_mean.max(1e-9),
+        ab_ms_per_row_attr: ab_mean.max(1e-12),
+        wah_ms_stddev: wah_sd,
+        ab_ms_stddev: ab_sd,
+    };
+
+    for (q, &ms) in sample_queries.iter().zip(&ab_ms) {
+        let residual_us = (ms - model.ab_estimate_ms(q)).abs() * 1e3;
+        obs::histogram!("planner.residual_us").record(residual_us as u64);
     }
+    for &ms in &wah_ms {
+        let residual_us = (ms - model.wah_ms_per_query).abs() * 1e3;
+        obs::histogram!("planner.residual_us").record(residual_us as u64);
+    }
+    model
 }
 
 /// A thin closure wrapper so the planner can calibrate against any WAH
@@ -124,10 +199,7 @@ mod tests {
     use bitmap::AttrRange;
 
     fn model() -> CostModel {
-        CostModel {
-            wah_ms_per_query: 1.0,
-            ab_ms_per_row_attr: 0.001,
-        }
+        CostModel::new(1.0, 0.001)
     }
 
     fn q(rows: usize) -> RectQuery {
@@ -182,5 +254,21 @@ mod tests {
         assert!(m.wah_ms_per_query > 0.0);
         assert!(m.ab_ms_per_row_attr > 0.0);
         assert!(m.crossover_rows(1) > 0);
+        assert!(m.wah_ms_stddev >= 0.0);
+        assert!(m.ab_ms_stddev >= 0.0);
+    }
+
+    #[test]
+    fn crossover_spread_brackets_the_mean() {
+        let mut m = model();
+        m.wah_ms_stddev = 0.2;
+        m.ab_ms_stddev = 0.0002;
+        let (lo, mid, hi) = m.crossover_rows_spread(1);
+        assert_eq!(mid, m.crossover_rows(1));
+        assert!(lo <= mid && mid <= hi, "({lo}, {mid}, {hi}) not ordered");
+        assert!(lo < hi, "nonzero dispersion must widen the interval");
+        // Zero dispersion collapses the interval to the point estimate.
+        let (lo0, mid0, hi0) = model().crossover_rows_spread(1);
+        assert_eq!((lo0, hi0), (mid0, mid0));
     }
 }

@@ -47,7 +47,58 @@ pub struct QueryStats {
     pub cells_probed: usize,
     /// Number of rows reported as (approximate) matches.
     pub rows_matched: usize,
+    /// Number of AB bits actually read across all probes. The Figure 5
+    /// short-circuit makes this ≤ `cells_probed × k` — the paper's
+    /// O(c·k) retrieval bound, observable per query.
+    pub bits_read: usize,
 }
+
+/// A rectangular query that cannot be executed against this index.
+///
+/// Both variants render with the phrase "out of range", matching the
+/// messages the panicking entry points ([`AbIndex::execute_rect`])
+/// have always produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryError {
+    /// The query's row interval extends past the indexed rows.
+    RowOutOfRange {
+        /// Offending row id (the query's `row_hi`).
+        row: usize,
+        /// Number of rows the index covers.
+        num_rows: usize,
+    },
+    /// An attribute range names a bin past the attribute's cardinality.
+    BinOutOfRange {
+        /// Offending attribute index.
+        attribute: usize,
+        /// Offending bin (the range's `hi`).
+        bin: u32,
+        /// The attribute's cardinality.
+        cardinality: u32,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            QueryError::RowOutOfRange { row, num_rows } => {
+                write!(f, "row {row} out of range {num_rows}")
+            }
+            QueryError::BinOutOfRange {
+                attribute,
+                bin,
+                cardinality,
+            } => {
+                write!(
+                    f,
+                    "bin {bin} out of range {cardinality} for attribute {attribute}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 impl AbIndex {
     /// Figure 5: evaluates an arbitrary cell subset, returning one
@@ -62,32 +113,76 @@ impl AbIndex {
     /// Figure 7: evaluates a rectangular query over the AB, returning
     /// the row identifiers reported as matches (superset of the exact
     /// answer; never misses a true match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rows or bins; use
+    /// [`Self::try_execute_rect`] for a typed error instead.
     pub fn execute_rect(&self, query: &RectQuery) -> Vec<usize> {
         self.execute_rect_with_stats(query).0
     }
 
     /// [`Self::execute_rect`] plus probe-count statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rows or bins; use
+    /// [`Self::try_execute_rect_with_stats`] for a typed error instead.
     pub fn execute_rect_with_stats(&self, query: &RectQuery) -> (Vec<usize>, QueryStats) {
-        assert!(
-            query.row_hi < self.num_rows(),
-            "row {} out of range {}",
-            query.row_hi,
-            self.num_rows()
-        );
+        match self.try_execute_rect_with_stats(query) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Self::execute_rect`]: returns a [`QueryError`] for
+    /// out-of-range rows or bins instead of panicking.
+    pub fn try_execute_rect(&self, query: &RectQuery) -> Result<Vec<usize>, QueryError> {
+        self.try_execute_rect_with_stats(query)
+            .map(|(rows, _)| rows)
+    }
+
+    /// Fallible [`Self::execute_rect_with_stats`]. Rejected queries
+    /// count into `ab.query.rejected`; executed ones flush their
+    /// [`QueryStats`] into the `ab.query.*` counters once, so the
+    /// registry totals equal the sum of the returned stats exactly.
+    pub fn try_execute_rect_with_stats(
+        &self,
+        query: &RectQuery,
+    ) -> Result<(Vec<usize>, QueryStats), QueryError> {
+        if query.row_hi >= self.num_rows() {
+            obs::counter!("ab.query.rejected").inc();
+            return Err(QueryError::RowOutOfRange {
+                row: query.row_hi,
+                num_rows: self.num_rows(),
+            });
+        }
         for r in &query.ranges {
             let card = self.attributes()[r.attribute].cardinality;
-            assert!(r.hi < card, "bin {} out of range {card}", r.hi);
+            if r.hi >= card {
+                obs::counter!("ab.query.rejected").inc();
+                return Err(QueryError::BinOutOfRange {
+                    attribute: r.attribute,
+                    bin: r.hi,
+                    cardinality: card,
+                });
+            }
         }
+        let _timer = obs::span("ab.query.us");
         let mut rows = Vec::new();
         let mut stats = QueryStats::default();
+        let mut short_circuits = 0u64;
         for row in query.row_lo..=query.row_hi {
             let mut andpart = true;
             for range in &query.ranges {
                 let mut orpart = false;
                 for bin in range.lo..=range.hi {
                     stats.cells_probed += 1;
-                    if self.test_cell(row, range.attribute, bin) {
+                    let (hit, read) = self.test_cell_counted(row, range.attribute, bin);
+                    stats.bits_read += read as usize;
+                    if hit {
                         orpart = true;
+                        short_circuits += u64::from(bin < range.hi);
                         break; // Figure 7 line 14-15: OR short-circuit
                     }
                 }
@@ -101,7 +196,12 @@ impl AbIndex {
             }
         }
         stats.rows_matched = rows.len();
-        (rows, stats)
+        obs::counter!("ab.query.executed").inc();
+        obs::counter!("ab.query.cells_probed").add(stats.cells_probed as u64);
+        obs::counter!("ab.query.bits_read").add(stats.bits_read as u64);
+        obs::counter!("ab.query.rows_matched").add(stats.rows_matched as u64);
+        obs::counter!("ab.query.short_circuit_hits").add(short_circuits);
+        Ok((rows, stats))
     }
 
     /// Figure 7 with an explicit row list: the paper's query definition
@@ -366,6 +466,75 @@ mod tests {
         let miss = PrecisionStats::compare(&[], &[1]);
         assert_eq!(miss.precision(), 0.0);
         assert_eq!(miss.recall(), 0.0);
+    }
+
+    #[test]
+    fn try_execute_returns_typed_errors() {
+        let t = table();
+        let idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute));
+        assert_eq!(
+            idx.try_execute_rect(&RectQuery::new(vec![], 0, 8)),
+            Err(QueryError::RowOutOfRange {
+                row: 8,
+                num_rows: 8
+            })
+        );
+        assert_eq!(
+            idx.try_execute_rect(&RectQuery::new(vec![AttrRange::new(1, 0, 5)], 0, 7)),
+            Err(QueryError::BinOutOfRange {
+                attribute: 1,
+                bin: 5,
+                cardinality: 3
+            })
+        );
+        // The error messages keep the historical "out of range" phrase.
+        for e in [
+            QueryError::RowOutOfRange {
+                row: 8,
+                num_rows: 8,
+            },
+            QueryError::BinOutOfRange {
+                attribute: 1,
+                bin: 5,
+                cardinality: 3,
+            },
+        ] {
+            assert!(e.to_string().contains("out of range"), "{e}");
+        }
+        // And a valid query still goes through the fallible path.
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 2)], 0, 7);
+        assert_eq!(idx.try_execute_rect(&q).unwrap(), idx.execute_rect(&q));
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn rejected_queries_are_counted() {
+        let t = table();
+        let idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute));
+        let c = obs::global().counter("ab.query.rejected");
+        let before = c.get();
+        let _ = idx.try_execute_rect(&RectQuery::new(vec![], 0, 999));
+        let _ = idx.try_execute_rect(&RectQuery::new(vec![AttrRange::new(0, 0, 9)], 0, 7));
+        assert!(c.get() >= before + 2);
+    }
+
+    #[test]
+    fn stats_bits_read_bounded_by_probes_times_k() {
+        let (_, idx) = big_index(Level::PerAttribute);
+        let q = RectQuery::new(
+            vec![AttrRange::new(0, 2, 5), AttrRange::new(1, 0, 3)],
+            0,
+            1999,
+        );
+        let (_, stats) = idx.execute_rect_with_stats(&q);
+        assert!(stats.bits_read >= stats.cells_probed, "≥1 bit per probe");
+        assert!(
+            stats.bits_read <= stats.cells_probed * idx.max_k(),
+            "bits_read {} exceeds c·k = {}·{}",
+            stats.bits_read,
+            stats.cells_probed,
+            idx.max_k()
+        );
     }
 
     #[test]

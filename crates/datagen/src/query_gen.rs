@@ -79,9 +79,11 @@ pub fn generate(table: &BinnedTable, params: &QueryGenParams) -> Vec<RectQuery> 
         params.r
     );
     let mut rng = StdRng::seed_from_u64(params.seed);
-    (0..params.num_queries)
+    let queries: Vec<RectQuery> = (0..params.num_queries)
         .map(|_| one_query(table, params, &mut rng))
-        .collect()
+        .collect();
+    obs::counter!("datagen.queries_generated").add(queries.len() as u64);
+    queries
 }
 
 fn one_query(table: &BinnedTable, params: &QueryGenParams, rng: &mut StdRng) -> RectQuery {

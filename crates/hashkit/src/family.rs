@@ -364,6 +364,25 @@ impl Iterator for Prober<'_> {
     }
 }
 
+/// Flushes the probe count into the per-family `hashkit.hash_calls.*`
+/// counters exactly once per cell, when the prober dies — the probe
+/// loop itself stays atomics-free.
+#[cfg(not(feature = "obs-off"))]
+impl Drop for Prober<'_> {
+    fn drop(&mut self) {
+        if self.t == 0 {
+            return;
+        }
+        let c = match self.state {
+            ProbeState::Independent { .. } => obs::counter!("hashkit.hash_calls.independent"),
+            ProbeState::Sha1 { .. } => obs::counter!("hashkit.hash_calls.sha1_split"),
+            ProbeState::Double { .. } => obs::counter!("hashkit.hash_calls.double_hashing"),
+            ProbeState::ColumnGroup { .. } => obs::counter!("hashkit.hash_calls.column_group"),
+        };
+        c.add(self.t);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +498,15 @@ mod tests {
     #[should_panic(expected = "at least one hash")]
     fn zero_k_rejected() {
         positions(&HashFamily::DoubleHashing, 0, 0, 0, 16);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn prober_drop_flushes_hash_call_counter() {
+        let c = obs::global().counter("hashkit.hash_calls.double_hashing");
+        let before = c.get();
+        positions(&HashFamily::DoubleHashing, 1, 0, 5, 1 << 10);
+        assert!(c.get() >= before + 5, "drop did not flush probe count");
     }
 
     /// Empirical false-positive sanity: inserting `s` random keys into

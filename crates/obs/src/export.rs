@@ -1,0 +1,223 @@
+//! Snapshot exporters: JSON and Prometheus text exposition.
+//!
+//! The JSON is hand-rolled (this workspace has no `serde_json`), but
+//! the output matches what serde's derives on [`Snapshot`] would
+//! produce, so downstream tooling can deserialize it with serde once
+//! available.
+
+use crate::histogram::HistogramSnapshot;
+use crate::Snapshot;
+use std::fmt::Write as _;
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats `v` as a JSON number (JSON has no NaN/Infinity; those become
+/// 0, which only arises from degenerate inputs).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on a whole f64 prints "26" — keep it a float literal.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn json_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        json_f64(h.mean),
+        h.p50,
+        h.p90,
+        h.p99,
+    );
+    for (i, (bits, count)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{bits},{count}]");
+    }
+    out.push_str("]}");
+}
+
+/// Sanitizes a dotted metric name into a Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other invalid characters
+/// become underscores.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+impl Snapshot {
+    /// Serializes the snapshot as a JSON object with `counters`,
+    /// `histograms`, and `extra` maps (see [`crate::HistogramSnapshot`]
+    /// for the histogram fields). Keys are sorted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", json_escape(name), value);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": ", json_escape(name));
+            json_histogram(&mut out, h);
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"extra\": {");
+        for (i, (name, value)) in self.extra.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", json_escape(name), json_f64(*value));
+        }
+        if !self.extra.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Serializes the snapshot in Prometheus text exposition format.
+    /// Dotted names become underscore names; histograms expand to
+    /// cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+    /// `extra` values export as untyped gauges.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for &(bits, count) in &h.buckets {
+                cumulative += count;
+                let le = HistogramSnapshot::bucket_upper(bits as usize);
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        for (name, value) in &self.extra {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", json_f64(*value));
+        }
+        out
+    }
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use crate::Registry;
+
+    fn sample() -> crate::Snapshot {
+        let r = Registry::new();
+        r.counter("ex.hits").add(3);
+        let h = r.histogram("ex.latency_us");
+        h.record(5);
+        h.record(700);
+        r.snapshot().with_extra("check.sum", 3.0)
+    }
+
+    #[test]
+    fn json_round_trips_key_facts() {
+        let j = sample().to_json();
+        assert!(j.contains("\"ex.hits\": 3"));
+        assert!(j.contains("\"count\":2"));
+        assert!(j.contains("\"sum\":705"));
+        assert!(j.contains("\"check.sum\": 3.0"));
+        // Balanced braces/brackets — cheap structural validity check.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces in: {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::json_f64(f64::NAN), "0.0");
+        assert_eq!(super::json_f64(2.0), "2.0");
+        assert_eq!(super::json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn prometheus_format() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE ex_hits counter"));
+        assert!(p.contains("ex_hits 3"));
+        assert!(p.contains("# TYPE ex_latency_us histogram"));
+        // 5 lands in bucket 3 (upper 7), 700 in bucket 10 (upper 1023);
+        // cumulative counts 1 then 2.
+        assert!(p.contains("ex_latency_us_bucket{le=\"7\"} 1"));
+        assert!(p.contains("ex_latency_us_bucket{le=\"1023\"} 2"));
+        assert!(p.contains("ex_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(p.contains("ex_latency_us_sum 705"));
+        assert!(p.contains("ex_latency_us_count 2"));
+        assert!(p.contains("check_sum 3.0"));
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(
+            super::prom_name("ab.query.cells_probed"),
+            "ab_query_cells_probed"
+        );
+        assert_eq!(super::prom_name("1bad"), "_1bad");
+    }
+}

@@ -91,6 +91,7 @@ impl RoaringIndex {
             query.row_hi,
             self.num_rows
         );
+        obs::counter!("roar.queries").inc();
         let mut acc: Option<RoaringBitmap> = None;
         for r in &query.ranges {
             let attr = &self.attributes[r.attribute];

@@ -10,6 +10,10 @@ use crate::encode::{WahBitmap, WahBuilder, GROUP_BITS, LITERAL_MASK};
 
 /// Cursor over the groups of a WAH word stream. `remaining` counts the
 /// groups left in the current run; for literals it is 1.
+///
+/// Decoded-word counts accumulate in plain fields on the hot loop and
+/// are flushed to the `wah.ops.*` counters once per operation
+/// ([`Cursor::flush_metrics`]), keeping atomics off the word stream.
 struct Cursor<'a> {
     words: &'a [u32],
     idx: usize,
@@ -19,6 +23,10 @@ struct Cursor<'a> {
     value: u32,
     /// Whether the current run is a fill (multi-group capable).
     is_fill: bool,
+    /// Fill words decoded so far.
+    fills: u64,
+    /// Literal words decoded so far.
+    literals: u64,
 }
 
 impl<'a> Cursor<'a> {
@@ -29,6 +37,8 @@ impl<'a> Cursor<'a> {
             remaining: 0,
             value: 0,
             is_fill: false,
+            fills: 0,
+            literals: 0,
         };
         c.load();
         c
@@ -50,10 +60,12 @@ impl<'a> Cursor<'a> {
                 } else {
                     0
                 };
+                self.fills += 1;
             } else {
                 self.is_fill = false;
                 self.remaining = 1;
                 self.value = w;
+                self.literals += 1;
             }
         }
         true
@@ -63,6 +75,17 @@ impl<'a> Cursor<'a> {
     fn consume(&mut self, n: u32) {
         debug_assert!(n <= self.remaining);
         self.remaining -= n;
+    }
+
+    /// One-shot flush of this cursor's decode counts into the global
+    /// registry.
+    fn flush_metrics(&self) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            obs::counter!("wah.ops.words_scanned").add(self.idx as u64);
+            obs::counter!("wah.ops.fills_decoded").add(self.fills);
+            obs::counter!("wah.ops.literals_decoded").add(self.literals);
+        }
     }
 }
 
@@ -104,6 +127,10 @@ pub fn binary_op<F: Fn(u32, u32) -> u32>(a: &WahBitmap, b: &WahBitmap, op: F) ->
             y.consume(1);
         }
     }
+    #[cfg(not(feature = "obs-off"))]
+    obs::counter!("wah.ops.executed").inc();
+    x.flush_metrics();
+    y.flush_metrics();
     out.finish(a.len())
 }
 
@@ -144,6 +171,9 @@ impl WahBitmap {
                 c.consume(1);
             }
         }
+        #[cfg(not(feature = "obs-off"))]
+        obs::counter!("wah.ops.executed").inc();
+        c.flush_metrics();
         let mut res = out.finish(self.len());
         mask_tail(&mut res);
         res
@@ -328,6 +358,24 @@ mod tests {
         let n = a.not();
         assert_eq!(n.count_ones(), 0);
         assert_eq!(n.len(), 35);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn ops_flush_decode_counters() {
+        let words = obs::global().counter("wah.ops.words_scanned");
+        let fills = obs::global().counter("wah.ops.fills_decoded");
+        let lits = obs::global().counter("wah.ops.literals_decoded");
+        let (w0, f0, l0) = (words.get(), fills.get(), lits.get());
+        // Sparse megabit bitmaps: mostly fills, a few literals.
+        let a = wah(1_000_000, &[0, 500_000]);
+        let b = wah(1_000_000, &[500_000, 999_999]);
+        let scanned = (a.num_words() + b.num_words()) as u64;
+        let _ = a.and(&b);
+        // >= not ==: other tests in this binary run ops concurrently.
+        assert!(words.get() - w0 >= scanned);
+        assert!(fills.get() > f0, "no fill decodes counted");
+        assert!(lits.get() > l0, "no literal decodes counted");
     }
 
     #[test]

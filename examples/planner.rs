@@ -36,14 +36,21 @@ fn main() {
     });
     let model = calibrate(&ab, &wah_eval, &samples[..10]);
     println!(
-        "calibrated model: WAH {:.4} ms/query, AB {:.6} ms per row x attribute",
-        model.wah_ms_per_query, model.ab_ms_per_row_attr
+        "calibrated model: WAH {:.4} ms/query (sd {:.4}), AB {:.6} ms per row x attribute (sd {:.6})",
+        model.wah_ms_per_query, model.wah_ms_stddev, model.ab_ms_per_row_attr, model.ab_ms_stddev
     );
+    let (lo, mid, hi) = model.crossover_rows_spread(2);
     println!(
-        "=> crossover for 2-attribute queries: ~{} rows (~{:.1}% of the table)",
-        model.crossover_rows(2),
-        100.0 * model.crossover_rows(2) as f64 / n as f64
+        "=> crossover for 2-attribute queries: ~{mid} rows (~{:.1}% of the table), \
+         spread [{lo}, {hi}] from per-sample timing dispersion",
+        100.0 * mid as f64 / n as f64
     );
+    if let Some(h) = obs::global().snapshot().histogram("planner.residual_us") {
+        println!(
+            "model residual |actual - estimate|: p50 {} us, p90 {} us over {} samples",
+            h.p50, h.p90, h.count
+        );
+    }
 
     // Route a spread of query sizes.
     println!("\n{:>10}  {:>8}  routed to", "rows", "% of N");

@@ -117,3 +117,35 @@ fn measured_fp_tracks_theory() {
         );
     }
 }
+
+/// §4.3 probe accounting: the k hash probes per cell short-circuit on
+/// the first zero bit, so across a query `cells_probed <= bits_read <=
+/// cells_probed x k` — the bound behind the O(c) direct-access claim.
+#[test]
+fn bits_read_bounded_by_cells_probed_times_k() {
+    let ds = datagen::small_uniform(3000, 3, 12, 47);
+    for level in [
+        ab::Level::PerDataset,
+        ab::Level::PerAttribute,
+        ab::Level::PerColumn,
+    ] {
+        let idx = ab::AbIndex::build(&ds.binned, &ab::AbConfig::new(level).with_alpha(8));
+        let k = idx.max_k();
+        let params = datagen::QueryGenParams::paper_default(&ds.binned, 300, 5);
+        for q in datagen::generate(&ds.binned, &params) {
+            let (_, stats) = idx.execute_rect_with_stats(&q);
+            assert!(
+                stats.bits_read >= stats.cells_probed,
+                "{level:?}: bits_read {} < cells_probed {}",
+                stats.bits_read,
+                stats.cells_probed
+            );
+            assert!(
+                stats.bits_read <= stats.cells_probed * k,
+                "{level:?}: bits_read {} > cells_probed {} x k {k}",
+                stats.bits_read,
+                stats.cells_probed
+            );
+        }
+    }
+}
