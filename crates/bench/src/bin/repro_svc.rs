@@ -1,0 +1,116 @@
+//! Service-layer throughput: req/s through the sharded concurrent
+//! query service at 1, 2, 4 and 8 worker threads, against one shared
+//! sharded index (8 row-range shards).
+//!
+//! Emits `BENCH_svc.json` (an `obs` registry snapshot) whose `extra`
+//! map carries `svc.rps.threadsN` for each point plus
+//! `svc.speedup.8v1`. On a multi-core machine the 8-thread point is
+//! expected to clear 3× the 1-thread point; on a single hardware
+//! thread the numbers stay flat — the snapshot additionally records
+//! `svc.hw_threads` so readers can interpret the scaling.
+//!
+//! Usage: `cargo run --release -p bench --bin repro_svc
+//!         [--scale F] [--seed N] [--queries N]`
+
+use bench::{print_table, write_bench_snapshot};
+use bitmap::RectQuery;
+use datagen::QueryGenParams;
+use std::sync::Arc;
+use svc::{Service, ShardedIndex, SvcConfig};
+
+const THREAD_POINTS: [usize; 4] = [1, 2, 4, 8];
+const SHARDS: usize = 8;
+
+fn main() {
+    let opts = bench::cli::from_env();
+    obs::global().reset();
+
+    // One data set, one sharded index — each thread point gets its own
+    // pool over a clone of the same shards, so the work per request is
+    // identical across points.
+    let rows = ((2_000_000.0 * opts.scale) as usize).max(10_000);
+    let ds = datagen::small_uniform(rows, 4, 10, opts.seed);
+    let config = ab::AbConfig::new(ab::Level::PerAttribute).with_alpha(8);
+    let index = ShardedIndex::build(&ds.binned, &config, SHARDS, false);
+    println!(
+        "dataset: {} rows x 4 attributes; {} shards, {} AB bytes",
+        rows,
+        index.num_shards(),
+        index.size_bytes()
+    );
+
+    let params = QueryGenParams::paper_default(&ds.binned, (rows / 10).max(100), opts.seed ^ 0x77);
+    let workload: Arc<Vec<RectQuery>> = Arc::new(datagen::generate(&ds.binned, &params));
+    let per_client = (opts.queries / 4).max(8);
+
+    let mut rps_points = Vec::new();
+    for &threads in &THREAD_POINTS {
+        let svc = Arc::new(Service::from_index(
+            index.clone(),
+            &SvcConfig {
+                threads,
+                queue_capacity: 4096,
+                ..SvcConfig::default()
+            },
+        ));
+        // As many client threads as workers, each replaying the same
+        // deterministic slice of the workload.
+        let started = std::time::Instant::now();
+        let clients: Vec<_> = (0..threads)
+            .map(|c| {
+                let svc = Arc::clone(&svc);
+                let workload = Arc::clone(&workload);
+                std::thread::spawn(move || {
+                    for i in 0..per_client {
+                        let q = &workload[(c * per_client + i) % workload.len()];
+                        svc.query_rect(q).expect("query failed");
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("client panicked");
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let total = (threads * per_client) as f64;
+        let rps = total / elapsed;
+        rps_points.push((threads, rps, elapsed));
+    }
+
+    let rows_out: Vec<Vec<String>> = rps_points
+        .iter()
+        .map(|(t, rps, s)| {
+            vec![
+                t.to_string(),
+                format!("{rps:.0}"),
+                format!("{s:.3}"),
+                format!("{:.2}x", rps / rps_points[0].1),
+            ]
+        })
+        .collect();
+    print_table(
+        "Service throughput (sharded concurrent query service)",
+        &["threads", "req/s", "seconds", "vs 1 thread"],
+        &rows_out,
+    );
+
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup = rps_points[3].1 / rps_points[0].1;
+    println!("\n8-thread speedup over 1 thread: {speedup:.2}x ({hw} hardware threads)");
+
+    let mut snap = obs::global()
+        .snapshot()
+        .with_extra("svc.speedup.8v1", speedup)
+        .with_extra("svc.hw_threads", hw as f64)
+        .with_extra("svc.queries_per_client", per_client as f64)
+        .with_extra("svc.dataset_rows", rows as f64);
+    for (threads, rps, _) in &rps_points {
+        snap = snap.with_extra(&format!("svc.rps.threads{threads}"), *rps);
+    }
+    match write_bench_snapshot("svc", &snap) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write snapshot: {e}"),
+    }
+}

@@ -348,6 +348,40 @@ impl BinnedTable {
         self.num_rows * self.columns.len()
     }
 
+    /// Extracts the contiguous row slice `rows` as its own table:
+    /// every column keeps its name, cardinality and bin edges, but
+    /// holds only the selected rows (renumbered from 0). This is the
+    /// row-range partitioning step of a sharded index layout — each
+    /// shard indexes its slice independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or extends past the table.
+    pub fn slice_rows(&self, rows: std::ops::Range<usize>) -> BinnedTable {
+        assert!(!rows.is_empty(), "empty row slice {rows:?}");
+        assert!(
+            rows.end <= self.num_rows,
+            "row slice {rows:?} out of range {}",
+            self.num_rows
+        );
+        BinnedTable::new(
+            self.columns
+                .iter()
+                .map(|c| {
+                    let mut col = BinnedColumn::new(
+                        c.name.clone(),
+                        c.bins[rows.clone()].to_vec(),
+                        c.cardinality,
+                    );
+                    if let Some(edges) = &c.lower_edges {
+                        col = col.with_lower_edges(edges.clone());
+                    }
+                    col
+                })
+                .collect(),
+        )
+    }
+
     /// Global column identifier of `(attribute, bin)` under the paper's
     /// column numbering: attributes laid out left to right, bins within
     /// an attribute contiguous (§3.2.1).
@@ -412,6 +446,27 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn explicit_edges_must_increase() {
         ExplicitEdges::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn slice_rows_extracts_contiguous_shard() {
+        let t = BinnedTable::new(vec![
+            BinnedColumn::new("a", vec![0, 1, 2, 0, 1, 2], 3),
+            BinnedColumn::new("b", vec![1, 1, 0, 0, 1, 1], 2).with_lower_edges(vec![0.0, 10.0]),
+        ]);
+        let s = t.slice_rows(2..5);
+        assert_eq!(s.num_rows(), 3);
+        assert_eq!(s.column(0).bins, vec![2, 0, 1]);
+        assert_eq!(s.column(0).cardinality, 3);
+        assert_eq!(s.column(1).bins, vec![0, 0, 1]);
+        assert_eq!(s.column(1).lower_edges, Some(vec![0.0, 10.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_rows_validates_bounds() {
+        let t = BinnedTable::new(vec![BinnedColumn::new("a", vec![0, 1], 2)]);
+        t.slice_rows(1..3);
     }
 
     #[test]

@@ -211,6 +211,24 @@ impl AbPipelineBuilder<'_> {
         self.build_from_binned(binned)
     }
 
+    /// Shard-aware build: bins the table once, then builds one AB
+    /// index per contiguous row-range shard (the layout served by the
+    /// `svc` crate). Returns the binned table plus `(start_row, index)`
+    /// pairs in row order; shard-local row `r` of shard `i` is global
+    /// row `start_i + r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds the row count.
+    pub fn build_shards(self, shards: usize) -> (BinnedTable, Vec<(usize, AbIndex)>) {
+        let binned = BinnedTable::from_table(self.table, &EquiDepth::new(self.bins));
+        let indexes = crate::level::shard_ranges(binned.num_rows(), shards)
+            .into_iter()
+            .map(|r| (r.start, AbIndex::build_row_range(&binned, &self.config, r)))
+            .collect();
+        (binned, indexes)
+    }
+
     fn build_from_binned(self, binned: BinnedTable) -> AbPipeline {
         let ab = AbIndex::build(&binned, &self.config);
         let exact = self
@@ -344,6 +362,26 @@ mod tests {
         let t = sample_table();
         let p = AbPipeline::builder(&t).keep_exact(true).build();
         p.sum_where(&RectQuery::new(vec![], 0, 10), "nope");
+    }
+
+    #[test]
+    fn sharded_build_covers_every_row() {
+        let t = sample_table();
+        let b = AbPipeline::builder(&t)
+            .bins(8)
+            .config(AbConfig::new(Level::PerAttribute).with_alpha(8));
+        let (binned, shards) = b.build_shards(4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards[0].0, 0);
+        let covered: usize = shards.iter().map(|(_, idx)| idx.num_rows()).sum();
+        assert_eq!(covered, binned.num_rows());
+        // No false negatives through the shard layout.
+        for (start, idx) in &shards {
+            for local in 0..idx.num_rows() {
+                let bin = binned.column(0).bins[start + local];
+                assert!(idx.test_cell(local, 0, bin));
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,19 @@
 //! ab count u32  | { n_bits u64, k u32, inserted u64, mapper, family,
 //!                   word count u64, words u64* }*
 //! ```
+//!
+//! A row-range-sharded index (see `ab::shard_ranges` and the `svc`
+//! crate) persists as an `ABSH` envelope of independent `ABIX`
+//! segments, each tagged with its starting global row:
+//!
+//! ```text
+//! magic "ABSH" | version u16 | shard count u32 |
+//! { start_row u64, byte_len u64, ABIX bytes }*
+//! ```
+//!
+//! Segments are length-prefixed so a reader can skip to any shard
+//! without decoding the others, and must appear in strictly increasing
+//! `start_row` order starting at row 0.
 
 use crate::analysis::Level;
 use crate::encoding::ApproximateBitmap;
@@ -31,6 +44,8 @@ pub enum IoError {
     BadTag(u8),
     /// A string field was not valid UTF-8.
     BadString,
+    /// `ABSH` shard segments were empty, unordered, or overlapping.
+    BadShardLayout,
 }
 
 impl std::fmt::Display for IoError {
@@ -41,6 +56,7 @@ impl std::fmt::Display for IoError {
             IoError::Truncated => write!(f, "truncated input"),
             IoError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
             IoError::BadString => write!(f, "invalid UTF-8 in name"),
+            IoError::BadShardLayout => write!(f, "shard segments empty or out of order"),
         }
     }
 }
@@ -147,6 +163,83 @@ pub fn from_bytes(data: &[u8]) -> Result<AbIndex, IoError> {
     Ok(AbIndex::from_parts(level, abs, attributes, num_rows))
 }
 
+const SHARD_MAGIC: &[u8; 4] = b"ABSH";
+const SHARD_VERSION: u16 = 1;
+
+/// Serializes a row-range-sharded index as an `ABSH` envelope.
+/// `segments` pairs each shard's starting global row with its index;
+/// they must be non-empty and in strictly increasing row order,
+/// starting at row 0, with each shard starting exactly where the
+/// previous one ended.
+///
+/// # Panics
+///
+/// Panics if the segment layout is invalid (this is a programming
+/// error on the writer side; readers get [`IoError::BadShardLayout`]).
+pub fn shards_to_bytes(segments: &[(u64, &AbIndex)]) -> Vec<u8> {
+    assert!(!segments.is_empty(), "no shard segments");
+    let mut expected_start = 0u64;
+    for (start, index) in segments {
+        assert_eq!(
+            *start, expected_start,
+            "shard at row {start} does not start where the previous ended"
+        );
+        expected_start = start + index.num_rows() as u64;
+    }
+    let total: usize = segments.iter().map(|(_, i)| i.size_bytes()).sum();
+    let mut out = Vec::with_capacity(32 + total + 96 * segments.len());
+    out.extend_from_slice(SHARD_MAGIC);
+    put_u16(&mut out, SHARD_VERSION);
+    put_u32(&mut out, segments.len() as u32);
+    for (start, index) in segments {
+        let blob = to_bytes(index);
+        put_u64(&mut out, *start);
+        put_u64(&mut out, blob.len() as u64);
+        out.extend_from_slice(&blob);
+    }
+    out
+}
+
+/// Deserializes an `ABSH` envelope produced by [`shards_to_bytes`]
+/// back into `(start_row, index)` segments in row order.
+pub fn shards_from_bytes(data: &[u8]) -> Result<Vec<(u64, AbIndex)>, IoError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != SHARD_MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != SHARD_VERSION {
+        return Err(IoError::UnsupportedVersion(version));
+    }
+    let count = r.u32()? as usize;
+    if count == 0 {
+        return Err(IoError::BadShardLayout);
+    }
+    // Each segment carries a 16-byte header plus a non-empty blob.
+    if count > r.remaining() / 17 {
+        return Err(IoError::Truncated);
+    }
+    let mut segments = Vec::with_capacity(count);
+    let mut expected_start = 0u64;
+    for _ in 0..count {
+        let start = r.u64()?;
+        if start != expected_start {
+            return Err(IoError::BadShardLayout);
+        }
+        let len = r.u64()?;
+        if len as usize > r.remaining() {
+            return Err(IoError::Truncated);
+        }
+        let index = from_bytes(r.take(len as usize)?)?;
+        if index.num_rows() == 0 {
+            return Err(IoError::BadShardLayout);
+        }
+        expected_start = start + index.num_rows() as u64;
+        segments.push((start, index));
+    }
+    Ok(segments)
+}
+
 fn level_tag(level: Level) -> u8 {
     match level {
         Level::PerDataset => 0,
@@ -216,7 +309,9 @@ fn read_mapper(r: &mut Reader<'_>) -> Result<CellMapper, IoError> {
     let tag = r.u8()?;
     let shift = r.u32()?;
     match tag {
-        0 => Ok(CellMapper::Shifted { shift }),
+        // A shift of 64+ would overflow the `row << shift` cell
+        // mapping on first use; reject it at decode time instead.
+        0 if shift < 64 => Ok(CellMapper::Shifted { shift }),
         1 => Ok(CellMapper::RowOnly),
         t => Err(IoError::BadTag(t)),
     }
@@ -378,6 +473,190 @@ mod tests {
         assert!(matches!(from_bytes(b"NOPE....."), Err(IoError::BadMagic)));
     }
 
+    fn sample_shards() -> Vec<(u64, AbIndex)> {
+        let t = BinnedTable::new(vec![
+            BinnedColumn::new("alpha", (0..64u32).map(|i| i % 3).collect(), 3),
+            BinnedColumn::new("beta", (0..64u32).map(|i| (i * 7) % 4).collect(), 4),
+        ]);
+        crate::level::shard_ranges(64, 3)
+            .into_iter()
+            .map(|r| {
+                (
+                    r.start as u64,
+                    AbIndex::build_row_range(
+                        &t,
+                        &AbConfig::new(Level::PerAttribute).with_alpha(8),
+                        r,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn encode_shards(segments: &[(u64, AbIndex)]) -> Vec<u8> {
+        let refs: Vec<(u64, &AbIndex)> = segments.iter().map(|(s, i)| (*s, i)).collect();
+        shards_to_bytes(&refs)
+    }
+
+    #[test]
+    fn shard_envelope_roundtrip() {
+        let shards = sample_shards();
+        let back = shards_from_bytes(&encode_shards(&shards)).unwrap();
+        assert_eq!(back.len(), shards.len());
+        for ((s0, i0), (s1, i1)) in shards.iter().zip(&back) {
+            assert_eq!(s0, s1);
+            assert_eq!(i0.num_rows(), i1.num_rows());
+            assert_eq!(i0.attributes(), i1.attributes());
+            for (a, b) in i0.abs().iter().zip(i1.abs()) {
+                assert_eq!(a.bits(), b.bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_envelope_rejects_bad_layouts() {
+        let shards = sample_shards();
+        // Out-of-order segments.
+        let swapped: Vec<(u64, &AbIndex)> =
+            vec![(shards[1].0, &shards[1].1), (shards[0].0, &shards[0].1)];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"ABSH");
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        for (start, index) in swapped {
+            let blob = to_bytes(index);
+            bytes.extend_from_slice(&start.to_le_bytes());
+            bytes.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&blob);
+        }
+        assert!(matches!(
+            shards_from_bytes(&bytes),
+            Err(IoError::BadShardLayout)
+        ));
+        // Zero segments.
+        let mut empty = Vec::new();
+        empty.extend_from_slice(b"ABSH");
+        empty.extend_from_slice(&1u16.to_le_bytes());
+        empty.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            shards_from_bytes(&empty),
+            Err(IoError::BadShardLayout)
+        ));
+        // Wrong magic.
+        assert!(matches!(
+            shards_from_bytes(b"ABIXxxxxxx"),
+            Err(IoError::BadMagic)
+        ));
+    }
+
+    /// The satellite hardening sweep: every truncation at 64-byte
+    /// strides (plus the final byte) must yield a typed error, and
+    /// every single-byte flip must decode cleanly or yield a typed
+    /// error — the decoder must never panic on malformed input.
+    fn corruption_sweep(bytes: &[u8], decode: fn(&[u8]) -> Result<(), IoError>) {
+        let mut cuts: Vec<usize> = (0..bytes.len()).step_by(64).collect();
+        cuts.push(bytes.len() - 1);
+        for cut in cuts {
+            let prefix = bytes[..cut].to_vec();
+            match std::panic::catch_unwind(move || decode(&prefix)) {
+                Ok(res) => assert!(res.is_err(), "truncation at {cut} decoded successfully"),
+                Err(_) => panic!("decoder panicked on truncation at {cut}"),
+            }
+        }
+        for pos in 0..bytes.len() {
+            for flip in [0xFFu8, 0x01, 0x80] {
+                let mut corrupt = bytes.to_vec();
+                corrupt[pos] ^= flip;
+                assert!(
+                    std::panic::catch_unwind(move || {
+                        let _ = decode(&corrupt);
+                    })
+                    .is_ok(),
+                    "decoder panicked on flip {flip:#04x} at byte {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abix_corruption_sweep_never_panics() {
+        for level in [Level::PerDataset, Level::PerAttribute, Level::PerColumn] {
+            let bytes = to_bytes(&sample_index(level));
+            corruption_sweep(&bytes, |b| from_bytes(b).map(|_| ()));
+        }
+    }
+
+    #[test]
+    fn absh_corruption_sweep_never_panics() {
+        let bytes = encode_shards(&sample_shards());
+        corruption_sweep(&bytes, |b| shards_from_bytes(b).map(|_| ()));
+    }
+
+    #[test]
+    fn flipped_header_bytes_give_typed_errors() {
+        let bytes = to_bytes(&sample_index(Level::PerColumn));
+        for pos in 0..4 {
+            let mut b = bytes.clone();
+            b[pos] ^= 0xFF;
+            assert!(matches!(from_bytes(&b), Err(IoError::BadMagic)), "{pos}");
+        }
+        for pos in 4..6 {
+            let mut b = bytes.clone();
+            b[pos] ^= 0xFF;
+            assert!(
+                matches!(from_bytes(&b), Err(IoError::UnsupportedVersion(_))),
+                "{pos}"
+            );
+        }
+        let mut b = bytes.clone();
+        b[6] ^= 0xFF; // level tag
+        assert!(matches!(from_bytes(&b), Err(IoError::BadTag(_))));
+
+        let shard_bytes = encode_shards(&sample_shards());
+        for pos in 0..4 {
+            let mut b = shard_bytes.clone();
+            b[pos] ^= 0xFF;
+            assert!(
+                matches!(shards_from_bytes(&b), Err(IoError::BadMagic)),
+                "{pos}"
+            );
+        }
+        for pos in 4..6 {
+            let mut b = shard_bytes.clone();
+            b[pos] ^= 0xFF;
+            assert!(
+                matches!(shards_from_bytes(&b), Err(IoError::UnsupportedVersion(_))),
+                "{pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_mapper_shift_rejected() {
+        // A shift of 64+ would overflow `row << shift` at query time.
+        let bytes = to_bytes(&sample_index(Level::PerAttribute));
+        let back = from_bytes(&bytes).unwrap();
+        assert!(back.abs()[0].mapper() != CellMapper::Shifted { shift: 64 });
+        // Hand-craft: find the first mapper tag (right after the fixed
+        // AB header fields) and bump its shift to 64.
+        // header: 4 magic + 2 version + 1 level + 8 rows + 4 attr count
+        // per attr: 2 + name + 4 + 8 ; then 4 ab count, then per ab:
+        // 8 n_bits + 4 k + 8 inserted, then mapper tag u8 + shift u32.
+        let mut pos = 4 + 2 + 1 + 8;
+        let attr_count = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        for _ in 0..attr_count {
+            let name_len = u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap()) as usize;
+            pos += 2 + name_len + 4 + 8;
+        }
+        pos += 4; // ab count
+        pos += 8 + 4 + 8; // first AB's n_bits, k, inserted
+        assert_eq!(bytes[pos], 0, "expected a Shifted mapper tag");
+        let mut corrupt = bytes.clone();
+        corrupt[pos + 1..pos + 5].copy_from_slice(&64u32.to_le_bytes());
+        assert!(matches!(from_bytes(&corrupt), Err(IoError::BadTag(0))));
+    }
+
     #[test]
     fn truncated_rejected() {
         let bytes = to_bytes(&sample_index(Level::PerAttribute));
@@ -404,5 +683,6 @@ mod tests {
         assert!(IoError::BadMagic.to_string().contains("magic"));
         assert!(IoError::Truncated.to_string().contains("truncated"));
         assert!(IoError::BadTag(7).to_string().contains("0x07"));
+        assert!(IoError::BadShardLayout.to_string().contains("shard"));
     }
 }

@@ -198,6 +198,28 @@ impl AbIndex {
         index
     }
 
+    /// Builds an index covering only the contiguous row slice `rows`
+    /// of `table`, with rows renumbered from 0 — one shard of a
+    /// row-range-partitioned index. A shard's AB is sized for its own
+    /// set-bit count, so S shards together use (about) the same space
+    /// as one monolithic index, and a cell test inside the shard costs
+    /// the same O(k) probes.
+    ///
+    /// Shard-local row ids are `global_row - rows.start`; callers keep
+    /// the offset (see `ab::io::shards_to_bytes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or extends past the table, plus
+    /// the [`Self::build`] panics.
+    pub fn build_row_range(
+        table: &BinnedTable,
+        config: &AbConfig,
+        rows: std::ops::Range<usize>,
+    ) -> Self {
+        Self::build(&table.slice_rows(rows), config)
+    }
+
     /// Flushes the `ab.build.*` metrics for one finished build: total
     /// insertions and set bits (summed over the constituent ABs, so the
     /// registry matches what [`ApproximateBitmap::inserted`] reports)
@@ -325,6 +347,32 @@ impl AbIndex {
             .sum::<f64>()
             / self.abs.len() as f64
     }
+}
+
+/// Splits `num_rows` rows into `shards` contiguous, near-equal ranges
+/// (the first `num_rows % shards` ranges hold one extra row). The
+/// canonical shard layout shared by [`AbIndex::build_row_range`]
+/// callers, `ab::io`'s `ABSH` segments, and the `svc` service crate.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `shards > num_rows`.
+pub fn shard_ranges(num_rows: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(
+        shards <= num_rows,
+        "cannot split {num_rows} rows into {shards} shards"
+    );
+    let base = num_rows / shards;
+    let extra = num_rows % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
 }
 
 /// Builds one attribute-level AB (`s = N` set bits).
@@ -538,6 +586,51 @@ mod tests {
         assert_eq!(inserted, 24); // 3 attributes × 8 rows
         assert!(ins.get() >= i0 + inserted);
         assert!(builds.get() >= b0 + 1);
+    }
+
+    #[test]
+    fn shard_ranges_cover_rows_exactly() {
+        for (n, s) in [(8usize, 3usize), (100, 7), (5, 5), (1, 1), (64, 8)] {
+            let ranges = shard_ranges(n, s);
+            assert_eq!(ranges.len(), s);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[s - 1].end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap between shards");
+            }
+            let (min, max) = (
+                ranges.iter().map(|r| r.len()).min().unwrap(),
+                ranges.iter().map(|r| r.len()).max().unwrap(),
+            );
+            assert!(max - min <= 1, "uneven split {n}/{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn shard_ranges_rejects_too_many_shards() {
+        shard_ranges(3, 4);
+    }
+
+    #[test]
+    fn build_row_range_matches_slice_build() {
+        let t = fig6_table();
+        let cfg = AbConfig::new(Level::PerAttribute).with_alpha(8);
+        let shard = AbIndex::build_row_range(&t, &cfg, 2..6);
+        assert_eq!(shard.num_rows(), 4);
+        // Shard-local row r corresponds to global row r + 2: every
+        // genuinely set cell must still test positive.
+        for (a, col) in t.columns().iter().enumerate() {
+            for global in 2..6 {
+                assert!(shard.test_cell(global - 2, a, col.bins[global]));
+            }
+        }
+        // And the shard over the full range is the monolithic build.
+        let full = AbIndex::build_row_range(&t, &cfg, 0..t.num_rows());
+        let mono = AbIndex::build(&t, &cfg);
+        for (a, b) in full.abs().iter().zip(mono.abs()) {
+            assert_eq!(a.bits(), b.bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Request batching: grouping probes by shard.
+//!
+//! The service amortises pool dispatch by submitting **one job per
+//! shard**, not one per probe. These helpers partition a request's
+//! cells (or a batch of rectangular queries) by the shard that owns
+//! each row, translating global rows to shard-local ones and
+//! remembering the original position so answers can be scattered back
+//! into request order after the per-shard results return.
+
+use crate::shard::ShardedIndex;
+use ab::Cell;
+use bitmap::RectQuery;
+
+/// The cells of one shard's batch: `(position in the original request,
+/// cell with a shard-local row)`.
+#[derive(Clone, Debug)]
+pub struct ShardCells {
+    /// Shard index into [`ShardedIndex::shards`].
+    pub shard: usize,
+    /// Probes for this shard, rows already translated to local.
+    pub cells: Vec<(usize, Cell)>,
+}
+
+/// The rectangular queries of one shard's batch: `(query index in the
+/// original batch, query with shard-local rows)`.
+#[derive(Clone, Debug)]
+pub struct ShardRects {
+    /// Shard index into [`ShardedIndex::shards`].
+    pub shard: usize,
+    /// Query parts for this shard, row intervals already local.
+    pub queries: Vec<(usize, RectQuery)>,
+}
+
+/// Partitions a cell-subset query by owning shard. Cells arrive in
+/// request order, so each shard's list stays sorted by original
+/// position. Shards with no cells produce no entry.
+///
+/// # Panics
+///
+/// Panics if any cell's row is out of range (validate first).
+pub fn group_cells_by_shard(index: &ShardedIndex, cells: &[Cell]) -> Vec<ShardCells> {
+    let mut groups: Vec<Option<ShardCells>> = vec![None; index.num_shards()];
+    for (pos, cell) in cells.iter().enumerate() {
+        let sid = index.shard_of_row(cell.row);
+        let start = index.shards()[sid].start();
+        let local = Cell::new(cell.row - start, cell.attribute, cell.bin);
+        groups[sid]
+            .get_or_insert_with(|| ShardCells {
+                shard: sid,
+                cells: Vec::new(),
+            })
+            .cells
+            .push((pos, local));
+    }
+    let batch: Vec<ShardCells> = groups.into_iter().flatten().collect();
+    obs::histogram!("svc.batch.shards").record(batch.len() as u64);
+    batch
+}
+
+/// Partitions a batch of rectangular queries by shard: each query is
+/// split with [`ShardedIndex::split_rect`] and its parts are appended
+/// to the owning shards' lists. One pool job then serves every part
+/// that landed on its shard.
+pub fn group_rects_by_shard(index: &ShardedIndex, queries: &[RectQuery]) -> Vec<ShardRects> {
+    let mut groups: Vec<Option<ShardRects>> = vec![None; index.num_shards()];
+    for (qidx, q) in queries.iter().enumerate() {
+        for (sid, local) in index.split_rect(q) {
+            groups[sid]
+                .get_or_insert_with(|| ShardRects {
+                    shard: sid,
+                    queries: Vec::new(),
+                })
+                .queries
+                .push((qidx, local));
+        }
+    }
+    let batch: Vec<ShardRects> = groups.into_iter().flatten().collect();
+    obs::histogram!("svc.batch.shards").record(batch.len() as u64);
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ab::{AbConfig, Level};
+    use bitmap::{AttrRange, BinnedColumn, BinnedTable};
+
+    fn index() -> ShardedIndex {
+        let t = BinnedTable::new(vec![BinnedColumn::new(
+            "a",
+            (0..100).map(|i| (i % 4) as u32).collect(),
+            4,
+        )]);
+        ShardedIndex::build(
+            &t,
+            &AbConfig::new(Level::PerAttribute).with_alpha(8),
+            4,
+            false,
+        )
+    }
+
+    #[test]
+    fn cells_group_to_owning_shards_with_local_rows() {
+        let idx = index();
+        let cells = vec![
+            Cell::new(99, 0, 3), // shard 3
+            Cell::new(0, 0, 0),  // shard 0
+            Cell::new(26, 0, 2), // shard 1
+            Cell::new(1, 0, 1),  // shard 0
+        ];
+        let groups = group_cells_by_shard(&idx, &cells);
+        assert_eq!(groups.len(), 3);
+        let shard0 = groups.iter().find(|g| g.shard == 0).unwrap();
+        assert_eq!(
+            shard0.cells,
+            vec![(1, Cell::new(0, 0, 0)), (3, Cell::new(1, 0, 1))]
+        );
+        let shard1 = groups.iter().find(|g| g.shard == 1).unwrap();
+        assert_eq!(shard1.cells, vec![(2, Cell::new(1, 0, 2))]);
+        let shard3 = groups.iter().find(|g| g.shard == 3).unwrap();
+        assert_eq!(shard3.cells, vec![(0, Cell::new(24, 0, 3))]);
+    }
+
+    #[test]
+    fn rect_batch_splits_and_groups() {
+        let idx = index();
+        let qs = vec![
+            RectQuery::new(vec![AttrRange::new(0, 0, 1)], 0, 99), // all 4 shards
+            RectQuery::new(vec![AttrRange::new(0, 2, 3)], 30, 40), // shard 1 only
+        ];
+        let groups = group_rects_by_shard(&idx, &qs);
+        assert_eq!(groups.len(), 4);
+        let shard1 = groups.iter().find(|g| g.shard == 1).unwrap();
+        assert_eq!(shard1.queries.len(), 2);
+        assert_eq!(shard1.queries[0].0, 0);
+        assert_eq!(
+            shard1.queries[1],
+            (1, RectQuery::new(vec![AttrRange::new(0, 2, 3)], 5, 15))
+        );
+        let shard2 = groups.iter().find(|g| g.shard == 2).unwrap();
+        assert_eq!(
+            shard2.queries,
+            vec![(0, RectQuery::new(vec![AttrRange::new(0, 0, 1)], 0, 24))]
+        );
+    }
+
+    #[test]
+    fn empty_batches_produce_no_groups() {
+        let idx = index();
+        assert!(group_cells_by_shard(&idx, &[]).is_empty());
+        assert!(group_rects_by_shard(&idx, &[]).is_empty());
+    }
+}

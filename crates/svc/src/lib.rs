@@ -1,0 +1,63 @@
+//! # Sharded concurrent query service
+//!
+//! Serving layer over the AB index (see the `ab` crate): the row space
+//! is partitioned into contiguous **shards**, each with its own
+//! [`AbIndex`](ab::AbIndex) (and optionally a WAH index for exact
+//! answers), and queries are fanned out across a fixed worker pool and
+//! merged — bit-identical to single-threaded execution.
+//!
+//! Everything is `std`-only:
+//!
+//! * [`pool`] — own-rolled worker pool with a bounded queue; full
+//!   queues **shed** requests with [`SvcError::Overloaded`]
+//!   (admission control) instead of queueing unboundedly;
+//! * [`shard`] — row-range partitioning, per-shard builds (parallel or
+//!   sequential), query splitting, and the `ABSH` persistence envelope;
+//! * [`batch`] — grouping a request's probes by owning shard so each
+//!   shard gets one pool job, not one per probe;
+//! * [`deadline`] — per-request deadlines and cooperative cancellation,
+//!   checked between [`CHUNK_ROWS`]-row chunks;
+//! * [`service`] — the [`Service`] façade tying the above together;
+//! * [`counting`] — a sharded, lock-per-shard [`CountingService`] for
+//!   concurrent inserts/deletes with the no-false-negative guarantee.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ab::{AbConfig, Level};
+//! use bitmap::{AttrRange, BinnedColumn, BinnedTable, RectQuery};
+//! use svc::{Service, SvcConfig};
+//!
+//! let table = BinnedTable::new(vec![BinnedColumn::new(
+//!     "temp",
+//!     (0..1000).map(|i| (i % 8) as u32).collect(),
+//!     8,
+//! )]);
+//! let svc = Service::build(
+//!     &table,
+//!     &AbConfig::new(Level::PerAttribute).with_alpha(16),
+//!     &SvcConfig { threads: 2, shards: 4, ..SvcConfig::default() },
+//! );
+//! let rows = svc
+//!     .query_rect(&RectQuery::new(vec![AttrRange::new(0, 6, 7)], 0, 999))
+//!     .unwrap();
+//! assert!(rows.iter().all(|r| r % 8 >= 6 || true)); // superset, 100% recall
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod counting;
+pub mod deadline;
+pub mod error;
+pub mod pool;
+pub mod service;
+pub mod shard;
+
+pub use batch::{group_cells_by_shard, group_rects_by_shard, ShardCells, ShardRects};
+pub use counting::CountingService;
+pub use deadline::{CancelToken, Deadline, RequestCtx};
+pub use error::SvcError;
+pub use pool::WorkerPool;
+pub use service::{Service, SvcConfig, CHUNK_ROWS};
+pub use shard::{Shard, ShardedIndex};

@@ -1,0 +1,274 @@
+//! Own-rolled worker pool with a bounded submission queue.
+//!
+//! `std`-only: a `Mutex<VecDeque>` of boxed jobs, two condvars (one
+//! waking idle workers, one waking blocked submitters), and explicit
+//! admission control — [`WorkerPool::try_execute`] *sheds* work with
+//! [`SvcError::Overloaded`] when the queue is full, so latency under
+//! overload stays bounded instead of growing with an unbounded queue.
+//! Foreground work that must not be shed (index builds) uses
+//! [`WorkerPool::execute_blocking`], which waits for space instead.
+//!
+//! A job that panics is caught and counted (`svc.pool.job_panics`);
+//! the worker thread survives.
+
+use crate::error::SvcError;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    jobs_available: Condvar,
+    space_available: Condvar,
+    capacity: usize,
+}
+
+/// A fixed-size thread pool over a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers over a queue of `queue_capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `queue_capacity` is zero, or if the OS
+    /// refuses to spawn a thread.
+    pub fn new(threads: usize, queue_capacity: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        assert!(queue_capacity >= 1, "need at least one queue slot");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(queue_capacity),
+                shutdown: false,
+            }),
+            jobs_available: Condvar::new(),
+            space_available: Condvar::new(),
+            capacity: queue_capacity,
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn svc worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Configured queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Submits a job, shedding it with [`SvcError::Overloaded`] when
+    /// the queue is full — the admission-control entry point for
+    /// query traffic.
+    pub fn try_execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), SvcError> {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown {
+            return Err(SvcError::Shutdown);
+        }
+        let depth = st.queue.len();
+        if depth >= self.shared.capacity {
+            obs::counter!("svc.pool.shed").inc();
+            return Err(SvcError::Overloaded {
+                depth,
+                capacity: self.shared.capacity,
+            });
+        }
+        st.queue.push_back(Box::new(job));
+        obs::histogram!("svc.pool.queue_depth").record(st.queue.len() as u64);
+        drop(st);
+        self.shared.jobs_available.notify_one();
+        Ok(())
+    }
+
+    /// Submits a job, blocking until a queue slot frees up — for
+    /// foreground work (parallel index builds) where shedding makes
+    /// no sense. Returns [`SvcError::Shutdown`] if the pool shuts
+    /// down while waiting.
+    pub fn execute_blocking<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), SvcError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return Err(SvcError::Shutdown);
+            }
+            if st.queue.len() < self.shared.capacity {
+                break;
+            }
+            st = self.shared.space_available.wait(st).unwrap();
+        }
+        st.queue.push_back(Box::new(job));
+        obs::histogram!("svc.pool.queue_depth").record(st.queue.len() as u64);
+        drop(st);
+        self.shared.jobs_available.notify_one();
+        Ok(())
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Graceful shutdown: already-queued jobs still run, then the
+    /// workers exit and are joined.
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.jobs_available.notify_all();
+        self.shared.space_available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.jobs_available.wait(st).unwrap();
+            }
+        };
+        shared.space_available.notify_one();
+        obs::counter!("svc.pool.jobs").inc();
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            obs::counter!("svc.pool.job_panics").inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = WorkerPool::new(4, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute_blocking(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(());
+            })
+            .unwrap();
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        let pool = WorkerPool::new(1, 2);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        pool.try_execute(move || {
+            let _ = block_rx.recv();
+        })
+        .unwrap();
+        // ...then fill the queue; eventually a submit must shed.
+        let mut shed = None;
+        for _ in 0..8 {
+            if let Err(e) = pool.try_execute(|| {}) {
+                shed = Some(e);
+                break;
+            }
+        }
+        match shed {
+            Some(SvcError::Overloaded { depth, capacity }) => {
+                assert_eq!(capacity, 2);
+                assert!(depth >= 2);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        drop(block_tx);
+    }
+
+    #[test]
+    fn drop_runs_queued_jobs_before_exit() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1, 64);
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.execute_blocking(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+            // Drop joins after draining.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.execute_blocking(|| panic!("job boom")).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.execute_blocking(move || {
+            let _ = tx.send(42);
+        })
+        .unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 42);
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_space() {
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        pool.execute_blocking(move || {
+            let _ = gate_rx.recv();
+        })
+        .unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        // Fill the queue's single slot, then a second blocking submit
+        // must wait until the gate opens.
+        let d1 = Arc::clone(&done);
+        pool.execute_blocking(move || {
+            d1.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        gate_tx.send(()).unwrap();
+        let d2 = Arc::clone(&done);
+        pool.execute_blocking(move || {
+            d2.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        drop(pool); // join → both ran
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+    }
+}

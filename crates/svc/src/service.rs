@@ -1,0 +1,648 @@
+//! The concurrent query service.
+//!
+//! A [`Service`] owns a [`ShardedIndex`] (behind an `Arc`) and a
+//! [`WorkerPool`]. Each request is validated once against the global
+//! schema, split into per-shard parts, and fanned out as **one pool
+//! job per shard** (batching — see [`crate::batch`]). Shard jobs
+//! execute their rows in [`CHUNK_ROWS`]-sized chunks, calling
+//! [`RequestCtx::check`] between chunks so deadlines and cancellation
+//! take effect mid-query. The collector waits with the request's
+//! remaining deadline budget; a miss cancels the in-flight shard work
+//! and discards partial results (a partial merge would break the AB's
+//! no-false-negative contract).
+//!
+//! Admission control happens at submission: a full pool queue sheds
+//! the whole request with [`SvcError::Overloaded`] before any shard
+//! runs.
+
+use crate::batch::{group_cells_by_shard, group_rects_by_shard};
+use crate::deadline::{Deadline, RequestCtx};
+use crate::error::SvcError;
+use crate::pool::WorkerPool;
+use crate::shard::{Shard, ShardedIndex};
+use ab::{AbConfig, Cell, QueryError};
+use bitmap::{BinnedTable, RectQuery};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rows a shard job processes between two [`RequestCtx::check`]
+/// calls. Small enough that cancellation latency stays in the tens of
+/// microseconds, large enough that the atomic load is noise.
+pub const CHUNK_ROWS: usize = 512;
+
+/// Service construction parameters.
+#[derive(Clone, Debug)]
+pub struct SvcConfig {
+    /// Worker threads; `0` means `std::thread::available_parallelism()`.
+    pub threads: usize,
+    /// Shard count; `0` derives it from the thread count (clamped to
+    /// the row count either way).
+    pub shards: usize,
+    /// Bounded submission-queue capacity; admission control sheds
+    /// beyond this depth.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Also build a WAH index per shard for exact answers.
+    pub with_wah: bool,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig {
+            threads: 0,
+            shards: 0,
+            queue_capacity: 256,
+            default_deadline: None,
+            with_wah: false,
+        }
+    }
+}
+
+impl SvcConfig {
+    /// The thread count after resolving `0` to the machine's
+    /// available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// The shard count for a table of `num_rows` rows: explicit, or
+    /// derived from the thread count; always clamped to `1..=num_rows`.
+    pub fn resolved_shards(&self, num_rows: usize) -> usize {
+        let want = if self.shards > 0 {
+            self.shards
+        } else {
+            self.resolved_threads()
+        };
+        want.clamp(1, num_rows.max(1))
+    }
+}
+
+/// A sharded, concurrent query service over an AB index.
+pub struct Service {
+    index: Arc<ShardedIndex>,
+    pool: WorkerPool,
+    default_deadline: Option<Duration>,
+}
+
+impl Service {
+    /// Builds the sharded index (in parallel, on the service's own
+    /// pool) and starts the workers.
+    pub fn build(table: &BinnedTable, ab: &AbConfig, cfg: &SvcConfig) -> Self {
+        let pool = WorkerPool::new(cfg.resolved_threads(), cfg.queue_capacity);
+        let shards = cfg.resolved_shards(table.num_rows());
+        let index = ShardedIndex::build_parallel(table, ab, shards, cfg.with_wah, &pool);
+        Service {
+            index: Arc::new(index),
+            pool,
+            default_deadline: cfg.default_deadline,
+        }
+    }
+
+    /// Wraps an already-built index (e.g. one loaded with
+    /// [`ShardedIndex::from_bytes`]); `cfg.shards` is ignored.
+    pub fn from_index(index: ShardedIndex, cfg: &SvcConfig) -> Self {
+        Service {
+            index: Arc::new(index),
+            pool: WorkerPool::new(cfg.resolved_threads(), cfg.queue_capacity),
+            default_deadline: cfg.default_deadline,
+        }
+    }
+
+    /// The served index.
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// Worker threads serving requests.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Jobs currently queued for admission.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    fn ctx_with_default(&self) -> RequestCtx {
+        RequestCtx::new(match self.default_deadline {
+            Some(budget) => Deadline::within(budget),
+            None => Deadline::none(),
+        })
+    }
+
+    /// Rectangular AB query under the service's default deadline.
+    /// Returns globally sorted row ids, bit-identical to
+    /// [`ShardedIndex::execute_rect_sequential`].
+    pub fn query_rect(&self, query: &RectQuery) -> Result<Vec<usize>, SvcError> {
+        self.query_rect_ctx(query, &self.ctx_with_default())
+    }
+
+    /// Rectangular query with an explicit per-request deadline.
+    pub fn query_rect_within(
+        &self,
+        query: &RectQuery,
+        budget: Duration,
+    ) -> Result<Vec<usize>, SvcError> {
+        self.query_rect_ctx(query, &RequestCtx::new(Deadline::within(budget)))
+    }
+
+    /// Rectangular query under a caller-owned [`RequestCtx`] — the
+    /// caller keeps a clone and may cancel mid-flight.
+    pub fn query_rect_ctx(
+        &self,
+        query: &RectQuery,
+        ctx: &RequestCtx,
+    ) -> Result<Vec<usize>, SvcError> {
+        let _timer = obs::span("svc.request_us");
+        obs::counter!("svc.requests").inc();
+        self.index.validate_rect(query)?;
+        ctx.check()?;
+        let parts = self.index.split_rect(query);
+        obs::histogram!("svc.fanout").record(parts.len() as u64);
+        let (tx, rx) = mpsc::channel();
+        let expected = parts.len();
+        for (slot, (sid, local)) in parts.into_iter().enumerate() {
+            let index = Arc::clone(&self.index);
+            let job_ctx = ctx.clone();
+            let tx = tx.clone();
+            if let Err(e) = self.pool.try_execute(move || {
+                let res = run_shard_chunked(&index.shards()[sid], &local, &job_ctx);
+                let _ = tx.send((slot, res));
+            }) {
+                // Shed: abandon the whole request and stop any parts
+                // already admitted.
+                ctx.cancel();
+                obs::counter!("svc.shed").inc();
+                return Err(e);
+            }
+        }
+        drop(tx);
+        let mut merged: Vec<Option<Vec<usize>>> = (0..expected).map(|_| None).collect();
+        for _ in 0..expected {
+            let (slot, res) = self.collect(&rx, ctx)?;
+            merged[slot] = Some(res?);
+        }
+        // Shard parts were issued in row order, so flattening by slot
+        // yields globally sorted rows.
+        Ok(merged.into_iter().flatten().flatten().collect())
+    }
+
+    /// Exact rectangular query over the per-shard WAH indexes (the
+    /// paper's verbatim/compressed baseline). Requires
+    /// [`SvcConfig::with_wah`] at build time.
+    pub fn query_rect_wah(&self, query: &RectQuery) -> Result<Vec<usize>, SvcError> {
+        let _timer = obs::span("svc.request_us");
+        obs::counter!("svc.requests").inc();
+        self.index.validate_rect(query)?;
+        if self.index.shards().iter().any(|s| s.wah().is_none()) {
+            return Err(SvcError::WahUnavailable);
+        }
+        let ctx = self.ctx_with_default();
+        ctx.check()?;
+        let parts = self.index.split_rect(query);
+        obs::histogram!("svc.fanout").record(parts.len() as u64);
+        let (tx, rx) = mpsc::channel();
+        let expected = parts.len();
+        for (slot, (sid, local)) in parts.into_iter().enumerate() {
+            let index = Arc::clone(&self.index);
+            let job_ctx = ctx.clone();
+            let tx = tx.clone();
+            if let Err(e) = self.pool.try_execute(move || {
+                let res = job_ctx.check().map(|()| {
+                    let shard = &index.shards()[sid];
+                    shard
+                        .wah()
+                        .expect("checked above")
+                        .evaluate_rows(&local)
+                        .into_iter()
+                        .map(|r| r + shard.start())
+                        .collect::<Vec<usize>>()
+                });
+                let _ = tx.send((slot, res));
+            }) {
+                ctx.cancel();
+                obs::counter!("svc.shed").inc();
+                return Err(e);
+            }
+        }
+        drop(tx);
+        let mut merged: Vec<Option<Vec<usize>>> = (0..expected).map(|_| None).collect();
+        for _ in 0..expected {
+            let (slot, res) = self.collect(&rx, &ctx)?;
+            merged[slot] = Some(res?);
+        }
+        Ok(merged.into_iter().flatten().flatten().collect())
+    }
+
+    /// Cell-subset retrieval (paper Figure 5) under the default
+    /// deadline: one boolean per cell, in request order. Probes are
+    /// batched per owning shard — one pool job per shard touched.
+    pub fn retrieve_cells(&self, cells: &[Cell]) -> Result<Vec<bool>, SvcError> {
+        let _timer = obs::span("svc.request_us");
+        obs::counter!("svc.requests").inc();
+        obs::histogram!("svc.batch.size").record(cells.len() as u64);
+        self.validate_cells(cells)?;
+        if cells.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ctx = self.ctx_with_default();
+        ctx.check()?;
+        let groups = group_cells_by_shard(&self.index, cells);
+        obs::histogram!("svc.fanout").record(groups.len() as u64);
+        let (tx, rx) = mpsc::channel();
+        let expected = groups.len();
+        for (slot, group) in groups.into_iter().enumerate() {
+            let index = Arc::clone(&self.index);
+            let job_ctx = ctx.clone();
+            let tx = tx.clone();
+            if let Err(e) = self.pool.try_execute(move || {
+                let shard = &index.shards()[group.shard];
+                let mut out = Vec::with_capacity(group.cells.len());
+                let mut res = Ok(());
+                for chunk in group.cells.chunks(CHUNK_ROWS) {
+                    if let Err(e) = job_ctx.check() {
+                        res = Err(e);
+                        break;
+                    }
+                    out.extend(chunk.iter().map(|&(pos, c)| {
+                        (pos, shard.index().test_cell(c.row, c.attribute, c.bin))
+                    }));
+                }
+                let _ = tx.send((slot, res.map(|()| out)));
+            }) {
+                ctx.cancel();
+                obs::counter!("svc.shed").inc();
+                return Err(e);
+            }
+        }
+        drop(tx);
+        let mut answers = vec![false; cells.len()];
+        for _ in 0..expected {
+            let (_, res) = self.collect(&rx, &ctx)?;
+            for (pos, hit) in res? {
+                answers[pos] = hit;
+            }
+        }
+        Ok(answers)
+    }
+
+    /// A batch of rectangular queries under one deadline: all shard
+    /// parts of all queries are grouped so each touched shard gets a
+    /// single pool job. Returns one (globally sorted) row list per
+    /// query, each bit-identical to running the query alone.
+    pub fn query_batch(&self, queries: &[RectQuery]) -> Result<Vec<Vec<usize>>, SvcError> {
+        let _timer = obs::span("svc.request_us");
+        obs::counter!("svc.requests").inc();
+        obs::histogram!("svc.batch.size").record(queries.len() as u64);
+        for q in queries {
+            self.index.validate_rect(q)?;
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ctx = self.ctx_with_default();
+        ctx.check()?;
+        let groups = group_rects_by_shard(&self.index, queries);
+        obs::histogram!("svc.fanout").record(groups.len() as u64);
+        let (tx, rx) = mpsc::channel();
+        let expected = groups.len();
+        for group in groups {
+            let index = Arc::clone(&self.index);
+            let job_ctx = ctx.clone();
+            let tx = tx.clone();
+            if let Err(e) = self.pool.try_execute(move || {
+                let shard = &index.shards()[group.shard];
+                let mut out = Vec::with_capacity(group.queries.len());
+                let mut res = Ok(());
+                for (qidx, local) in &group.queries {
+                    match run_shard_chunked(shard, local, &job_ctx) {
+                        Ok(rows) => out.push((*qidx, rows)),
+                        Err(e) => {
+                            res = Err(e);
+                            break;
+                        }
+                    }
+                }
+                let _ = tx.send((group.shard, res.map(|()| out)));
+            }) {
+                ctx.cancel();
+                obs::counter!("svc.shed").inc();
+                return Err(e);
+            }
+        }
+        drop(tx);
+        // Parts arrive in shard-completion order; tag each with its
+        // shard id and sort per query so the merge stays row-ordered.
+        let mut per_query: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); queries.len()];
+        for _ in 0..expected {
+            let (sid, res) = self.collect(&rx, &ctx)?;
+            for (qidx, rows) in res? {
+                per_query[qidx].push((sid, rows));
+            }
+        }
+        Ok(per_query
+            .into_iter()
+            .map(|mut parts| {
+                parts.sort_unstable_by_key(|(sid, _)| *sid);
+                parts.into_iter().flat_map(|(_, rows)| rows).collect()
+            })
+            .collect())
+    }
+
+    /// Waits for one shard result, charging the wait against the
+    /// request's deadline. A timeout cancels the remaining shard work.
+    fn collect<T>(
+        &self,
+        rx: &mpsc::Receiver<(usize, Result<T, SvcError>)>,
+        ctx: &RequestCtx,
+    ) -> Result<(usize, Result<T, SvcError>), SvcError> {
+        let received = match ctx.deadline.remaining() {
+            None => rx.recv().map_err(|_| SvcError::Shutdown),
+            Some(budget) => rx.recv_timeout(budget).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => SvcError::DeadlineExceeded,
+                mpsc::RecvTimeoutError::Disconnected => SvcError::Shutdown,
+            }),
+        };
+        match received {
+            Ok(pair) => {
+                if let Err(e) = &pair.1 {
+                    ctx.cancel();
+                    if *e == SvcError::DeadlineExceeded {
+                        obs::counter!("svc.deadline_missed").inc();
+                    }
+                }
+                Ok(pair)
+            }
+            Err(e) => {
+                ctx.cancel();
+                if e == SvcError::DeadlineExceeded {
+                    obs::counter!("svc.deadline_missed").inc();
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Runs one shard's part of a rectangular query in [`CHUNK_ROWS`]
+/// chunks, translating matches back to global row ids.
+fn run_shard_chunked(
+    shard: &Shard,
+    local: &RectQuery,
+    ctx: &RequestCtx,
+) -> Result<Vec<usize>, SvcError> {
+    let mut out = Vec::new();
+    let mut lo = local.row_lo;
+    loop {
+        ctx.check()?;
+        let hi = local.row_hi.min(lo + CHUNK_ROWS - 1);
+        let chunk = RectQuery::new(local.ranges.clone(), lo, hi);
+        out.extend(
+            shard
+                .index()
+                .try_execute_rect(&chunk)?
+                .into_iter()
+                .map(|r| r + shard.start()),
+        );
+        if hi == local.row_hi {
+            return Ok(out);
+        }
+        lo = hi + 1;
+    }
+}
+
+impl Service {
+    fn validate_cells(&self, cells: &[Cell]) -> Result<(), QueryError> {
+        let attrs = self.index.attributes();
+        for c in cells {
+            if c.row >= self.index.num_rows() {
+                return Err(QueryError::RowOutOfRange {
+                    row: c.row,
+                    num_rows: self.index.num_rows(),
+                });
+            }
+            let card = attrs.get(c.attribute).map(|a| a.cardinality).unwrap_or(0);
+            if c.bin >= card {
+                return Err(QueryError::BinOutOfRange {
+                    attribute: c.attribute,
+                    bin: c.bin,
+                    cardinality: card,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ab::Level;
+    use bitmap::{AttrRange, BinnedColumn};
+
+    fn table(n: usize) -> BinnedTable {
+        BinnedTable::new(vec![
+            BinnedColumn::new(
+                "a",
+                (0..n)
+                    .map(|i| (hashkit::splitmix64(i as u64) % 6) as u32)
+                    .collect(),
+                6,
+            ),
+            BinnedColumn::new(
+                "b",
+                (0..n)
+                    .map(|i| (hashkit::splitmix64(!(i as u64)) % 4) as u32)
+                    .collect(),
+                4,
+            ),
+        ])
+    }
+
+    fn service(n: usize, cfg: SvcConfig) -> Service {
+        Service::build(
+            &table(n),
+            &AbConfig::new(Level::PerAttribute).with_alpha(8),
+            &cfg,
+        )
+    }
+
+    fn small_cfg() -> SvcConfig {
+        SvcConfig {
+            threads: 2,
+            shards: 4,
+            ..SvcConfig::default()
+        }
+    }
+
+    #[test]
+    fn concurrent_result_matches_sequential_reference() {
+        let svc = service(500, small_cfg());
+        for (lo, hi) in [(0, 499), (13, 400), (250, 260)] {
+            let q = RectQuery::new(
+                vec![AttrRange::new(0, 1, 4), AttrRange::new(1, 0, 2)],
+                lo,
+                hi,
+            );
+            assert_eq!(
+                svc.query_rect(&q).unwrap(),
+                svc.index().execute_rect_sequential(&q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_queries_get_typed_errors() {
+        let svc = service(100, small_cfg());
+        let bad_row = RectQuery::new(vec![], 0, 100);
+        assert!(matches!(
+            svc.query_rect(&bad_row),
+            Err(SvcError::Query(QueryError::RowOutOfRange { .. }))
+        ));
+        let bad_bin = RectQuery::new(vec![AttrRange::new(1, 0, 9)], 0, 50);
+        assert!(matches!(
+            svc.query_rect(&bad_bin),
+            Err(SvcError::Query(QueryError::BinOutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_rejects_before_dispatch() {
+        let svc = service(200, small_cfg());
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 5)], 0, 199);
+        assert_eq!(
+            svc.query_rect_within(&q, Duration::ZERO),
+            Err(SvcError::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn cancelled_context_stops_the_request() {
+        let svc = service(200, small_cfg());
+        let ctx = RequestCtx::new(Deadline::none());
+        ctx.cancel();
+        let q = RectQuery::new(vec![], 0, 199);
+        assert_eq!(svc.query_rect_ctx(&q, &ctx), Err(SvcError::Cancelled));
+    }
+
+    #[test]
+    fn retrieve_cells_answers_in_request_order() {
+        let n = 300;
+        let t = table(n);
+        let svc = Service::build(
+            &t,
+            &AbConfig::new(Level::PerAttribute).with_alpha(8),
+            &small_cfg(),
+        );
+        // Query every row's true bin in attribute 0, shuffled across
+        // shards: all must come back true (no false negatives).
+        let cells: Vec<Cell> = (0..n)
+            .map(|i| (i * 7919) % n) // visit rows out of order
+            .map(|r| Cell::new(r, 0, t.column(0).bins[r]))
+            .collect();
+        let got = svc.retrieve_cells(&cells).unwrap();
+        assert_eq!(got.len(), n);
+        assert!(got.iter().all(|&b| b), "false negative via service");
+    }
+
+    #[test]
+    fn retrieve_cells_validates_input() {
+        let svc = service(50, small_cfg());
+        assert!(matches!(
+            svc.retrieve_cells(&[Cell::new(50, 0, 0)]),
+            Err(SvcError::Query(QueryError::RowOutOfRange { .. }))
+        ));
+        assert!(matches!(
+            svc.retrieve_cells(&[Cell::new(0, 7, 0)]),
+            Err(SvcError::Query(QueryError::BinOutOfRange {
+                attribute: 7,
+                ..
+            }))
+        ));
+        assert_eq!(svc.retrieve_cells(&[]).unwrap(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let svc = service(400, small_cfg());
+        let qs = vec![
+            RectQuery::new(vec![AttrRange::new(0, 0, 2)], 0, 399),
+            RectQuery::new(vec![AttrRange::new(1, 1, 3)], 100, 250),
+            RectQuery::new(vec![], 395, 399),
+        ];
+        let batched = svc.query_batch(&qs).unwrap();
+        assert_eq!(batched.len(), 3);
+        for (q, rows) in qs.iter().zip(&batched) {
+            assert_eq!(rows, &svc.query_rect(q).unwrap());
+        }
+        assert!(svc.query_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wah_path_gives_exact_subset_of_ab_answer() {
+        let t = table(300);
+        let cfg = SvcConfig {
+            with_wah: true,
+            ..small_cfg()
+        };
+        let svc = Service::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(8), &cfg);
+        let q = RectQuery::new(vec![AttrRange::new(0, 2, 4)], 10, 290);
+        let exact = svc.query_rect_wah(&q).unwrap();
+        let approx = svc.query_rect(&q).unwrap();
+        for r in &exact {
+            assert!(approx.contains(r), "AB missed exact row {r}");
+        }
+        let reference = bitmap::BitmapIndex::build(&t, bitmap::Encoding::Equality);
+        assert_eq!(exact, reference.evaluate_rows(&q));
+    }
+
+    #[test]
+    fn wah_unavailable_without_build_flag() {
+        let svc = service(100, small_cfg());
+        let q = RectQuery::new(vec![], 0, 99);
+        assert_eq!(svc.query_rect_wah(&q), Err(SvcError::WahUnavailable));
+    }
+
+    #[test]
+    fn config_resolution_clamps_shards() {
+        let cfg = SvcConfig {
+            threads: 4,
+            shards: 0,
+            ..SvcConfig::default()
+        };
+        assert_eq!(cfg.resolved_threads(), 4);
+        assert_eq!(cfg.resolved_shards(1000), 4);
+        assert_eq!(cfg.resolved_shards(2), 2); // clamped to rows
+        let auto = SvcConfig::default();
+        assert!(auto.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn from_index_serves_deserialized_shards() {
+        let t = table(120);
+        let idx = crate::ShardedIndex::build(
+            &t,
+            &AbConfig::new(Level::PerAttribute).with_alpha(8),
+            3,
+            false,
+        );
+        let bytes = idx.to_bytes();
+        let svc = Service::from_index(
+            crate::ShardedIndex::from_bytes(&bytes).unwrap(),
+            &small_cfg(),
+        );
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 3)], 0, 119);
+        assert_eq!(
+            svc.query_rect(&q).unwrap(),
+            idx.execute_rect_sequential(&q).unwrap()
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! Row-range sharding of an AB index.
+//!
+//! Roaring-style partitioning applied to the AB: the row space is
+//! split into `S` contiguous ranges (via [`ab::shard_ranges`]), and
+//! each shard holds its own [`AbIndex`] over its rows (renumbered from
+//! 0), optionally alongside a WAH index for exact second-step answers.
+//! Shards share nothing, so they build and query independently — the
+//! unit of parallelism for the [`crate::Service`].
+//!
+//! Row-range (not hash) partitioning keeps the paper's query shapes
+//! cheap: a rectangular query's row interval intersects only the
+//! shards it overlaps, and merged results come back globally sorted
+//! because shards are ordered.
+
+use crate::pool::WorkerPool;
+use ab::{AbConfig, AbIndex, AttributeMeta, QueryError};
+use bitmap::{BinnedTable, RectQuery};
+use std::sync::mpsc;
+
+/// One row-range shard: `[start, end)` of the global row space plus
+/// the indexes over those rows.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    start: usize,
+    end: usize,
+    index: AbIndex,
+    wah: Option<wah::WahIndex>,
+}
+
+impl Shard {
+    /// First global row covered (inclusive).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last global row covered.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of rows in the shard.
+    pub fn rows(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// The shard's AB index (rows numbered from 0).
+    pub fn index(&self) -> &AbIndex {
+        &self.index
+    }
+
+    /// The shard's WAH index, when built with `with_wah`.
+    pub fn wah(&self) -> Option<&wah::WahIndex> {
+        self.wah.as_ref()
+    }
+}
+
+/// A complete row-range-sharded index.
+#[derive(Clone, Debug)]
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    num_rows: usize,
+    attributes: Vec<AttributeMeta>,
+}
+
+impl ShardedIndex {
+    /// Builds `num_shards` shards sequentially on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or exceeds the row count, plus
+    /// the [`AbIndex::build`] panics.
+    pub fn build(
+        table: &BinnedTable,
+        config: &AbConfig,
+        num_shards: usize,
+        with_wah: bool,
+    ) -> Self {
+        let shards = ab::shard_ranges(table.num_rows(), num_shards)
+            .into_iter()
+            .map(|r| {
+                let sub = table.slice_rows(r.clone());
+                Shard {
+                    start: r.start,
+                    end: r.end,
+                    index: AbIndex::build(&sub, config),
+                    wah: with_wah.then(|| wah::WahIndex::build(&sub)),
+                }
+            })
+            .collect();
+        Self::assemble(shards, table.num_rows())
+    }
+
+    /// Builds the shards in parallel on `pool`, one job per shard.
+    /// Bit-identical to [`Self::build`]; submission blocks (rather
+    /// than sheds) when the pool queue is full, since an index build
+    /// is foreground work.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Self::build`] does, or if the pool shuts down
+    /// mid-build.
+    pub fn build_parallel(
+        table: &BinnedTable,
+        config: &AbConfig,
+        num_shards: usize,
+        with_wah: bool,
+        pool: &WorkerPool,
+    ) -> Self {
+        let ranges = ab::shard_ranges(table.num_rows(), num_shards);
+        let (tx, rx) = mpsc::channel();
+        for (i, r) in ranges.iter().enumerate() {
+            // Slice on the caller thread (cheap copy of the bin
+            // vectors) so the job owns everything it touches.
+            let sub = table.slice_rows(r.clone());
+            let config = config.clone();
+            let tx = tx.clone();
+            pool.execute_blocking(move || {
+                let index = AbIndex::build(&sub, &config);
+                let wah = with_wah.then(|| wah::WahIndex::build(&sub));
+                let _ = tx.send((i, index, wah));
+            })
+            .expect("worker pool shut down during build");
+        }
+        drop(tx);
+        let mut built: Vec<Option<(AbIndex, Option<wah::WahIndex>)>> =
+            (0..ranges.len()).map(|_| None).collect();
+        for (i, index, wah) in rx {
+            built[i] = Some((index, wah));
+        }
+        let shards = ranges
+            .into_iter()
+            .zip(built)
+            .map(|(r, b)| {
+                let (index, wah) = b.expect("a shard build job was lost");
+                Shard {
+                    start: r.start,
+                    end: r.end,
+                    index,
+                    wah,
+                }
+            })
+            .collect();
+        Self::assemble(shards, table.num_rows())
+    }
+
+    fn assemble(shards: Vec<Shard>, num_rows: usize) -> Self {
+        let attributes = shards[0].index.attributes().to_vec();
+        ShardedIndex {
+            shards,
+            num_rows,
+            attributes,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total rows covered.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Attribute metadata (identical across shards).
+    pub fn attributes(&self) -> &[AttributeMeta] {
+        &self.attributes
+    }
+
+    /// The shards, in row order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Total AB storage across shards, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.index.size_bytes()).sum()
+    }
+
+    /// Which shard covers the given global row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn shard_of_row(&self, row: usize) -> usize {
+        assert!(
+            row < self.num_rows,
+            "row {row} out of range {}",
+            self.num_rows
+        );
+        self.shards.partition_point(|s| s.end <= row)
+    }
+
+    /// Splits a rectangular query into `(shard id, shard-local
+    /// query)` parts, one per shard its row interval overlaps. Local
+    /// row `r` of shard `i` is global row `shards()[i].start() + r`.
+    pub fn split_rect(&self, query: &RectQuery) -> Vec<(usize, RectQuery)> {
+        let first = self.shard_of_row(query.row_lo.min(self.num_rows - 1));
+        self.shards[first..]
+            .iter()
+            .enumerate()
+            .take_while(|(_, s)| s.start <= query.row_hi)
+            .map(|(off, s)| {
+                let lo = query.row_lo.max(s.start) - s.start;
+                let hi = query.row_hi.min(s.end - 1) - s.start;
+                (first + off, RectQuery::new(query.ranges.clone(), lo, hi))
+            })
+            .collect()
+    }
+
+    /// Validates a query against the global row count and attribute
+    /// cardinalities — the same checks [`AbIndex::try_execute_rect`]
+    /// performs, hoisted so they run once per request instead of once
+    /// per shard.
+    pub fn validate_rect(&self, query: &RectQuery) -> Result<(), QueryError> {
+        if query.row_hi >= self.num_rows {
+            return Err(QueryError::RowOutOfRange {
+                row: query.row_hi,
+                num_rows: self.num_rows,
+            });
+        }
+        for r in &query.ranges {
+            let card = self
+                .attributes
+                .get(r.attribute)
+                .map(|a| a.cardinality)
+                .unwrap_or(0);
+            if r.hi >= card {
+                return Err(QueryError::BinOutOfRange {
+                    attribute: r.attribute,
+                    bin: r.hi,
+                    cardinality: card,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Single-threaded reference execution: runs every shard part in
+    /// row order on the calling thread and concatenates. The merge
+    /// correctness contract is that [`crate::Service::query_rect`]
+    /// returns exactly this, bit for bit, for any worker count.
+    pub fn execute_rect_sequential(&self, query: &RectQuery) -> Result<Vec<usize>, QueryError> {
+        self.validate_rect(query)?;
+        let mut out = Vec::new();
+        for (sid, local) in self.split_rect(query) {
+            let shard = &self.shards[sid];
+            out.extend(
+                shard
+                    .index
+                    .try_execute_rect(&local)?
+                    .into_iter()
+                    .map(|r| r + shard.start),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Serializes the shard layout as an `ABSH` envelope (WAH indexes
+    /// are rebuildable from data and are not persisted).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let segments: Vec<(u64, &AbIndex)> = self
+            .shards
+            .iter()
+            .map(|s| (s.start as u64, &s.index))
+            .collect();
+        ab::shards_to_bytes(&segments)
+    }
+
+    /// Reassembles a sharded index from [`Self::to_bytes`] output.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ab::IoError> {
+        let segments = ab::shards_from_bytes(data)?;
+        let mut shards = Vec::with_capacity(segments.len());
+        let mut num_rows = 0usize;
+        for (start, index) in segments {
+            let start = start as usize;
+            num_rows = start + index.num_rows();
+            shards.push(Shard {
+                start,
+                end: num_rows,
+                index,
+                wah: None,
+            });
+        }
+        Ok(Self::assemble(shards, num_rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ab::Level;
+    use bitmap::{AttrRange, BinnedColumn};
+
+    fn table(n: usize) -> BinnedTable {
+        BinnedTable::new(vec![
+            BinnedColumn::new(
+                "a",
+                (0..n)
+                    .map(|i| (hashkit::splitmix64(i as u64) % 5) as u32)
+                    .collect(),
+                5,
+            ),
+            BinnedColumn::new(
+                "b",
+                (0..n)
+                    .map(|i| (hashkit::splitmix64(i as u64 ^ 0xF00) % 7) as u32)
+                    .collect(),
+                7,
+            ),
+        ])
+    }
+
+    fn cfg() -> AbConfig {
+        AbConfig::new(Level::PerAttribute).with_alpha(8)
+    }
+
+    #[test]
+    fn shard_of_row_matches_ranges() {
+        let idx = ShardedIndex::build(&table(103), &cfg(), 7, false);
+        for (i, s) in idx.shards().iter().enumerate() {
+            assert_eq!(idx.shard_of_row(s.start()), i);
+            assert_eq!(idx.shard_of_row(s.end() - 1), i);
+        }
+    }
+
+    #[test]
+    fn split_rect_covers_interval_exactly() {
+        let idx = ShardedIndex::build(&table(100), &cfg(), 4, false);
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 4)], 10, 80);
+        let parts = idx.split_rect(&q);
+        assert_eq!(parts.len(), 4); // shards are 25 rows each
+        let mut covered = 0usize;
+        for (sid, local) in &parts {
+            let s = &idx.shards()[*sid];
+            covered += local.num_rows();
+            assert!(s.start() + local.row_hi < s.end());
+        }
+        assert_eq!(covered, 71);
+        // A query inside one shard fans out to exactly one part.
+        let q1 = RectQuery::new(vec![], 26, 49);
+        assert_eq!(idx.split_rect(&q1).len(), 1);
+    }
+
+    #[test]
+    fn sequential_execution_has_no_false_negatives() {
+        let t = table(200);
+        let idx = ShardedIndex::build(&t, &cfg(), 5, false);
+        let exact = bitmap::BitmapIndex::build(&t, bitmap::Encoding::Equality);
+        let q = RectQuery::new(
+            vec![AttrRange::new(0, 1, 3), AttrRange::new(1, 0, 4)],
+            20,
+            180,
+        );
+        let got = idx.execute_rect_sequential(&q).unwrap();
+        for r in exact.evaluate_rows(&q) {
+            assert!(got.contains(&r), "shard layout missed row {r}");
+        }
+        // Globally sorted merge.
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_monolithic() {
+        let t = table(64);
+        let idx = ShardedIndex::build(&t, &cfg(), 1, false);
+        let mono = AbIndex::build(&t, &cfg());
+        let q = RectQuery::new(vec![AttrRange::new(1, 2, 5)], 0, 63);
+        assert_eq!(
+            idx.execute_rect_sequential(&q).unwrap(),
+            mono.execute_rect(&q)
+        );
+        for (a, b) in idx.shards()[0].index().abs().iter().zip(mono.abs()) {
+            assert_eq!(a.bits(), b.bits());
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let t = table(150);
+        let pool = WorkerPool::new(4, 16);
+        let seq = ShardedIndex::build(&t, &cfg(), 6, false);
+        let par = ShardedIndex::build_parallel(&t, &cfg(), 6, false, &pool);
+        assert_eq!(par.num_shards(), seq.num_shards());
+        for (a, b) in par.shards().iter().zip(seq.shards()) {
+            assert_eq!(a.start(), b.start());
+            for (x, y) in a.index().abs().iter().zip(b.index().abs()) {
+                assert_eq!(x.bits(), y.bits());
+            }
+        }
+    }
+
+    #[test]
+    fn wah_shards_give_exact_answers() {
+        let t = table(120);
+        let idx = ShardedIndex::build(&t, &cfg(), 3, true);
+        let exact = bitmap::BitmapIndex::build(&t, bitmap::Encoding::Equality);
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 2)], 0, 119);
+        let mut got = Vec::new();
+        for (sid, local) in idx.split_rect(&q) {
+            let s = &idx.shards()[sid];
+            got.extend(
+                s.wah()
+                    .unwrap()
+                    .evaluate_rows(&local)
+                    .into_iter()
+                    .map(|r| r + s.start()),
+            );
+        }
+        assert_eq!(got, exact.evaluate_rows(&q));
+    }
+
+    #[test]
+    fn absh_roundtrip_preserves_results() {
+        let t = table(90);
+        let idx = ShardedIndex::build(&t, &cfg(), 4, true);
+        let back = ShardedIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert_eq!(back.num_rows(), idx.num_rows());
+        assert_eq!(back.num_shards(), idx.num_shards());
+        assert!(back.shards()[0].wah().is_none());
+        let q = RectQuery::new(vec![AttrRange::new(0, 2, 4)], 5, 85);
+        assert_eq!(
+            back.execute_rect_sequential(&q).unwrap(),
+            idx.execute_rect_sequential(&q).unwrap()
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unknown_attribute() {
+        let idx = ShardedIndex::build(&table(40), &cfg(), 2, false);
+        let q = RectQuery::new(vec![AttrRange::new(9, 0, 1)], 0, 10);
+        assert!(matches!(
+            idx.validate_rect(&q),
+            Err(QueryError::BinOutOfRange { attribute: 9, .. })
+        ));
+        let q2 = RectQuery::new(vec![], 0, 40);
+        assert!(matches!(
+            idx.validate_rect(&q2),
+            Err(QueryError::RowOutOfRange { row: 40, .. })
+        ));
+    }
+}

@@ -7,6 +7,10 @@
 //! abq info  --index index.ab
 //! abq query --index index.ab --where attr=LO..HI [--where ...]
 //!           [--rows LO..HI] [--limit N]
+//! abq serve --csv data.csv [--threads N] [--shards N] [--bins N]
+//!           [--alpha N] [--deadline-ms N] [--wah]
+//! abq bench-svc --csv data.csv [--threads N] [--shards N]
+//!           [--queries N] [--bins N] [--alpha N]
 //! ```
 //!
 //! `build` reads a numeric CSV with a header row, discretizes every
@@ -16,10 +20,14 @@
 //! original data, the paper's privacy-preserving deployment — and
 //! prints the matching row ids (approximate: 100% recall, small
 //! controlled false-positive rate).
+//! `serve` builds a sharded concurrent [`svc::Service`] over the CSV
+//! and answers queries read line by line from stdin.
+//! `bench-svc` measures the service's query throughput.
 
 use ab::{AbConfig, AbIndex, Level};
 use bitmap::{AttrRange, BinnedTable, Column, EquiDepth, RectQuery, Table};
 use std::process::ExitCode;
+use svc::{Service, SvcConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +35,8 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-svc") => cmd_bench_svc(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -47,7 +57,11 @@ fn print_usage() {
     eprintln!(
         "usage:\n  abq build --csv FILE --out FILE [--bins N] [--alpha N] \
          [--level L] [--k N] [--precision P]\n  abq info  --index FILE\n  \
-         abq query --index FILE [--where ATTR=LO..HI]... [--rows LO..HI] [--limit N]"
+         abq query --index FILE [--where ATTR=LO..HI]... [--rows LO..HI] [--limit N]\n  \
+         abq serve --csv FILE [--threads N] [--shards N] [--bins N] [--alpha N] \
+         [--deadline-ms N] [--wah]\n  \
+         abq bench-svc --csv FILE [--threads N] [--shards N] [--queries N] \
+         [--bins N] [--alpha N]"
     );
 }
 
@@ -247,6 +261,204 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Presence of a valueless `--flag`.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The `--threads` flag (satellite of the service layer): explicit
+/// `N`, or the machine's available parallelism.
+fn parse_threads(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--threads") {
+        Some(t) => {
+            let n: usize = t.parse().map_err(|_| "--threads must be an integer")?;
+            if n == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            Ok(n)
+        }
+        None => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)),
+    }
+}
+
+/// Shared setup for `serve` and `bench-svc`: CSV → binned table →
+/// sharded service. Prints the chosen shard/thread split.
+fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
+    let csv = flag_value(args, "--csv").ok_or("--csv is required")?;
+    let bins: u32 = flag_value(args, "--bins")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| "--bins must be an integer")?;
+    let alpha: u64 = flag_value(args, "--alpha")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "--alpha must be an integer")?;
+    let level = parse_level(flag_value(args, "--level").unwrap_or("per-attribute"))?;
+    let threads = parse_threads(args)?;
+    let shards: usize = match flag_value(args, "--shards") {
+        Some(s) => s.parse().map_err(|_| "--shards must be an integer")?,
+        None => 0,
+    };
+    let default_deadline = match flag_value(args, "--deadline-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse().map_err(|_| "--deadline-ms must be an integer")?,
+        )),
+        None => None,
+    };
+
+    let table = read_csv(csv)?;
+    let binned = BinnedTable::from_table(&table, &EquiDepth::new(bins));
+    let cfg = SvcConfig {
+        threads,
+        shards,
+        default_deadline,
+        with_wah,
+        ..SvcConfig::default()
+    };
+    let svc = Service::build(&binned, &AbConfig::new(level).with_alpha(alpha), &cfg);
+    println!(
+        "ready: {} rows x {} attributes, {} shards on {} threads ({} AB bytes)",
+        svc.index().num_rows(),
+        svc.index().attributes().len(),
+        svc.index().num_shards(),
+        svc.threads(),
+        svc.index().size_bytes(),
+    );
+    Ok(svc)
+}
+
+/// Parses one REPL line into a query: whitespace-separated
+/// `ATTR=LO..HI` terms plus an optional `rows LO..HI` pair.
+fn parse_repl_query(line: &str, svc: &Service) -> Result<RectQuery, String> {
+    let mut ranges = Vec::new();
+    let mut rows = None;
+    let mut tokens = line.split_whitespace().peekable();
+    while let Some(tok) = tokens.next() {
+        if tok == "rows" {
+            let spec = tokens.next().ok_or("`rows` needs a LO..HI range")?;
+            let (lo, hi) = parse_range(spec)?;
+            if hi as usize >= svc.index().num_rows() {
+                return Err(format!(
+                    "row {hi} out of range ({})",
+                    svc.index().num_rows()
+                ));
+            }
+            rows = Some((lo as usize, hi as usize));
+        } else {
+            let (attr_name, range) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("`{tok}` is not ATTR=LO..HI"))?;
+            let attr = svc
+                .index()
+                .attributes()
+                .iter()
+                .position(|a| a.name == attr_name.trim())
+                .ok_or_else(|| format!("unknown attribute `{attr_name}`"))?;
+            let (lo, hi) = parse_range(range)?;
+            let card = svc.index().attributes()[attr].cardinality as u64;
+            if hi >= card {
+                return Err(format!(
+                    "bin {hi} out of range for `{attr_name}` (cardinality {card})"
+                ));
+            }
+            ranges.push(AttrRange::new(attr, lo as u32, hi as u32));
+        }
+    }
+    let (row_lo, row_hi) = rows.unwrap_or((0, svc.index().num_rows() - 1));
+    Ok(RectQuery::new(ranges, row_lo, row_hi))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let svc = build_service(args, has_flag(args, "--wah"))?;
+    let limit: usize = flag_value(args, "--limit")
+        .unwrap_or("20")
+        .parse()
+        .map_err(|_| "--limit must be an integer")?;
+    println!("query syntax: ATTR=LO..HI [ATTR=LO..HI ...] [rows LO..HI]; `quit` to exit");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if std::io::BufRead::read_line(&mut stdin.lock(), &mut line).map_err(|e| e.to_string())?
+            == 0
+        {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        match parse_repl_query(trimmed, &svc).map(|q| {
+            if has_flag(args, "--wah") {
+                svc.query_rect_wah(&q)
+            } else {
+                svc.query_rect(&q)
+            }
+        }) {
+            Ok(Ok(matches)) => {
+                println!("{} rows", matches.len());
+                for r in matches.iter().take(limit) {
+                    println!("{r}");
+                }
+                if matches.len() > limit {
+                    println!("... ({} more; raise --limit)", matches.len() - limit);
+                }
+            }
+            Ok(Err(e)) => println!("error: {e}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench_svc(args: &[String]) -> Result<(), String> {
+    let svc = build_service(args, false)?;
+    let queries: usize = flag_value(args, "--queries")
+        .unwrap_or("200")
+        .parse()
+        .map_err(|_| "--queries must be an integer")?;
+    let num_rows = svc.index().num_rows();
+    let attrs = svc.index().attributes();
+
+    // Deterministic query mix: vary the constrained attribute, the bin
+    // window, and the row interval per query.
+    let workload: Vec<RectQuery> = (0..queries)
+        .map(|i| {
+            let a = i % attrs.len();
+            let card = attrs[a].cardinality;
+            let lo = (hashkit::splitmix64(i as u64) % card as u64) as u32;
+            let hi = (lo + card / 2).min(card - 1);
+            let rl = (hashkit::splitmix64(i as u64 ^ 0xBEEF) % num_rows as u64) as usize;
+            RectQuery::new(
+                vec![AttrRange::new(a, lo, hi)],
+                rl.min(num_rows - 1),
+                num_rows - 1,
+            )
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let mut total_matches = 0usize;
+    for q in &workload {
+        total_matches += svc.query_rect(q).map_err(|e| e.to_string())?.len();
+    }
+    let elapsed = started.elapsed();
+    let rps = queries as f64 / elapsed.as_secs_f64();
+    println!(
+        "{queries} queries in {:.3}s -> {rps:.0} req/s ({} threads, {} shards, {} total matches)",
+        elapsed.as_secs_f64(),
+        svc.threads(),
+        svc.index().num_shards(),
+        total_matches,
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +512,73 @@ mod tests {
         let path = dir.join("bad.csv");
         std::fs::write(&path, "x,y\n1.0\n").unwrap();
         assert!(read_csv(path.to_str().unwrap()).is_err());
+    }
+
+    fn tiny_service() -> Service {
+        let t = Table::new(vec![
+            Column::new("price", (0..200).map(|i| (i % 50) as f64).collect()),
+            Column::new("qty", (0..200).map(|i| (i % 9) as f64).collect()),
+        ]);
+        let binned = BinnedTable::from_table(&t, &EquiDepth::new(5));
+        Service::build(
+            &binned,
+            &AbConfig::new(Level::PerAttribute).with_alpha(8),
+            &SvcConfig {
+                threads: 2,
+                shards: 4,
+                ..SvcConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn repl_query_parsing() {
+        let svc = tiny_service();
+        let q = parse_repl_query("price=0..2 qty=1..1 rows 10..99", &svc).unwrap();
+        assert_eq!(q.ranges.len(), 2);
+        assert_eq!(q.ranges[0], AttrRange::new(0, 0, 2));
+        assert_eq!(q.ranges[1], AttrRange::new(1, 1, 1));
+        assert_eq!((q.row_lo, q.row_hi), (10, 99));
+        // Defaults to the full row range.
+        let q = parse_repl_query("price=0..4", &svc).unwrap();
+        assert_eq!((q.row_lo, q.row_hi), (0, 199));
+        assert!(parse_repl_query("nope=0..1", &svc).is_err());
+        assert!(parse_repl_query("price=0..9", &svc).is_err());
+        assert!(parse_repl_query("rows 0..500", &svc).is_err());
+        assert!(parse_repl_query("price0..2", &svc).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_defaults() {
+        assert_eq!(parse_threads(&strings(&["--threads", "4"])), Ok(4));
+        assert!(parse_threads(&strings(&["--threads", "0"])).is_err());
+        assert!(parse_threads(&strings(&["--threads", "x"])).is_err());
+        assert!(parse_threads(&strings(&[])).unwrap() >= 1);
+        assert!(has_flag(&strings(&["--wah"]), "--wah"));
+        assert!(!has_flag(&strings(&[]), "--wah"));
+    }
+
+    #[test]
+    fn bench_svc_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("abq_test_bench_svc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let mut body = String::from("price,qty\n");
+        for i in 0..300 {
+            body.push_str(&format!("{}.0,{}.0\n", i % 41, (i * 3) % 11));
+        }
+        std::fs::write(&csv, body).unwrap();
+        cmd_bench_svc(&strings(&[
+            "--csv",
+            csv.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--shards",
+            "3",
+            "--queries",
+            "20",
+        ]))
+        .unwrap();
     }
 
     #[test]
