@@ -120,7 +120,7 @@ fn bench_levels(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(600));
     for level in [Level::PerDataset, Level::PerAttribute, Level::PerColumn] {
         let ab = bundle.ab(&AbConfig::new(level).with_alpha(8));
-        group.bench_function(format!("{level}"), |b| {
+        group.bench_function(format!("{level}").as_str(), |b| {
             b.iter(|| {
                 for q in queries.iter().take(20) {
                     std::hint::black_box(ab.execute_rect(q));
@@ -202,7 +202,7 @@ fn bench_parallel_build(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
     for threads in [1usize, 2, 4] {
-        group.bench_function(format!("threads={threads}"), |b| {
+        group.bench_function(format!("threads={threads}").as_str(), |b| {
             b.iter(|| std::hint::black_box(AbIndex::build_parallel(&ds.binned, &cfg, threads)))
         });
     }

@@ -28,7 +28,7 @@ fn bench_build(c: &mut Criterion) {
     });
     for level in [Level::PerDataset, Level::PerAttribute, Level::PerColumn] {
         let cfg = AbConfig::new(level).with_alpha(8);
-        group.bench_function(format!("ab_{level}"), |b| {
+        group.bench_function(format!("ab_{level}").as_str(), |b| {
             b.iter(|| std::hint::black_box(ab::AbIndex::build(&ds.binned, &cfg)))
         });
     }

@@ -14,14 +14,14 @@ fn bench_alpha(c: &mut Criterion) {
     let bundles = Bundle::paper_bundles(0.01, 42);
     for bundle in &bundles {
         let queries = bundle.queries(bundle.ds.rows() / 10, 7);
-        let mut group = c.benchmark_group(format!("fig12/{}", bundle.ds.name));
+        let mut group = c.benchmark_group(format!("fig12/{}", bundle.ds.name).as_str());
         group
             .sample_size(10)
             .warm_up_time(Duration::from_millis(200))
             .measurement_time(Duration::from_millis(600));
         for alpha in [2u64, 4, 8, 16] {
             let ab = bundle.ab(&AbConfig::new(paper_level(&bundle.ds.name)).with_alpha(alpha));
-            group.bench_function(format!("alpha={alpha}"), |b| {
+            group.bench_function(format!("alpha={alpha}").as_str(), |b| {
                 b.iter(|| {
                     for q in &queries {
                         std::hint::black_box(ab.execute_rect(q));

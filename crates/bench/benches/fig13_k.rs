@@ -22,7 +22,7 @@ fn bench_k(c: &mut Criterion) {
             .with_alpha(paper_alpha("uniform"))
             .with_k(k);
         let ab = bundle.ab(&cfg);
-        group.bench_function(format!("k={k}"), |b| {
+        group.bench_function(format!("k={k}").as_str(), |b| {
             b.iter(|| {
                 for q in &queries {
                     std::hint::black_box(ab.execute_rect(q));

@@ -17,7 +17,7 @@ fn bench_wah_vs_ab(c: &mut Criterion) {
     for bundle in &bundles {
         let n = bundle.ds.rows();
         let ab = bundle.paper_ab();
-        let mut group = c.benchmark_group(format!("fig14/{}", bundle.ds.name));
+        let mut group = c.benchmark_group(format!("fig14/{}", bundle.ds.name).as_str());
         group
             .sample_size(10)
             .warm_up_time(Duration::from_millis(200))
@@ -37,7 +37,7 @@ fn bench_wah_vs_ab(c: &mut Criterion) {
         for permille in [1usize, 10, 100, 250] {
             let rows = (n * permille / 1000).max(1);
             let queries = bundle.queries(rows, 3);
-            group.bench_function(format!("ab(rows={rows})"), |b| {
+            group.bench_function(format!("ab(rows={rows})").as_str(), |b| {
                 b.iter(|| {
                     for q in queries.iter().take(10) {
                         std::hint::black_box(ab.execute_rect(q));

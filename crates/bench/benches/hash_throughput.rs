@@ -28,7 +28,7 @@ fn bench_hashes(c: &mut Criterion) {
         ),
     ];
     for (name, family) in &families {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             let mut buf = Vec::with_capacity(k);
             let mut x = 0u64;
             b.iter(|| {

@@ -30,7 +30,7 @@ fn bench_modern(c: &mut Criterion) {
 
     for rows in [n / 1000, n / 100, n / 10] {
         let queries = bundle.queries(rows, 7);
-        let mut group = c.benchmark_group(format!("modern/rows={rows}"));
+        let mut group = c.benchmark_group(format!("modern/rows={rows}").as_str());
         group
             .sample_size(10)
             .warm_up_time(Duration::from_millis(200))

@@ -3,10 +3,12 @@
 //! A downstream user builds the AB once over a (read-only, per §4.1)
 //! data set and ships it to query nodes — the paper's privacy scenario
 //! (§1, contribution 6) even queries the AB *without* database access.
-//! The format is a versioned little-endian layout:
+//! The format is a versioned little-endian layout (version 2 adds a
+//! CRC-32 of everything after the checksum field, so bit-rot is caught
+//! at decode time instead of surfacing as silently wrong answers):
 //!
 //! ```text
-//! magic "ABIX" | version u16 | level u8 | num_rows u64 |
+//! magic "ABIX" | version u16 | crc32 u32 | level u8 | num_rows u64 |
 //! attr count u32 | { name_len u16, name, cardinality u32, offset u64 }* |
 //! ab count u32  | { n_bits u64, k u32, inserted u64, mapper, family,
 //!                   word count u64, words u64* }*
@@ -14,16 +16,30 @@
 //!
 //! A row-range-sharded index (see `ab::shard_ranges` and the `svc`
 //! crate) persists as an `ABSH` envelope of independent `ABIX`
-//! segments, each tagged with its starting global row:
+//! segments, each tagged with its starting global row and (since
+//! version 2) its own CRC-32, so one rotted shard is detected — and
+//! repairable — without touching the others:
 //!
 //! ```text
 //! magic "ABSH" | version u16 | shard count u32 |
-//! { start_row u64, byte_len u64, ABIX bytes }*
+//! { start_row u64, byte_len u64, crc32 u32, ABIX bytes }*
 //! ```
 //!
 //! Segments are length-prefixed so a reader can skip to any shard
 //! without decoding the others, and must appear in strictly increasing
-//! `start_row` order starting at row 0.
+//! `start_row` order starting at row 0. Version-1 payloads (no
+//! checksums) remain readable.
+//!
+//! Three readers serve three robustness postures:
+//!
+//! * [`from_bytes`] / [`shards_from_bytes`] — strict: the first
+//!   corrupt byte fails the whole decode with a typed [`IoError`];
+//! * [`shards_from_bytes_checked`] — shard-granular: envelope-level
+//!   damage is fatal, but each segment decodes independently so a
+//!   caller (e.g. `svc::ShardedIndex::from_bytes_with_repair`) can
+//!   rebuild only the corrupted shards from source data;
+//! * [`verify`] — diagnostic: checksum status and header sanity per
+//!   segment without materializing any bit arrays (`abq verify`).
 
 use crate::analysis::Level;
 use crate::encoding::ApproximateBitmap;
@@ -32,7 +48,7 @@ use bitmap::BitVec;
 use hashkit::{CellMapper, HashFamily, HashKind};
 
 /// Errors arising while decoding a serialized AB index.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IoError {
     /// Input does not start with the `ABIX` magic.
     BadMagic,
@@ -46,6 +62,14 @@ pub enum IoError {
     BadString,
     /// `ABSH` shard segments were empty, unordered, or overlapping.
     BadShardLayout,
+    /// The stored CRC-32 does not match the payload — the bytes were
+    /// corrupted after serialization (bit-rot, torn write, tampering).
+    ChecksumMismatch {
+        /// Checksum recorded at write time.
+        stored: u32,
+        /// Checksum recomputed over the received payload.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -57,6 +81,10 @@ impl std::fmt::Display for IoError {
             IoError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
             IoError::BadString => write!(f, "invalid UTF-8 in name"),
             IoError::BadShardLayout => write!(f, "shard segments empty or out of order"),
+            IoError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -64,13 +92,59 @@ impl std::fmt::Display for IoError {
 impl std::error::Error for IoError {}
 
 const MAGIC: &[u8; 4] = b"ABIX";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Oldest format version this build still reads (checksum-free).
+const MIN_VERSION: u16 = 1;
 
-/// Serializes an [`AbIndex`] to bytes.
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `data`.
+/// Table-driven, built at compile time — no dependencies.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Verifies a stored checksum, counting failures in
+/// `io.checksum_failures`.
+fn check_crc(stored: u32, payload: &[u8]) -> Result<(), IoError> {
+    let computed = crc32(payload);
+    if stored != computed {
+        obs::counter!("io.checksum_failures").inc();
+        return Err(IoError::ChecksumMismatch { stored, computed });
+    }
+    Ok(())
+}
+
+/// Serializes an [`AbIndex`] to bytes (format version 2: the u32 after
+/// the version field is a CRC-32 of everything that follows it).
 pub fn to_bytes(index: &AbIndex) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + index.size_bytes());
     out.extend_from_slice(MAGIC);
     put_u16(&mut out, VERSION);
+    put_u32(&mut out, 0); // checksum, patched below
     out.push(level_tag(index.level()));
     put_u64(&mut out, index.num_rows() as u64);
     put_u32(&mut out, index.attributes().len() as u32);
@@ -93,19 +167,32 @@ pub fn to_bytes(index: &AbIndex) -> Vec<u8> {
             put_u64(&mut out, w);
         }
     }
+    let crc = crc32(&out[10..]);
+    out[6..10].copy_from_slice(&crc.to_le_bytes());
     out
 }
 
 /// Deserializes an [`AbIndex`] from bytes produced by [`to_bytes`].
+/// Version-2 input is checksum-verified before any field is trusted;
+/// version-1 input (pre-checksum) still decodes.
 pub fn from_bytes(data: &[u8]) -> Result<AbIndex, IoError> {
     let mut r = Reader { data, pos: 0 };
     if r.take(4)? != MAGIC {
         return Err(IoError::BadMagic);
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(IoError::UnsupportedVersion(version));
     }
+    if version >= 2 {
+        let stored = r.u32()?;
+        check_crc(stored, &data[r.pos..])?;
+    }
+    parse_index_payload(&mut r)
+}
+
+/// Parses the post-checksum body shared by format versions 1 and 2.
+fn parse_index_payload(r: &mut Reader<'_>) -> Result<AbIndex, IoError> {
     let level = parse_level(r.u8()?)?;
     let num_rows = r.u64()? as usize;
     let attr_count = r.u32()? as usize;
@@ -142,8 +229,8 @@ pub fn from_bytes(data: &[u8]) -> Result<AbIndex, IoError> {
             return Err(IoError::BadTag(0));
         }
         let inserted = r.u64()?;
-        let mapper = read_mapper(&mut r)?;
-        let family = read_family(&mut r)?;
+        let mapper = read_mapper(r)?;
+        let family = read_family(r)?;
         let word_count = r.u64()? as usize;
         if word_count > r.remaining() / 8 || word_count != (n_bits as usize).div_ceil(64) {
             return Err(IoError::Truncated);
@@ -164,7 +251,8 @@ pub fn from_bytes(data: &[u8]) -> Result<AbIndex, IoError> {
 }
 
 const SHARD_MAGIC: &[u8; 4] = b"ABSH";
-const SHARD_VERSION: u16 = 1;
+const SHARD_VERSION: u16 = 2;
+const SHARD_MIN_VERSION: u16 = 1;
 
 /// Serializes a row-range-sharded index as an `ABSH` envelope.
 /// `segments` pairs each shard's starting global row with its index;
@@ -195,42 +283,24 @@ pub fn shards_to_bytes(segments: &[(u64, &AbIndex)]) -> Vec<u8> {
         let blob = to_bytes(index);
         put_u64(&mut out, *start);
         put_u64(&mut out, blob.len() as u64);
+        put_u32(&mut out, crc32(&blob));
         out.extend_from_slice(&blob);
     }
     out
 }
 
 /// Deserializes an `ABSH` envelope produced by [`shards_to_bytes`]
-/// back into `(start_row, index)` segments in row order.
+/// back into `(start_row, index)` segments in row order. Strict: the
+/// first corrupt segment fails the whole decode — use
+/// [`shards_from_bytes_checked`] when partial recovery is wanted.
 pub fn shards_from_bytes(data: &[u8]) -> Result<Vec<(u64, AbIndex)>, IoError> {
-    let mut r = Reader { data, pos: 0 };
-    if r.take(4)? != SHARD_MAGIC {
-        return Err(IoError::BadMagic);
-    }
-    let version = r.u16()?;
-    if version != SHARD_VERSION {
-        return Err(IoError::UnsupportedVersion(version));
-    }
-    let count = r.u32()? as usize;
-    if count == 0 {
-        return Err(IoError::BadShardLayout);
-    }
-    // Each segment carries a 16-byte header plus a non-empty blob.
-    if count > r.remaining() / 17 {
-        return Err(IoError::Truncated);
-    }
-    let mut segments = Vec::with_capacity(count);
+    let mut segments = Vec::new();
     let mut expected_start = 0u64;
-    for _ in 0..count {
-        let start = r.u64()?;
+    for (start, res) in shards_from_bytes_checked(data)? {
         if start != expected_start {
             return Err(IoError::BadShardLayout);
         }
-        let len = r.u64()?;
-        if len as usize > r.remaining() {
-            return Err(IoError::Truncated);
-        }
-        let index = from_bytes(r.take(len as usize)?)?;
+        let index = res?;
         if index.num_rows() == 0 {
             return Err(IoError::BadShardLayout);
         }
@@ -238,6 +308,250 @@ pub fn shards_from_bytes(data: &[u8]) -> Result<Vec<(u64, AbIndex)>, IoError> {
         segments.push((start, index));
     }
     Ok(segments)
+}
+
+/// Per-segment decode results from [`shards_from_bytes_checked`]: each
+/// entry is `(start_row, Ok(index) | Err(segment-local damage))`.
+pub type CheckedSegments = Vec<(u64, Result<AbIndex, IoError>)>;
+
+/// Shard-granular `ABSH` decoding: damage to the envelope itself
+/// (magic, version, counts, truncation, unordered starts) is fatal,
+/// but each segment's checksum verification and decode happen
+/// independently, so a flipped byte inside shard *i* yields
+/// `Err(ChecksumMismatch)` in slot *i* while every other shard decodes
+/// normally. This is the substrate for shard-granular repair.
+pub fn shards_from_bytes_checked(data: &[u8]) -> Result<CheckedSegments, IoError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != SHARD_MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = r.u16()?;
+    if !(SHARD_MIN_VERSION..=SHARD_VERSION).contains(&version) {
+        return Err(IoError::UnsupportedVersion(version));
+    }
+    let count = r.u32()? as usize;
+    if count == 0 {
+        return Err(IoError::BadShardLayout);
+    }
+    // Each segment carries a fixed header plus a non-empty blob; a
+    // count beyond what could fit in the remaining input is corrupt.
+    let min_segment = if version >= 2 { 21 } else { 17 };
+    if count > r.remaining() / min_segment {
+        return Err(IoError::Truncated);
+    }
+    let mut segments = Vec::with_capacity(count);
+    let mut prev_start: Option<u64> = None;
+    for _ in 0..count {
+        let start = r.u64()?;
+        let ordered = match prev_start {
+            None => start == 0,
+            Some(p) => start > p,
+        };
+        if !ordered {
+            return Err(IoError::BadShardLayout);
+        }
+        prev_start = Some(start);
+        let len = r.u64()?;
+        let stored = if version >= 2 { Some(r.u32()?) } else { None };
+        if len as usize > r.remaining() {
+            return Err(IoError::Truncated);
+        }
+        let blob = r.take(len as usize)?;
+        let res = match stored.map(|s| check_crc(s, blob)) {
+            Some(Err(e)) => Err(e),
+            _ => from_bytes(blob),
+        };
+        segments.push((start, res));
+    }
+    Ok(segments)
+}
+
+/// Checksum state of one stored segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChecksumStatus {
+    /// Stored and recomputed CRC-32 agree.
+    Ok,
+    /// The payload does not hash to the stored CRC-32.
+    Mismatch {
+        /// Checksum recorded at write time.
+        stored: u32,
+        /// Checksum recomputed over the received payload.
+        computed: u32,
+    },
+    /// Version-1 payload — written before checksums existed.
+    Absent,
+}
+
+/// The cheap-to-read prefix of one `ABIX` payload: everything before
+/// the bit arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Encoding level recorded in the segment.
+    pub level: Level,
+    /// Rows the segment covers.
+    pub num_rows: u64,
+    /// Attribute count.
+    pub attributes: u32,
+    /// Approximate-bitmap count.
+    pub abs: u32,
+}
+
+/// Status of one segment from [`verify`].
+#[derive(Clone, Debug)]
+pub struct SegmentReport {
+    /// Segment position (always 0 for a bare `ABIX` file).
+    pub shard: usize,
+    /// First global row the segment claims to cover.
+    pub start_row: u64,
+    /// Serialized segment size in bytes.
+    pub byte_len: usize,
+    /// Checksum verification outcome.
+    pub checksum: ChecksumStatus,
+    /// Header fields, or the typed error met while reading them.
+    pub header: Result<SegmentHeader, IoError>,
+}
+
+impl SegmentReport {
+    /// Whether the segment passed every check it supports.
+    pub fn healthy(&self) -> bool {
+        !matches!(self.checksum, ChecksumStatus::Mismatch { .. }) && self.header.is_ok()
+    }
+}
+
+/// Outcome of [`verify`]: one report per stored segment.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// `"ABIX"` or `"ABSH"`.
+    pub container: &'static str,
+    /// Format version of the container.
+    pub version: u16,
+    /// Per-segment status, in storage order.
+    pub segments: Vec<SegmentReport>,
+}
+
+impl VerifyReport {
+    /// Whether every segment is checksum-clean with a sane header.
+    pub fn healthy(&self) -> bool {
+        self.segments.iter().all(SegmentReport::healthy)
+    }
+}
+
+/// Walks a serialized `ABIX` or `ABSH` byte stream and reports
+/// per-segment checksum status and header sanity **without** decoding
+/// any bit array — memory stays O(attributes), not O(index), so a
+/// multi-gigabyte file can be audited cheaply (`abq verify`).
+pub fn verify(data: &[u8]) -> Result<VerifyReport, IoError> {
+    let mut r = Reader { data, pos: 0 };
+    let magic = r.take(4)?;
+    if magic == MAGIC {
+        let version = r.u16()?;
+        if !(MIN_VERSION..=VERSION).contains(&version) {
+            return Err(IoError::UnsupportedVersion(version));
+        }
+        return Ok(VerifyReport {
+            container: "ABIX",
+            version,
+            segments: vec![inspect_segment(data, 0, 0)],
+        });
+    }
+    if magic != SHARD_MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = r.u16()?;
+    if !(SHARD_MIN_VERSION..=SHARD_VERSION).contains(&version) {
+        return Err(IoError::UnsupportedVersion(version));
+    }
+    let count = r.u32()? as usize;
+    if count == 0 {
+        return Err(IoError::BadShardLayout);
+    }
+    let min_segment = if version >= 2 { 21 } else { 17 };
+    if count > r.remaining() / min_segment {
+        return Err(IoError::Truncated);
+    }
+    let mut segments = Vec::with_capacity(count);
+    for shard in 0..count {
+        let start = r.u64()?;
+        let len = r.u64()?;
+        let envelope_crc = if version >= 2 { Some(r.u32()?) } else { None };
+        if len as usize > r.remaining() {
+            return Err(IoError::Truncated);
+        }
+        let blob = r.take(len as usize)?;
+        let mut report = inspect_segment(blob, shard, start);
+        // The envelope's per-segment checksum covers the whole blob;
+        // it wins over the blob's own (inner) checksum status.
+        if let Some(stored) = envelope_crc {
+            let computed = crc32(blob);
+            report.checksum = if stored == computed {
+                ChecksumStatus::Ok
+            } else {
+                obs::counter!("io.checksum_failures").inc();
+                ChecksumStatus::Mismatch { stored, computed }
+            };
+        }
+        segments.push(report);
+    }
+    Ok(VerifyReport {
+        container: "ABSH",
+        version,
+        segments,
+    })
+}
+
+/// Checks one `ABIX` blob's checksum and parses its header fields
+/// without touching the bit arrays.
+fn inspect_segment(blob: &[u8], shard: usize, start_row: u64) -> SegmentReport {
+    let mut report = SegmentReport {
+        shard,
+        start_row,
+        byte_len: blob.len(),
+        checksum: ChecksumStatus::Absent,
+        header: Err(IoError::Truncated),
+    };
+    let mut r = Reader { data: blob, pos: 0 };
+    report.header = (|| {
+        if r.take(4)? != MAGIC {
+            return Err(IoError::BadMagic);
+        }
+        let version = r.u16()?;
+        if !(MIN_VERSION..=VERSION).contains(&version) {
+            return Err(IoError::UnsupportedVersion(version));
+        }
+        if version >= 2 {
+            let stored = r.u32()?;
+            let computed = crc32(&blob[r.pos..]);
+            report.checksum = if stored == computed {
+                ChecksumStatus::Ok
+            } else {
+                obs::counter!("io.checksum_failures").inc();
+                ChecksumStatus::Mismatch { stored, computed }
+            };
+        }
+        let level = parse_level(r.u8()?)?;
+        let num_rows = r.u64()?;
+        let attributes = r.u32()?;
+        if attributes as usize > r.remaining() / 14 {
+            return Err(IoError::Truncated);
+        }
+        for _ in 0..attributes {
+            let name_len = r.u16()? as usize;
+            std::str::from_utf8(r.take(name_len)?).map_err(|_| IoError::BadString)?;
+            r.u32()?; // cardinality
+            r.u64()?; // offset
+        }
+        let abs = r.u32()?;
+        if abs as usize > r.remaining() / 33 {
+            return Err(IoError::Truncated);
+        }
+        Ok(SegmentHeader {
+            level,
+            num_rows,
+            attributes,
+            abs,
+        })
+    })();
+    report
 }
 
 fn level_tag(level: Level) -> u8 {
@@ -592,6 +906,14 @@ mod tests {
         corruption_sweep(&bytes, |b| shards_from_bytes(b).map(|_| ()));
     }
 
+    /// Recomputes and patches the v2 checksum after a deliberate test
+    /// mutation, so the mutated field itself — not the checksum — is
+    /// what the decoder trips over.
+    fn reseal(bytes: &mut [u8]) {
+        let crc = crc32(&bytes[10..]);
+        bytes[6..10].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn flipped_header_bytes_give_typed_errors() {
         let bytes = to_bytes(&sample_index(Level::PerColumn));
@@ -608,8 +930,16 @@ mod tests {
                 "{pos}"
             );
         }
+        // Any flip past the checksum field is caught by the checksum…
         let mut b = bytes.clone();
-        b[6] ^= 0xFF; // level tag
+        b[10] ^= 0xFF; // level tag
+        assert!(matches!(
+            from_bytes(&b),
+            Err(IoError::ChecksumMismatch { .. })
+        ));
+        // …and with the checksum resealed, the field's own validation
+        // fires (the v1 behaviour).
+        reseal(&mut b);
         assert!(matches!(from_bytes(&b), Err(IoError::BadTag(_))));
 
         let shard_bytes = encode_shards(&sample_shards());
@@ -639,10 +969,11 @@ mod tests {
         assert!(back.abs()[0].mapper() != CellMapper::Shifted { shift: 64 });
         // Hand-craft: find the first mapper tag (right after the fixed
         // AB header fields) and bump its shift to 64.
-        // header: 4 magic + 2 version + 1 level + 8 rows + 4 attr count
-        // per attr: 2 + name + 4 + 8 ; then 4 ab count, then per ab:
-        // 8 n_bits + 4 k + 8 inserted, then mapper tag u8 + shift u32.
-        let mut pos = 4 + 2 + 1 + 8;
+        // header: 4 magic + 2 version + 4 crc + 1 level + 8 rows +
+        // 4 attr count; per attr: 2 + name + 4 + 8; then 4 ab count,
+        // then per ab: 8 n_bits + 4 k + 8 inserted, then mapper tag u8
+        // + shift u32.
+        let mut pos = 4 + 2 + 4 + 1 + 8;
         let attr_count = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 4;
         for _ in 0..attr_count {
@@ -654,6 +985,7 @@ mod tests {
         assert_eq!(bytes[pos], 0, "expected a Shifted mapper tag");
         let mut corrupt = bytes.clone();
         corrupt[pos + 1..pos + 5].copy_from_slice(&64u32.to_le_bytes());
+        reseal(&mut corrupt);
         assert!(matches!(from_bytes(&corrupt), Err(IoError::BadTag(0))));
     }
 
@@ -684,5 +1016,123 @@ mod tests {
         assert!(IoError::Truncated.to_string().contains("truncated"));
         assert!(IoError::BadTag(7).to_string().contains("0x07"));
         assert!(IoError::BadShardLayout.to_string().contains("shard"));
+        assert!(IoError::ChecksumMismatch {
+            stored: 0xDEAD_BEEF,
+            computed: 1
+        }
+        .to_string()
+        .contains("0xdeadbeef"));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn payload_flip_yields_checksum_mismatch() {
+        let bytes = to_bytes(&sample_index(Level::PerAttribute));
+        // Every byte past the checksum field is covered by it.
+        for pos in [10, 20, bytes.len() / 2, bytes.len() - 1] {
+            let mut b = bytes.clone();
+            b[pos] ^= 0x40;
+            assert!(
+                matches!(from_bytes(&b), Err(IoError::ChecksumMismatch { .. })),
+                "flip at {pos} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn version1_payload_without_checksum_still_decodes() {
+        let idx = sample_index(Level::PerAttribute);
+        let v2 = to_bytes(&idx);
+        // v1 layout = magic | version 1 | payload (no checksum field).
+        let mut v1 = Vec::with_capacity(v2.len() - 4);
+        v1.extend_from_slice(&v2[..4]);
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.extend_from_slice(&v2[10..]);
+        let back = from_bytes(&v1).unwrap();
+        assert_eq!(back.num_rows(), idx.num_rows());
+        assert_eq!(back.attributes(), idx.attributes());
+        for (a, b) in back.abs().iter().zip(idx.abs()) {
+            assert_eq!(a.bits(), b.bits());
+        }
+    }
+
+    #[test]
+    fn checked_reader_isolates_the_corrupt_shard() {
+        let shards = sample_shards();
+        let bytes = encode_shards(&shards);
+        // Flip one byte inside the *last* segment's blob (well past
+        // the envelope header and earlier segments).
+        let mut corrupt = bytes.clone();
+        let pos = bytes.len() - 3;
+        corrupt[pos] ^= 0xFF;
+        let segs = shards_from_bytes_checked(&corrupt).unwrap();
+        assert_eq!(segs.len(), shards.len());
+        for (i, (start, res)) in segs.iter().enumerate() {
+            assert_eq!(*start, shards[i].0);
+            if i == shards.len() - 1 {
+                assert!(
+                    matches!(res, Err(IoError::ChecksumMismatch { .. })),
+                    "corrupt shard not flagged: {res:?}"
+                );
+            } else {
+                assert!(res.is_ok(), "healthy shard {i} failed: {res:?}");
+            }
+        }
+        // The strict reader fails the whole decode on the same input.
+        assert!(matches!(
+            shards_from_bytes(&corrupt),
+            Err(IoError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_reports_per_segment_status() {
+        let shards = sample_shards();
+        let bytes = encode_shards(&shards);
+        let report = verify(&bytes).unwrap();
+        assert_eq!(report.container, "ABSH");
+        assert_eq!(report.version, 2);
+        assert!(report.healthy());
+        assert_eq!(report.segments.len(), shards.len());
+        for (seg, (start, idx)) in report.segments.iter().zip(&shards) {
+            assert_eq!(seg.start_row, *start);
+            assert_eq!(seg.checksum, ChecksumStatus::Ok);
+            let h = seg.header.as_ref().unwrap();
+            assert_eq!(h.num_rows, idx.num_rows() as u64);
+            assert_eq!(h.level, Level::PerAttribute);
+            assert_eq!(h.attributes, 2);
+        }
+
+        let mut corrupt = bytes.clone();
+        let pos = bytes.len() - 3;
+        corrupt[pos] ^= 0xFF;
+        let report = verify(&corrupt).unwrap();
+        assert!(!report.healthy());
+        assert!(report.segments.last().unwrap().checksum != ChecksumStatus::Ok);
+        assert!(report.segments[..report.segments.len() - 1]
+            .iter()
+            .all(SegmentReport::healthy));
+
+        // A bare ABIX file verifies too.
+        let single = to_bytes(&sample_index(Level::PerColumn));
+        let report = verify(&single).unwrap();
+        assert_eq!(report.container, "ABIX");
+        assert!(report.healthy());
+        assert_eq!(
+            report.segments[0].header.as_ref().unwrap().level,
+            Level::PerColumn
+        );
+
+        assert!(matches!(verify(b"JUNKjunk"), Err(IoError::BadMagic)));
     }
 }

@@ -85,7 +85,10 @@ pub use config::{AbConfig, Sizing};
 pub use counting::CountingAb;
 pub use encoding::ApproximateBitmap;
 pub use exact::{execute_exact, prune_false_positives, row_matches};
-pub use io::{from_bytes, shards_from_bytes, shards_to_bytes, to_bytes, IoError};
+pub use io::{
+    crc32, from_bytes, shards_from_bytes, shards_from_bytes_checked, shards_to_bytes, to_bytes,
+    verify, CheckedSegments, ChecksumStatus, IoError, SegmentHeader, SegmentReport, VerifyReport,
+};
 pub use level::{shard_ranges, AbIndex, AttributeMeta};
 pub use planner::{calibrate, plan, CostModel, Engine};
 pub use query::{Cell, PrecisionStats, QueryError, QueryStats};

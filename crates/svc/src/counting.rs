@@ -12,17 +12,45 @@
 //! inserted and **not** removed never reads as absent — the
 //! no-false-negative contract survives concurrent updates because
 //! every mutation holds the shard's write lock.
+//!
+//! A writer that panics while holding a shard lock *poisons* it; this
+//! store recovers the lock ([`std::sync::PoisonError::into_inner`])
+//! instead of propagating the poison. That is sound here because every
+//! mutation is a sequence of saturating counter increments/decrements:
+//! an interrupted insert can only leave counters *lower* than a
+//! completed one (fewer increments applied), which reads as a missed
+//! insert — never as a false negative for any *completed* insert.
 
+use crate::chaos::{self, points};
 use crate::error::SvcError;
 use crate::pool::WorkerPool;
 use ab::{optimal_k, Cell, CountingAb, QueryError};
 use hashkit::{CellMapper, HashFamily};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 struct CountingShard {
     start: usize,
     end: usize,
     ab: RwLock<CountingAb>,
+}
+
+impl CountingShard {
+    /// Write-locks the shard, recovering (and counting) a poisoned
+    /// lock — see the module docs for why recovery is sound.
+    fn write(&self) -> RwLockWriteGuard<'_, CountingAb> {
+        self.ab.write().unwrap_or_else(|poison| {
+            obs::counter!("svc.counting.lock_poisoned").inc();
+            poison.into_inner()
+        })
+    }
+
+    /// Read-locks the shard, recovering a poisoned lock.
+    fn read(&self) -> RwLockReadGuard<'_, CountingAb> {
+        self.ab.read().unwrap_or_else(|poison| {
+            obs::counter!("svc.counting.lock_poisoned").inc();
+            poison.into_inner()
+        })
+    }
 }
 
 /// A concurrent, updatable AB over `(row, attribute, bin)` cells.
@@ -31,6 +59,7 @@ pub struct CountingService {
     cardinalities: Vec<u32>,
     offsets: Vec<u32>,
     num_rows: usize,
+    chaos: Option<Arc<chaos::FaultPlan>>,
 }
 
 impl CountingService {
@@ -76,7 +105,15 @@ impl CountingService {
             cardinalities: cardinalities.to_vec(),
             offsets,
             num_rows,
+            chaos: None,
         }
+    }
+
+    /// Attaches a fault plan driving the [`points::COUNTING_WRITE`]
+    /// injection point (tests and chaos drills only).
+    pub fn with_fault_plan(mut self, plan: Arc<chaos::FaultPlan>) -> Self {
+        self.chaos = Some(plan);
+        self
     }
 
     /// Total rows covered.
@@ -115,7 +152,9 @@ impl CountingService {
     /// Inserts a cell (write-locks only its shard).
     pub fn insert(&self, cell: Cell) -> Result<(), SvcError> {
         let (sid, row, col) = self.locate(cell)?;
-        self.shards[sid].ab.write().unwrap().insert(row, col);
+        let mut ab = self.shards[sid].write();
+        chaos::inject(self.chaos.as_deref(), points::COUNTING_WRITE, Some(sid))?;
+        ab.insert(row, col);
         obs::counter!("svc.counting.inserts").inc();
         Ok(())
     }
@@ -124,7 +163,9 @@ impl CountingService {
     /// present afterwards, but never the other way around.
     pub fn remove(&self, cell: Cell) -> Result<(), SvcError> {
         let (sid, row, col) = self.locate(cell)?;
-        self.shards[sid].ab.write().unwrap().remove(row, col);
+        let mut ab = self.shards[sid].write();
+        chaos::inject(self.chaos.as_deref(), points::COUNTING_WRITE, Some(sid))?;
+        ab.remove(row, col);
         obs::counter!("svc.counting.removes").inc();
         Ok(())
     }
@@ -132,7 +173,7 @@ impl CountingService {
     /// Tests one cell (read-locks only its shard).
     pub fn contains(&self, cell: Cell) -> Result<bool, SvcError> {
         let (sid, row, col) = self.locate(cell)?;
-        Ok(self.shards[sid].ab.read().unwrap().contains(row, col))
+        Ok(self.shards[sid].read().contains(row, col))
     }
 
     /// Batched cell retrieval on `pool`: probes group by owning shard,
@@ -156,7 +197,7 @@ impl CountingService {
             let shards = Arc::clone(&self.shards);
             let tx = tx.clone();
             pool.execute_blocking(move || {
-                let ab = shards[sid].ab.read().unwrap();
+                let ab = shards[sid].read();
                 let answers: Vec<(usize, bool)> = group
                     .into_iter()
                     .map(|(pos, row, col)| (pos, ab.contains(row, col)))
@@ -221,6 +262,28 @@ mod tests {
                 assert!(hit, "false negative at inserted row {r}");
             }
         }
+    }
+
+    #[cfg(not(feature = "chaos-off"))]
+    #[test]
+    fn poisoned_lock_recovers_without_false_negatives() {
+        use crate::chaos::{Fault, FaultPlan, FaultRule};
+        let plan = Arc::new(
+            FaultPlan::new(7)
+                .with_rule(FaultRule::new(points::COUNTING_WRITE, Fault::Panic).max_fires(1)),
+        );
+        let svc = CountingService::new(40, &[4], 16, 2).with_fault_plan(Arc::clone(&plan));
+        let keeper = Cell::new(3, 0, 1);
+        // First write panics while holding shard 0's lock, poisoning it.
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            svc.insert(Cell::new(0, 0, 0))
+        }));
+        assert!(boom.is_err(), "injected panic must fire");
+        assert_eq!(plan.fires(points::COUNTING_WRITE), 1);
+        // The store recovers the poisoned lock and keeps its contract.
+        svc.insert(keeper).unwrap();
+        assert!(svc.contains(keeper).unwrap(), "false negative after poison");
+        assert!(!svc.contains(Cell::new(0, 0, 0)).unwrap());
     }
 
     #[test]

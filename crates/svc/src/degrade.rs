@@ -1,0 +1,179 @@
+//! Graceful degradation: shard quarantine and the `Degraded` marker.
+//!
+//! The AB's contract is *no false negatives*. When a shard panics
+//! mid-query, the service cannot produce that shard's candidate rows —
+//! but it **can** stay on the right side of the contract by answering
+//! the shard's slice of the query conservatively: every row the query
+//! touches in that shard is reported as *maybe present*. Recall stays
+//! at 100% (the false-positive rate degrades to 1.0 for those rows,
+//! which the AB's semantics already permit), the request succeeds, and
+//! the response carries a typed [`Degraded`] marker naming the shards
+//! answered conservatively so callers can decide whether that
+//! precision is acceptable.
+//!
+//! [`ShardHealth`] is the quarantine ledger: a shard that panics is
+//! marked unhealthy, later requests skip dispatching to it (answering
+//! conservatively up front instead of panicking again), and a repair —
+//! [`crate::ShardedIndex::from_bytes_with_repair`] for persisted
+//! corruption, or [`ShardHealth::clear`] after an operator intervenes
+//! on a transient fault — returns it to service.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Typed marker on a response whose listed shards were answered
+/// conservatively (every queried row reported *maybe present*) instead
+/// of from their index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Degraded {
+    /// Quarantined shards that contributed conservative answers, in
+    /// ascending order, deduplicated.
+    pub shards: Vec<usize>,
+}
+
+/// A service answer plus its degradation status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response<T> {
+    /// The merged answer (conservative where degraded — never missing
+    /// a true match).
+    pub value: T,
+    /// Present when at least one shard was answered conservatively.
+    pub degraded: Option<Degraded>,
+}
+
+impl<T> Response<T> {
+    /// A fully healthy response.
+    pub fn healthy(value: T) -> Self {
+        Response {
+            value,
+            degraded: None,
+        }
+    }
+
+    /// Whether any shard was answered conservatively.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Unwraps the answer, discarding the degradation marker.
+    pub fn into_value(self) -> T {
+        self.value
+    }
+}
+
+/// Builds the [`Degraded`] marker from collected shard ids (sorted,
+/// deduplicated); `None` when the list is empty.
+pub(crate) fn degraded_marker(mut shards: Vec<usize>) -> Option<Degraded> {
+    if shards.is_empty() {
+        return None;
+    }
+    shards.sort_unstable();
+    shards.dedup();
+    obs::counter!("svc.degraded_responses").inc();
+    Some(Degraded { shards })
+}
+
+/// Lock-free per-shard quarantine flags (true = quarantined).
+#[derive(Debug, Default)]
+pub struct ShardHealth {
+    quarantined: Vec<AtomicBool>,
+}
+
+impl ShardHealth {
+    /// All-healthy ledger for `num_shards` shards.
+    pub fn new(num_shards: usize) -> Self {
+        ShardHealth {
+            quarantined: (0..num_shards).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Shards tracked.
+    pub fn len(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Whether the ledger tracks zero shards.
+    pub fn is_empty(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Marks a shard unhealthy; returns `true` if it was healthy
+    /// before (i.e. this call is the one that quarantined it).
+    pub fn quarantine(&self, shard: usize) -> bool {
+        let newly = !self.quarantined[shard].swap(true, Ordering::Relaxed);
+        if newly {
+            obs::counter!("svc.shard_quarantines").inc();
+        }
+        newly
+    }
+
+    /// Returns a repaired shard to service.
+    pub fn clear(&self, shard: usize) {
+        self.quarantined[shard].store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the shard is quarantined.
+    pub fn is_quarantined(&self, shard: usize) -> bool {
+        self.quarantined[shard].load(Ordering::Relaxed)
+    }
+
+    /// Currently quarantined shard ids, ascending.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.load(Ordering::Relaxed))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether every shard is healthy.
+    pub fn all_healthy(&self) -> bool {
+        self.quarantined.iter().all(|q| !q.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_lifecycle() {
+        let h = ShardHealth::new(4);
+        assert!(h.all_healthy());
+        assert_eq!(h.len(), 4);
+        assert!(h.quarantine(2), "first quarantine is new");
+        assert!(!h.quarantine(2), "second is idempotent");
+        assert!(h.is_quarantined(2));
+        assert!(!h.is_quarantined(0));
+        assert_eq!(h.quarantined(), vec![2]);
+        h.quarantine(0);
+        assert_eq!(h.quarantined(), vec![0, 2]);
+        h.clear(2);
+        assert_eq!(h.quarantined(), vec![0]);
+        h.clear(0);
+        assert!(h.all_healthy());
+    }
+
+    #[test]
+    fn degraded_marker_sorts_and_dedups() {
+        assert_eq!(degraded_marker(vec![]), None);
+        assert_eq!(
+            degraded_marker(vec![3, 1, 3, 0]),
+            Some(Degraded {
+                shards: vec![0, 1, 3]
+            })
+        );
+    }
+
+    #[test]
+    fn response_accessors() {
+        let r = Response::healthy(vec![1usize, 2]);
+        assert!(!r.is_degraded());
+        assert_eq!(r.into_value(), vec![1, 2]);
+        let d = Response {
+            value: 7usize,
+            degraded: degraded_marker(vec![1]),
+        };
+        assert!(d.is_degraded());
+    }
+}

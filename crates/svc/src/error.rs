@@ -31,6 +31,30 @@ pub enum SvcError {
     /// An exact (WAH) answer was requested but the service was built
     /// without per-shard WAH indexes.
     WahUnavailable,
+    /// A retry loop ([`crate::retry()`]) exhausted its attempt or
+    /// wall-clock budget without a success.
+    RetriesExhausted {
+        /// Attempts made, including the first.
+        attempts: usize,
+    },
+    /// An exact (WAH) answer touches a quarantined shard. Exact
+    /// semantics cannot be answered conservatively, so the request
+    /// fails instead of degrading.
+    ShardQuarantined {
+        /// The quarantined shard the query needed.
+        shard: usize,
+    },
+}
+
+impl SvcError {
+    /// Whether a retry could plausibly succeed. Only load shedding
+    /// ([`SvcError::Overloaded`]) is transient: the queue drains.
+    /// Everything else — invalid queries, expired deadlines,
+    /// cancellation, shutdown, quarantine — will fail identically on
+    /// the next attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SvcError::Overloaded { .. })
+    }
 }
 
 impl std::fmt::Display for SvcError {
@@ -45,6 +69,12 @@ impl std::fmt::Display for SvcError {
             SvcError::Shutdown => write!(f, "service shutting down"),
             SvcError::WahUnavailable => {
                 write!(f, "no per-shard WAH index (build with with_wah)")
+            }
+            SvcError::RetriesExhausted { attempts } => {
+                write!(f, "retries exhausted after {attempts} attempts")
+            }
+            SvcError::ShardQuarantined { shard } => {
+                write!(f, "shard {shard} is quarantined; exact answer unavailable")
             }
         }
     }
@@ -87,5 +117,30 @@ mod tests {
         use std::error::Error;
         assert!(q.source().is_some());
         assert!(SvcError::Cancelled.source().is_none());
+        assert!(SvcError::RetriesExhausted { attempts: 3 }
+            .to_string()
+            .contains("3 attempts"));
+        assert!(SvcError::ShardQuarantined { shard: 2 }
+            .to_string()
+            .contains("shard 2"));
+    }
+
+    #[test]
+    fn only_overload_is_transient() {
+        assert!(SvcError::Overloaded {
+            depth: 1,
+            capacity: 1
+        }
+        .is_transient());
+        for e in [
+            SvcError::DeadlineExceeded,
+            SvcError::Cancelled,
+            SvcError::Shutdown,
+            SvcError::WahUnavailable,
+            SvcError::RetriesExhausted { attempts: 2 },
+            SvcError::ShardQuarantined { shard: 0 },
+        ] {
+            assert!(!e.is_transient(), "{e} must not be transient");
+        }
     }
 }

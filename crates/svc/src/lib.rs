@@ -19,7 +19,13 @@
 //!   checked between [`CHUNK_ROWS`]-row chunks;
 //! * [`service`] — the [`Service`] façade tying the above together;
 //! * [`counting`] — a sharded, lock-per-shard [`CountingService`] for
-//!   concurrent inserts/deletes with the no-false-negative guarantee.
+//!   concurrent inserts/deletes with the no-false-negative guarantee;
+//! * [`chaos`] — seeded, deterministic fault injection behind named
+//!   points (compiled out under the `chaos-off` feature);
+//! * [`degrade`] — shard quarantine and the typed [`Degraded`] response
+//!   marker for conservative (*maybe present*) answers;
+//! * [`mod@retry`] — bounded retry with decorrelated-jitter backoff for
+//!   transient [`SvcError::Overloaded`] rejections.
 //!
 //! ## Quick start
 //!
@@ -47,17 +53,23 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod chaos;
 pub mod counting;
 pub mod deadline;
+pub mod degrade;
 pub mod error;
 pub mod pool;
+pub mod retry;
 pub mod service;
 pub mod shard;
 
 pub use batch::{group_cells_by_shard, group_rects_by_shard, ShardCells, ShardRects};
+pub use chaos::{Fault, FaultPlan, FaultRule};
 pub use counting::CountingService;
 pub use deadline::{CancelToken, Deadline, RequestCtx};
+pub use degrade::{Degraded, Response, ShardHealth};
 pub use error::SvcError;
 pub use pool::WorkerPool;
+pub use retry::{retry, RetryPolicy};
 pub use service::{Service, SvcConfig, CHUNK_ROWS};
 pub use shard::{Shard, ShardedIndex};

@@ -13,6 +13,7 @@
 
 use crate::error::SvcError;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -28,6 +29,7 @@ struct Shared {
     jobs_available: Condvar,
     space_available: Condvar,
     capacity: usize,
+    job_panics: AtomicU64,
 }
 
 /// A fixed-size thread pool over a bounded job queue.
@@ -54,6 +56,7 @@ impl WorkerPool {
             jobs_available: Condvar::new(),
             space_available: Condvar::new(),
             capacity: queue_capacity,
+            job_panics: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -80,6 +83,12 @@ impl WorkerPool {
     /// Jobs currently queued (not yet picked up by a worker).
     pub fn queue_depth(&self) -> usize {
         self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Jobs that panicked since the pool started (the workers
+    /// survive; see `worker_loop`'s `catch_unwind`).
+    pub fn job_panics(&self) -> u64 {
+        self.shared.job_panics.load(Ordering::Relaxed)
     }
 
     /// Submits a job, shedding it with [`SvcError::Overloaded`] when
@@ -158,6 +167,7 @@ fn worker_loop(shared: &Shared) {
         shared.space_available.notify_one();
         obs::counter!("svc.pool.jobs").inc();
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            shared.job_panics.fetch_add(1, Ordering::Relaxed);
             obs::counter!("svc.pool.job_panics").inc();
         }
     }
@@ -237,6 +247,7 @@ mod tests {
     #[test]
     fn panicking_job_does_not_kill_the_worker() {
         let pool = WorkerPool::new(1, 8);
+        assert_eq!(pool.job_panics(), 0);
         pool.execute_blocking(|| panic!("job boom")).unwrap();
         let (tx, rx) = mpsc::channel();
         pool.execute_blocking(move || {
@@ -244,6 +255,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 42);
+        assert_eq!(pool.job_panics(), 1);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Bounded retry with decorrelated-jitter backoff.
+//!
+//! Load shedding ([`SvcError::Overloaded`]) is the service telling the
+//! client "not now" — the correct client response is to back off and
+//! try again, with **jitter** so a thundering herd doesn't re-arrive
+//! in lockstep. This module implements the decorrelated-jitter scheme
+//! (each sleep drawn uniformly from `[base, 3 × previous sleep]`,
+//! capped) on top of a seeded `splitmix64` stream — deterministic for
+//! tests, no `rand` dependency — with two hard bounds: a maximum
+//! attempt count and a maximum total wall-clock budget. Exhausting
+//! either yields a typed [`SvcError::RetriesExhausted`].
+//!
+//! Only *transient* errors ([`SvcError::is_transient`]) are retried;
+//! anything else (invalid query, deadline, cancellation, shutdown)
+//! propagates immediately.
+
+use crate::error::SvcError;
+use std::time::{Duration, Instant};
+
+/// Bounds and shape of a retry loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Minimum (and first) backoff sleep.
+    pub base: Duration,
+    /// Ceiling on any single sleep.
+    pub cap: Duration,
+    /// Total tries, including the first (≥ 1).
+    pub max_attempts: usize,
+    /// Total wall-clock budget across all attempts and sleeps.
+    pub max_elapsed: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Up to 4 tries within 1 s, sleeping between 0.5 ms and 50 ms.
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_micros(500),
+            cap: Duration::from_millis(50),
+            max_attempts: 4,
+            max_elapsed: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Runs `op` under `policy`, retrying transient failures with
+/// decorrelated-jitter backoff seeded by `seed`. `op` receives the
+/// 0-based attempt number. Non-transient errors propagate untouched;
+/// running out of attempts or wall-clock yields
+/// [`SvcError::RetriesExhausted`].
+///
+/// # Panics
+///
+/// Panics if `policy.max_attempts` is zero.
+pub fn retry<T>(
+    policy: &RetryPolicy,
+    seed: u64,
+    mut op: impl FnMut(usize) -> Result<T, SvcError>,
+) -> Result<T, SvcError> {
+    assert!(policy.max_attempts >= 1, "need at least one attempt");
+    let started = Instant::now();
+    let mut rng = hashkit::splitmix64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut prev_sleep = policy.base;
+    let mut attempts = 0usize;
+    loop {
+        attempts += 1;
+        match op(attempts - 1) {
+            Ok(v) => return Ok(v),
+            Err(e) if !e.is_transient() => return Err(e),
+            Err(_) => {}
+        }
+        if attempts >= policy.max_attempts {
+            return Err(SvcError::RetriesExhausted { attempts });
+        }
+        // Decorrelated jitter: uniform in [base, 3 × previous sleep],
+        // capped — spreads retry arrivals instead of synchronizing
+        // them on exponential boundaries.
+        rng = hashkit::splitmix64(rng);
+        let lo = policy.base.as_micros() as u64;
+        let hi = (prev_sleep.as_micros() as u64).saturating_mul(3).max(lo) + 1;
+        let sleep = Duration::from_micros(lo + rng % (hi - lo)).min(policy.cap);
+        if started.elapsed() + sleep > policy.max_elapsed {
+            return Err(SvcError::RetriesExhausted { attempts });
+        }
+        obs::counter!("svc.retries").inc();
+        std::thread::sleep(sleep);
+        prev_sleep = sleep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_micros(1),
+            cap: Duration::from_micros(50),
+            max_attempts: 5,
+            max_elapsed: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn first_success_needs_no_retry() {
+        let calls = Cell::new(0usize);
+        let out = retry(&fast_policy(), 1, |attempt| {
+            calls.set(calls.get() + 1);
+            assert_eq!(attempt, 0);
+            Ok::<_, SvcError>(42)
+        });
+        assert_eq!(out, Ok(42));
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn transient_errors_retry_until_success() {
+        let calls = Cell::new(0usize);
+        let out = retry(&fast_policy(), 2, |attempt| {
+            calls.set(calls.get() + 1);
+            if attempt < 3 {
+                Err(SvcError::Overloaded {
+                    depth: 8,
+                    capacity: 8,
+                })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out, Ok(3));
+        assert_eq!(calls.get(), 4);
+    }
+
+    #[test]
+    fn attempts_cap_yields_typed_exhaustion() {
+        let calls = Cell::new(0usize);
+        let out: Result<(), _> = retry(&fast_policy(), 3, |_| {
+            calls.set(calls.get() + 1);
+            Err(SvcError::Overloaded {
+                depth: 1,
+                capacity: 1,
+            })
+        });
+        assert_eq!(out, Err(SvcError::RetriesExhausted { attempts: 5 }));
+        assert_eq!(calls.get(), 5);
+    }
+
+    #[test]
+    fn wall_clock_cap_stops_early() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(10),
+            max_attempts: 1_000_000,
+            max_elapsed: Duration::from_millis(25),
+        };
+        let start = Instant::now();
+        let out: Result<(), _> = retry(&policy, 4, |_| {
+            Err(SvcError::Overloaded {
+                depth: 1,
+                capacity: 1,
+            })
+        });
+        assert!(matches!(out, Err(SvcError::RetriesExhausted { .. })));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn non_transient_errors_propagate_immediately() {
+        let calls = Cell::new(0usize);
+        let out: Result<(), _> = retry(&fast_policy(), 5, |_| {
+            calls.set(calls.get() + 1);
+            Err(SvcError::DeadlineExceeded)
+        });
+        assert_eq!(out, Err(SvcError::DeadlineExceeded));
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn sleeps_stay_within_bounds_and_are_seeded() {
+        // Reconstruct the jitter stream exactly as retry() draws it
+        // and check every sleep lands in [base, cap].
+        let policy = fast_policy();
+        let mut rng = hashkit::splitmix64(77 ^ 0x9E37_79B9_7F4A_7C15);
+        let mut prev = policy.base;
+        for _ in 0..32 {
+            rng = hashkit::splitmix64(rng);
+            let lo = policy.base.as_micros() as u64;
+            let hi = (prev.as_micros() as u64).saturating_mul(3).max(lo) + 1;
+            let sleep = Duration::from_micros(lo + rng % (hi - lo)).min(policy.cap);
+            assert!(sleep >= Duration::from_micros(1).min(policy.cap));
+            assert!(sleep <= policy.cap);
+            prev = sleep;
+        }
+    }
+}

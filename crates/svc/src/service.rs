@@ -14,14 +14,32 @@
 //! Admission control happens at submission: a full pool queue sheds
 //! the whole request with [`SvcError::Overloaded`] before any shard
 //! runs.
+//!
+//! ## Graceful degradation
+//!
+//! A shard job that **panics** (a bug, bit-rot, or an injected
+//! [`crate::chaos`] fault) does not fail the request: the shard is
+//! quarantined in a [`ShardHealth`] ledger and its slice of the query
+//! is answered *conservatively* — every row it covers is reported as
+//! a candidate. The AB's contract is no false negatives with a
+//! controlled false-positive rate, so a conservative slice (FP rate
+//! 1.0 for those rows) stays inside the contract; the response
+//! carries a typed [`crate::Degraded`] marker naming the shards involved so
+//! callers can decide whether the lost precision matters. Later
+//! requests skip quarantined shards up front instead of panicking
+//! again. Exact (WAH) answers cannot be conservative, so that path
+//! fails with [`SvcError::ShardQuarantined`] instead.
 
 use crate::batch::{group_cells_by_shard, group_rects_by_shard};
+use crate::chaos::{self, points};
 use crate::deadline::{Deadline, RequestCtx};
+use crate::degrade::{degraded_marker, Response, ShardHealth};
 use crate::error::SvcError;
 use crate::pool::WorkerPool;
 use crate::shard::{Shard, ShardedIndex};
 use ab::{AbConfig, Cell, QueryError};
 use bitmap::{BinnedTable, RectQuery};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -85,11 +103,38 @@ impl SvcConfig {
     }
 }
 
+/// What one shard job reports back to the request's collector.
+enum ShardOutcome<T> {
+    /// The job ran to completion (successfully or with a typed error).
+    Done(Result<T, SvcError>),
+    /// The job panicked; the shard must be quarantined and its slice
+    /// answered conservatively.
+    Panicked,
+}
+
+/// Runs a shard job body, converting a panic into
+/// [`ShardOutcome::Panicked`] so the collector hears about it instead
+/// of waiting on a message that will never arrive.
+fn shard_outcome<T>(body: impl FnOnce() -> Result<T, SvcError>) -> ShardOutcome<T> {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(res) => ShardOutcome::Done(res),
+        Err(_) => ShardOutcome::Panicked,
+    }
+}
+
+/// Every global row a shard-local query part covers — the
+/// conservative ("maybe present") answer for a quarantined shard.
+fn conservative_rows(shard_start: usize, local: &RectQuery) -> Vec<usize> {
+    (shard_start + local.row_lo..=shard_start + local.row_hi).collect()
+}
+
 /// A sharded, concurrent query service over an AB index.
 pub struct Service {
     index: Arc<ShardedIndex>,
     pool: WorkerPool,
     default_deadline: Option<Duration>,
+    health: Arc<ShardHealth>,
+    chaos: Option<Arc<chaos::FaultPlan>>,
 }
 
 impl Service {
@@ -99,26 +144,47 @@ impl Service {
         let pool = WorkerPool::new(cfg.resolved_threads(), cfg.queue_capacity);
         let shards = cfg.resolved_shards(table.num_rows());
         let index = ShardedIndex::build_parallel(table, ab, shards, cfg.with_wah, &pool);
+        let health = Arc::new(ShardHealth::new(index.num_shards()));
         Service {
             index: Arc::new(index),
             pool,
             default_deadline: cfg.default_deadline,
+            health,
+            chaos: None,
         }
     }
 
     /// Wraps an already-built index (e.g. one loaded with
     /// [`ShardedIndex::from_bytes`]); `cfg.shards` is ignored.
     pub fn from_index(index: ShardedIndex, cfg: &SvcConfig) -> Self {
+        let health = Arc::new(ShardHealth::new(index.num_shards()));
         Service {
             index: Arc::new(index),
             pool: WorkerPool::new(cfg.resolved_threads(), cfg.queue_capacity),
             default_deadline: cfg.default_deadline,
+            health,
+            chaos: None,
         }
+    }
+
+    /// Attaches a fault plan driving this service's injection points
+    /// ([`points::POOL_SUBMIT`], [`points::SHARD_QUERY`]) — tests and
+    /// chaos drills only.
+    pub fn with_fault_plan(mut self, plan: Arc<chaos::FaultPlan>) -> Self {
+        self.chaos = Some(plan);
+        self
     }
 
     /// The served index.
     pub fn index(&self) -> &ShardedIndex {
         &self.index
+    }
+
+    /// The quarantine ledger (shards currently answered
+    /// conservatively). [`ShardHealth::clear`] returns a repaired
+    /// shard to service.
+    pub fn health(&self) -> &ShardHealth {
+        &self.health
     }
 
     /// Worker threads serving requests.
@@ -140,9 +206,17 @@ impl Service {
 
     /// Rectangular AB query under the service's default deadline.
     /// Returns globally sorted row ids, bit-identical to
-    /// [`ShardedIndex::execute_rect_sequential`].
+    /// [`ShardedIndex::execute_rect_sequential`] while every shard is
+    /// healthy. The degradation marker is discarded; use
+    /// [`Self::try_query_rect`] to observe it.
     pub fn query_rect(&self, query: &RectQuery) -> Result<Vec<usize>, SvcError> {
-        self.query_rect_ctx(query, &self.ctx_with_default())
+        self.try_query_rect(query).map(Response::into_value)
+    }
+
+    /// Rectangular query returning the answer together with its
+    /// [`crate::Degraded`] status.
+    pub fn try_query_rect(&self, query: &RectQuery) -> Result<Response<Vec<usize>>, SvcError> {
+        self.try_query_rect_ctx(query, &self.ctx_with_default())
     }
 
     /// Rectangular query with an explicit per-request deadline.
@@ -155,27 +229,63 @@ impl Service {
     }
 
     /// Rectangular query under a caller-owned [`RequestCtx`] — the
-    /// caller keeps a clone and may cancel mid-flight.
+    /// caller keeps a clone and may cancel mid-flight. The degradation
+    /// marker is discarded; use [`Self::try_query_rect_ctx`] to
+    /// observe it.
     pub fn query_rect_ctx(
         &self,
         query: &RectQuery,
         ctx: &RequestCtx,
     ) -> Result<Vec<usize>, SvcError> {
+        self.try_query_rect_ctx(query, ctx)
+            .map(Response::into_value)
+    }
+
+    /// Rectangular query under a caller-owned [`RequestCtx`],
+    /// reporting degradation: quarantined (or newly panicking) shards
+    /// contribute every row of their slice as a candidate instead of
+    /// failing the request, and the response's `degraded` marker
+    /// names them.
+    pub fn try_query_rect_ctx(
+        &self,
+        query: &RectQuery,
+        ctx: &RequestCtx,
+    ) -> Result<Response<Vec<usize>>, SvcError> {
         let _timer = obs::span("svc.request_us");
         obs::counter!("svc.requests").inc();
         self.index.validate_rect(query)?;
         ctx.check()?;
         let parts = self.index.split_rect(query);
         obs::histogram!("svc.fanout").record(parts.len() as u64);
+        // Remember each slot's row interval so a panicking shard's
+        // slice can be re-answered conservatively after the fact.
+        let slot_spans: Vec<(usize, RectQuery)> = parts.clone();
         let (tx, rx) = mpsc::channel();
-        let expected = parts.len();
+        let mut merged: Vec<Option<Vec<usize>>> = (0..parts.len()).map(|_| None).collect();
+        let mut degraded = Vec::new();
+        let mut expected = 0usize;
         for (slot, (sid, local)) in parts.into_iter().enumerate() {
+            let start = self.index.shards()[sid].start();
+            if self.health.is_quarantined(sid) {
+                merged[slot] = Some(conservative_rows(start, &local));
+                degraded.push(sid);
+                continue;
+            }
+            if let Err(e) = chaos::inject(self.chaos.as_deref(), points::POOL_SUBMIT, Some(sid)) {
+                ctx.cancel();
+                obs::counter!("svc.shed").inc();
+                return Err(e);
+            }
             let index = Arc::clone(&self.index);
             let job_ctx = ctx.clone();
+            let plan = self.chaos.clone();
             let tx = tx.clone();
             if let Err(e) = self.pool.try_execute(move || {
-                let res = run_shard_chunked(&index.shards()[sid], &local, &job_ctx);
-                let _ = tx.send((slot, res));
+                let outcome = shard_outcome(|| {
+                    chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
+                    run_shard_chunked(&index.shards()[sid], &local, &job_ctx)
+                });
+                let _ = tx.send((slot, sid, outcome));
             }) {
                 // Shed: abandon the whole request and stop any parts
                 // already admitted.
@@ -183,21 +293,35 @@ impl Service {
                 obs::counter!("svc.shed").inc();
                 return Err(e);
             }
+            expected += 1;
         }
         drop(tx);
-        let mut merged: Vec<Option<Vec<usize>>> = (0..expected).map(|_| None).collect();
         for _ in 0..expected {
-            let (slot, res) = self.collect(&rx, ctx)?;
-            merged[slot] = Some(res?);
+            match self.collect(&rx, ctx)? {
+                (slot, _, ShardOutcome::Done(Ok(rows))) => merged[slot] = Some(rows),
+                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(ctx, e)),
+                (slot, sid, ShardOutcome::Panicked) => {
+                    self.health.quarantine(sid);
+                    degraded.push(sid);
+                    let (_, local) = &slot_spans[slot];
+                    let start = self.index.shards()[sid].start();
+                    merged[slot] = Some(conservative_rows(start, local));
+                }
+            }
         }
         // Shard parts were issued in row order, so flattening by slot
         // yields globally sorted rows.
-        Ok(merged.into_iter().flatten().flatten().collect())
+        Ok(Response {
+            value: merged.into_iter().flatten().flatten().collect(),
+            degraded: degraded_marker(degraded),
+        })
     }
 
     /// Exact rectangular query over the per-shard WAH indexes (the
     /// paper's verbatim/compressed baseline). Requires
-    /// [`SvcConfig::with_wah`] at build time.
+    /// [`SvcConfig::with_wah`] at build time. Exact answers cannot be
+    /// conservative, so a quarantined (or newly panicking) shard
+    /// fails the request with [`SvcError::ShardQuarantined`].
     pub fn query_rect_wah(&self, query: &RectQuery) -> Result<Vec<usize>, SvcError> {
         let _timer = obs::span("svc.request_us");
         obs::counter!("svc.requests").inc();
@@ -209,24 +333,33 @@ impl Service {
         ctx.check()?;
         let parts = self.index.split_rect(query);
         obs::histogram!("svc.fanout").record(parts.len() as u64);
+        if let Some(&(sid, _)) = parts
+            .iter()
+            .find(|(sid, _)| self.health.is_quarantined(*sid))
+        {
+            return Err(SvcError::ShardQuarantined { shard: sid });
+        }
         let (tx, rx) = mpsc::channel();
         let expected = parts.len();
         for (slot, (sid, local)) in parts.into_iter().enumerate() {
             let index = Arc::clone(&self.index);
             let job_ctx = ctx.clone();
+            let plan = self.chaos.clone();
             let tx = tx.clone();
             if let Err(e) = self.pool.try_execute(move || {
-                let res = job_ctx.check().map(|()| {
+                let outcome = shard_outcome(|| {
+                    job_ctx.check()?;
+                    chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
                     let shard = &index.shards()[sid];
-                    shard
+                    Ok(shard
                         .wah()
                         .expect("checked above")
                         .evaluate_rows(&local)
                         .into_iter()
                         .map(|r| r + shard.start())
-                        .collect::<Vec<usize>>()
+                        .collect::<Vec<usize>>())
                 });
-                let _ = tx.send((slot, res));
+                let _ = tx.send((slot, sid, outcome));
             }) {
                 ctx.cancel();
                 obs::counter!("svc.shed").inc();
@@ -236,69 +369,134 @@ impl Service {
         drop(tx);
         let mut merged: Vec<Option<Vec<usize>>> = (0..expected).map(|_| None).collect();
         for _ in 0..expected {
-            let (slot, res) = self.collect(&rx, &ctx)?;
-            merged[slot] = Some(res?);
+            match self.collect(&rx, &ctx)? {
+                (slot, _, ShardOutcome::Done(Ok(rows))) => merged[slot] = Some(rows),
+                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(&ctx, e)),
+                (_, sid, ShardOutcome::Panicked) => {
+                    self.health.quarantine(sid);
+                    return Err(self.abandon(&ctx, SvcError::ShardQuarantined { shard: sid }));
+                }
+            }
         }
         Ok(merged.into_iter().flatten().flatten().collect())
     }
 
     /// Cell-subset retrieval (paper Figure 5) under the default
     /// deadline: one boolean per cell, in request order. Probes are
-    /// batched per owning shard — one pool job per shard touched.
+    /// batched per owning shard — one pool job per shard touched. The
+    /// degradation marker is discarded; use
+    /// [`Self::try_retrieve_cells`] to observe it.
     pub fn retrieve_cells(&self, cells: &[Cell]) -> Result<Vec<bool>, SvcError> {
+        self.try_retrieve_cells(cells).map(Response::into_value)
+    }
+
+    /// Cell-subset retrieval reporting degradation: cells owned by a
+    /// quarantined (or newly panicking) shard answer `true` — *maybe
+    /// present*, the conservative AB answer — and the response's
+    /// `degraded` marker names those shards.
+    pub fn try_retrieve_cells(&self, cells: &[Cell]) -> Result<Response<Vec<bool>>, SvcError> {
         let _timer = obs::span("svc.request_us");
         obs::counter!("svc.requests").inc();
         obs::histogram!("svc.batch.size").record(cells.len() as u64);
         self.validate_cells(cells)?;
         if cells.is_empty() {
-            return Ok(Vec::new());
+            return Ok(Response::healthy(Vec::new()));
         }
         let ctx = self.ctx_with_default();
         ctx.check()?;
         let groups = group_cells_by_shard(&self.index, cells);
         obs::histogram!("svc.fanout").record(groups.len() as u64);
+        // Remember each slot's probe positions so a panicking shard's
+        // probes can be re-answered conservatively after the fact.
+        let slot_positions: Vec<Vec<usize>> = groups
+            .iter()
+            .map(|g| g.cells.iter().map(|&(pos, _)| pos).collect())
+            .collect();
+        let mut answers = vec![false; cells.len()];
+        let mut degraded = Vec::new();
         let (tx, rx) = mpsc::channel();
-        let expected = groups.len();
+        let mut expected = 0usize;
         for (slot, group) in groups.into_iter().enumerate() {
+            let sid = group.shard;
+            if self.health.is_quarantined(sid) {
+                for &pos in &slot_positions[slot] {
+                    answers[pos] = true;
+                }
+                degraded.push(sid);
+                continue;
+            }
+            if let Err(e) = chaos::inject(self.chaos.as_deref(), points::POOL_SUBMIT, Some(sid)) {
+                ctx.cancel();
+                obs::counter!("svc.shed").inc();
+                return Err(e);
+            }
             let index = Arc::clone(&self.index);
             let job_ctx = ctx.clone();
+            let plan = self.chaos.clone();
             let tx = tx.clone();
             if let Err(e) = self.pool.try_execute(move || {
-                let shard = &index.shards()[group.shard];
-                let mut out = Vec::with_capacity(group.cells.len());
-                let mut res = Ok(());
-                for chunk in group.cells.chunks(CHUNK_ROWS) {
-                    if let Err(e) = job_ctx.check() {
-                        res = Err(e);
-                        break;
+                let outcome = shard_outcome(|| {
+                    chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
+                    let shard = &index.shards()[sid];
+                    let mut out = Vec::with_capacity(group.cells.len());
+                    for chunk in group.cells.chunks(CHUNK_ROWS) {
+                        job_ctx.check()?;
+                        out.extend(chunk.iter().map(|&(pos, c)| {
+                            (pos, shard.index().test_cell(c.row, c.attribute, c.bin))
+                        }));
                     }
-                    out.extend(chunk.iter().map(|&(pos, c)| {
-                        (pos, shard.index().test_cell(c.row, c.attribute, c.bin))
-                    }));
-                }
-                let _ = tx.send((slot, res.map(|()| out)));
+                    Ok(out)
+                });
+                let _ = tx.send((slot, sid, outcome));
             }) {
                 ctx.cancel();
                 obs::counter!("svc.shed").inc();
                 return Err(e);
             }
+            expected += 1;
         }
         drop(tx);
-        let mut answers = vec![false; cells.len()];
         for _ in 0..expected {
-            let (_, res) = self.collect(&rx, &ctx)?;
-            for (pos, hit) in res? {
-                answers[pos] = hit;
+            match self.collect(&rx, &ctx)? {
+                (_, _, ShardOutcome::Done(Ok(hits))) => {
+                    for (pos, hit) in hits {
+                        answers[pos] = hit;
+                    }
+                }
+                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(&ctx, e)),
+                (slot, sid, ShardOutcome::Panicked) => {
+                    self.health.quarantine(sid);
+                    degraded.push(sid);
+                    for &pos in &slot_positions[slot] {
+                        answers[pos] = true;
+                    }
+                }
             }
         }
-        Ok(answers)
+        Ok(Response {
+            value: answers,
+            degraded: degraded_marker(degraded),
+        })
     }
 
     /// A batch of rectangular queries under one deadline: all shard
     /// parts of all queries are grouped so each touched shard gets a
     /// single pool job. Returns one (globally sorted) row list per
-    /// query, each bit-identical to running the query alone.
+    /// query, each bit-identical to running the query alone while
+    /// every shard is healthy. The degradation marker is discarded;
+    /// use [`Self::try_query_batch`] to observe it.
     pub fn query_batch(&self, queries: &[RectQuery]) -> Result<Vec<Vec<usize>>, SvcError> {
+        self.try_query_batch(queries).map(Response::into_value)
+    }
+
+    /// Batched rectangular queries reporting degradation: quarantined
+    /// (or newly panicking) shards contribute every covered row to
+    /// each affected query, and the response's `degraded` marker names
+    /// them.
+    pub fn try_query_batch(
+        &self,
+        queries: &[RectQuery],
+    ) -> Result<Response<Vec<Vec<usize>>>, SvcError> {
         let _timer = obs::span("svc.request_us");
         obs::counter!("svc.requests").inc();
         obs::histogram!("svc.batch.size").record(queries.len() as u64);
@@ -306,64 +504,94 @@ impl Service {
             self.index.validate_rect(q)?;
         }
         if queries.is_empty() {
-            return Ok(Vec::new());
+            return Ok(Response::healthy(Vec::new()));
         }
         let ctx = self.ctx_with_default();
         ctx.check()?;
         let groups = group_rects_by_shard(&self.index, queries);
         obs::histogram!("svc.fanout").record(groups.len() as u64);
+        // Remember each group's parts so a panicking shard's slices
+        // can be re-answered conservatively after the fact.
+        let group_parts: Vec<Vec<(usize, RectQuery)>> =
+            groups.iter().map(|g| g.queries.clone()).collect();
+        let mut per_query: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); queries.len()];
+        let mut degraded = Vec::new();
+        let conservative_group =
+            |per_query: &mut Vec<Vec<(usize, Vec<usize>)>>, slot: usize, sid: usize| {
+                let start = self.index.shards()[sid].start();
+                for (qidx, local) in &group_parts[slot] {
+                    per_query[*qidx].push((sid, conservative_rows(start, local)));
+                }
+            };
         let (tx, rx) = mpsc::channel();
-        let expected = groups.len();
-        for group in groups {
+        let mut expected = 0usize;
+        for (slot, group) in groups.into_iter().enumerate() {
+            let sid = group.shard;
+            if self.health.is_quarantined(sid) {
+                conservative_group(&mut per_query, slot, sid);
+                degraded.push(sid);
+                continue;
+            }
+            if let Err(e) = chaos::inject(self.chaos.as_deref(), points::POOL_SUBMIT, Some(sid)) {
+                ctx.cancel();
+                obs::counter!("svc.shed").inc();
+                return Err(e);
+            }
             let index = Arc::clone(&self.index);
             let job_ctx = ctx.clone();
+            let plan = self.chaos.clone();
             let tx = tx.clone();
             if let Err(e) = self.pool.try_execute(move || {
-                let shard = &index.shards()[group.shard];
-                let mut out = Vec::with_capacity(group.queries.len());
-                let mut res = Ok(());
-                for (qidx, local) in &group.queries {
-                    match run_shard_chunked(shard, local, &job_ctx) {
-                        Ok(rows) => out.push((*qidx, rows)),
-                        Err(e) => {
-                            res = Err(e);
-                            break;
-                        }
+                let outcome = shard_outcome(|| {
+                    chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
+                    let shard = &index.shards()[sid];
+                    let mut out = Vec::with_capacity(group.queries.len());
+                    for (qidx, local) in &group.queries {
+                        out.push((*qidx, run_shard_chunked(shard, local, &job_ctx)?));
                     }
-                }
-                let _ = tx.send((group.shard, res.map(|()| out)));
+                    Ok(out)
+                });
+                let _ = tx.send((slot, sid, outcome));
             }) {
                 ctx.cancel();
                 obs::counter!("svc.shed").inc();
                 return Err(e);
             }
+            expected += 1;
         }
         drop(tx);
         // Parts arrive in shard-completion order; tag each with its
         // shard id and sort per query so the merge stays row-ordered.
-        let mut per_query: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); queries.len()];
         for _ in 0..expected {
-            let (sid, res) = self.collect(&rx, &ctx)?;
-            for (qidx, rows) in res? {
-                per_query[qidx].push((sid, rows));
+            match self.collect(&rx, &ctx)? {
+                (_, sid, ShardOutcome::Done(Ok(parts))) => {
+                    for (qidx, rows) in parts {
+                        per_query[qidx].push((sid, rows));
+                    }
+                }
+                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(&ctx, e)),
+                (slot, sid, ShardOutcome::Panicked) => {
+                    self.health.quarantine(sid);
+                    degraded.push(sid);
+                    conservative_group(&mut per_query, slot, sid);
+                }
             }
         }
-        Ok(per_query
-            .into_iter()
-            .map(|mut parts| {
-                parts.sort_unstable_by_key(|(sid, _)| *sid);
-                parts.into_iter().flat_map(|(_, rows)| rows).collect()
-            })
-            .collect())
+        Ok(Response {
+            value: per_query
+                .into_iter()
+                .map(|mut parts| {
+                    parts.sort_unstable_by_key(|(sid, _)| *sid);
+                    parts.into_iter().flat_map(|(_, rows)| rows).collect()
+                })
+                .collect(),
+            degraded: degraded_marker(degraded),
+        })
     }
 
-    /// Waits for one shard result, charging the wait against the
+    /// Waits for one shard message, charging the wait against the
     /// request's deadline. A timeout cancels the remaining shard work.
-    fn collect<T>(
-        &self,
-        rx: &mpsc::Receiver<(usize, Result<T, SvcError>)>,
-        ctx: &RequestCtx,
-    ) -> Result<(usize, Result<T, SvcError>), SvcError> {
+    fn collect<M>(&self, rx: &mpsc::Receiver<M>, ctx: &RequestCtx) -> Result<M, SvcError> {
         let received = match ctx.deadline.remaining() {
             None => rx.recv().map_err(|_| SvcError::Shutdown),
             Some(budget) => rx.recv_timeout(budget).map_err(|e| match e {
@@ -371,24 +599,18 @@ impl Service {
                 mpsc::RecvTimeoutError::Disconnected => SvcError::Shutdown,
             }),
         };
-        match received {
-            Ok(pair) => {
-                if let Err(e) = &pair.1 {
-                    ctx.cancel();
-                    if *e == SvcError::DeadlineExceeded {
-                        obs::counter!("svc.deadline_missed").inc();
-                    }
-                }
-                Ok(pair)
-            }
-            Err(e) => {
-                ctx.cancel();
-                if e == SvcError::DeadlineExceeded {
-                    obs::counter!("svc.deadline_missed").inc();
-                }
-                Err(e)
-            }
+        received.map_err(|e| self.abandon(ctx, e))
+    }
+
+    /// Abandons a request: cancels in-flight shard work (partial
+    /// results must be discarded — a partial merge would break the no
+    /// false-negative contract) and counts deadline misses.
+    fn abandon(&self, ctx: &RequestCtx, e: SvcError) -> SvcError {
+        ctx.cancel();
+        if e == SvcError::DeadlineExceeded {
+            obs::counter!("svc.deadline_missed").inc();
         }
+        e
     }
 }
 
@@ -623,6 +845,140 @@ mod tests {
         assert_eq!(cfg.resolved_shards(2), 2); // clamped to rows
         let auto = SvcConfig::default();
         assert!(auto.resolved_threads() >= 1);
+    }
+
+    #[cfg(not(feature = "chaos-off"))]
+    #[test]
+    fn panicking_shard_degrades_conservatively_not_fatally() {
+        use crate::chaos::{Fault, FaultPlan, FaultRule};
+        let plan = Arc::new(
+            FaultPlan::new(11).with_rule(
+                FaultRule::new(points::SHARD_QUERY, Fault::Panic)
+                    .on_shard(1)
+                    .max_fires(1),
+            ),
+        );
+        let svc = service(400, small_cfg()).with_fault_plan(Arc::clone(&plan));
+        let q = RectQuery::new(vec![AttrRange::new(0, 1, 4)], 0, 399);
+        let healthy_rows = svc.index().execute_rect_sequential(&q).unwrap();
+
+        let r = svc.try_query_rect(&q).unwrap();
+        assert_eq!(
+            r.degraded.as_ref().map(|d| d.shards.clone()),
+            Some(vec![1]),
+            "shard 1's panic must surface as a Degraded marker"
+        );
+        // No false negatives: every healthy answer survives, and the
+        // quarantined shard's whole slice (rows 100..200 of 4×100-row
+        // shards) is present.
+        for row in &healthy_rows {
+            assert!(r.value.contains(row), "degraded answer lost row {row}");
+        }
+        let s1 = &svc.index().shards()[1];
+        for row in s1.start()..s1.end() {
+            assert!(r.value.contains(&row));
+        }
+        assert!(r.value.windows(2).all(|w| w[0] < w[1]), "merge unsorted");
+
+        // The shard stays quarantined: the next request degrades up
+        // front without firing the (spent) fault again.
+        assert!(svc.health().is_quarantined(1));
+        let again = svc.try_query_rect(&q).unwrap();
+        assert!(again.is_degraded());
+        assert_eq!(plan.fires(points::SHARD_QUERY), 1);
+
+        // Clearing the quarantine restores bit-identical answers.
+        svc.health().clear(1);
+        assert_eq!(svc.query_rect(&q).unwrap(), healthy_rows);
+    }
+
+    #[cfg(not(feature = "chaos-off"))]
+    #[test]
+    fn quarantined_cells_answer_maybe_present() {
+        use crate::chaos::{Fault, FaultPlan, FaultRule};
+        let plan = Arc::new(
+            FaultPlan::new(3).with_rule(
+                FaultRule::new(points::SHARD_QUERY, Fault::Panic)
+                    .on_shard(0)
+                    .max_fires(1),
+            ),
+        );
+        let n = 200;
+        let t = table(n);
+        let svc = Service::build(
+            &t,
+            &AbConfig::new(Level::PerAttribute).with_alpha(8),
+            &small_cfg(),
+        )
+        .with_fault_plan(plan);
+        let cells: Vec<Cell> = (0..n)
+            .map(|r| Cell::new(r, 0, t.column(0).bins[r]))
+            .collect();
+        let r = svc.try_retrieve_cells(&cells).unwrap();
+        assert_eq!(r.degraded.as_ref().map(|d| d.shards.clone()), Some(vec![0]));
+        assert!(
+            r.value.iter().all(|&b| b),
+            "true cells must stay true under degradation"
+        );
+        // Probing a cell that is certainly absent in the quarantined
+        // shard still answers true — maybe present, never a false
+        // negative elsewhere.
+        let absent = Cell::new(0, 0, (t.column(0).bins[0] + 1) % 6);
+        let r2 = svc.try_retrieve_cells(&[absent]).unwrap();
+        assert!(r2.value[0] && r2.is_degraded());
+    }
+
+    #[cfg(not(feature = "chaos-off"))]
+    #[test]
+    fn wah_path_fails_typed_on_quarantine() {
+        use crate::chaos::{Fault, FaultPlan, FaultRule};
+        let plan = Arc::new(
+            FaultPlan::new(5).with_rule(
+                FaultRule::new(points::SHARD_QUERY, Fault::Panic)
+                    .on_shard(2)
+                    .max_fires(1),
+            ),
+        );
+        let cfg = SvcConfig {
+            with_wah: true,
+            ..small_cfg()
+        };
+        let t = table(200);
+        let svc = Service::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(8), &cfg)
+            .with_fault_plan(plan);
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 3)], 0, 199);
+        assert_eq!(
+            svc.query_rect_wah(&q),
+            Err(SvcError::ShardQuarantined { shard: 2 })
+        );
+        // Approximate path still serves (degraded), exact path keeps
+        // refusing until the shard is cleared.
+        assert!(svc.try_query_rect(&q).unwrap().is_degraded());
+        assert_eq!(
+            svc.query_rect_wah(&q),
+            Err(SvcError::ShardQuarantined { shard: 2 })
+        );
+        svc.health().clear(2);
+        assert!(svc.query_rect_wah(&q).is_ok());
+    }
+
+    #[cfg(not(feature = "chaos-off"))]
+    #[test]
+    fn injected_overload_at_submit_sheds_the_request() {
+        use crate::chaos::{Fault, FaultPlan, FaultRule};
+        let plan = Arc::new(
+            FaultPlan::new(9)
+                .with_rule(FaultRule::new(points::POOL_SUBMIT, Fault::Overloaded).max_fires(1)),
+        );
+        let svc = service(100, small_cfg()).with_fault_plan(plan);
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 3)], 0, 99);
+        assert!(matches!(
+            svc.query_rect(&q),
+            Err(SvcError::Overloaded { .. })
+        ));
+        // One-shot fault: the next request goes through healthily.
+        let r = svc.try_query_rect(&q).unwrap();
+        assert!(!r.is_degraded());
     }
 
     #[test]

@@ -284,6 +284,51 @@ impl ShardedIndex {
         }
         Ok(Self::assemble(shards, num_rows))
     }
+
+    /// Loads an `ABSH` envelope, rebuilding — **only** — the shards
+    /// whose segments fail their checksum or decode, from the source
+    /// `table` with the original build `config`. Because AB builds are
+    /// deterministic, a repaired shard is bit-identical to the one
+    /// originally persisted. Returns the index plus the ids of the
+    /// shards that were rebuilt (empty when the envelope was clean).
+    ///
+    /// Envelope-level damage (bad magic/version, truncation, segment
+    /// count, out-of-order starts) is not repairable segment by
+    /// segment and stays a hard error, as does a clean envelope whose
+    /// layout disagrees with `table` (wrong row count or shard
+    /// boundaries) — that is the wrong source data, not corruption.
+    pub fn from_bytes_with_repair(
+        data: &[u8],
+        table: &BinnedTable,
+        config: &AbConfig,
+    ) -> Result<(Self, Vec<usize>), ab::IoError> {
+        let segments = ab::shards_from_bytes_checked(data)?;
+        let ranges = ab::shard_ranges(table.num_rows(), segments.len());
+        let mut shards = Vec::with_capacity(segments.len());
+        let mut repaired = Vec::new();
+        for (sid, ((start, seg), r)) in segments.into_iter().zip(&ranges).enumerate() {
+            let index = match seg {
+                Ok(index) if start as usize == r.start && index.num_rows() == r.len() => index,
+                Ok(_) => {
+                    // Decoded fine but covers the wrong rows: the
+                    // envelope does not belong to this table.
+                    return Err(ab::IoError::BadShardLayout);
+                }
+                Err(_) => {
+                    obs::counter!("svc.shard_repairs").inc();
+                    repaired.push(sid);
+                    AbIndex::build(&table.slice_rows(r.clone()), config)
+                }
+            };
+            shards.push(Shard {
+                start: r.start,
+                end: r.end,
+                index,
+                wah: None,
+            });
+        }
+        Ok((Self::assemble(shards, table.num_rows()), repaired))
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +468,58 @@ mod tests {
             back.execute_rect_sequential(&q).unwrap(),
             idx.execute_rect_sequential(&q).unwrap()
         );
+    }
+
+    #[test]
+    fn repair_rebuilds_only_the_corrupt_shard_bit_identically() {
+        let t = table(120);
+        let idx = ShardedIndex::build(&t, &cfg(), 4, false);
+        let mut bytes = idx.to_bytes();
+        // Flip a byte in the middle of segment 0's blob (envelope
+        // header is 10 bytes, segment header 20) so exactly that
+        // segment's checksum breaks.
+        let seg0_len = u64::from_le_bytes(bytes[18..26].try_into().unwrap()) as usize;
+        bytes[30 + seg0_len / 2] ^= 0x40;
+        assert!(matches!(
+            ShardedIndex::from_bytes(&bytes),
+            Err(ab::IoError::ChecksumMismatch { .. })
+        ));
+        let (repaired_idx, repaired) =
+            ShardedIndex::from_bytes_with_repair(&bytes, &t, &cfg()).unwrap();
+        assert_eq!(repaired.len(), 1, "one segment was corrupted");
+        for (a, b) in repaired_idx.shards().iter().zip(idx.shards()) {
+            assert_eq!(a.start(), b.start());
+            for (x, y) in a.index().abs().iter().zip(b.index().abs()) {
+                assert_eq!(x.bits(), y.bits(), "repair was not bit-identical");
+            }
+        }
+        let q = RectQuery::new(vec![AttrRange::new(0, 1, 3)], 0, 119);
+        assert_eq!(
+            repaired_idx.execute_rect_sequential(&q).unwrap(),
+            idx.execute_rect_sequential(&q).unwrap()
+        );
+    }
+
+    #[test]
+    fn repair_passes_clean_envelopes_through() {
+        let t = table(80);
+        let idx = ShardedIndex::build(&t, &cfg(), 3, false);
+        let (back, repaired) =
+            ShardedIndex::from_bytes_with_repair(&idx.to_bytes(), &t, &cfg()).unwrap();
+        assert!(repaired.is_empty());
+        assert_eq!(back.num_rows(), idx.num_rows());
+        assert_eq!(back.num_shards(), idx.num_shards());
+    }
+
+    #[test]
+    fn repair_rejects_wrong_source_table() {
+        let t = table(100);
+        let idx = ShardedIndex::build(&t, &cfg(), 4, false);
+        let other = table(90); // different row count → different layout
+        assert!(matches!(
+            ShardedIndex::from_bytes_with_repair(&idx.to_bytes(), &other, &cfg()),
+            Err(ab::IoError::BadShardLayout)
+        ));
     }
 
     #[test]

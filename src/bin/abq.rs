@@ -5,12 +5,13 @@
 //! abq build --csv data.csv --out index.ab [--bins 10] [--alpha 8]
 //!           [--level per-attribute|per-dataset|per-column] [--k N]
 //! abq info  --index index.ab
+//! abq verify --index index.ab
 //! abq query --index index.ab --where attr=LO..HI [--where ...]
 //!           [--rows LO..HI] [--limit N]
 //! abq serve --csv data.csv [--threads N] [--shards N] [--bins N]
-//!           [--alpha N] [--deadline-ms N] [--wah]
+//!           [--alpha N] [--deadline-ms N] [--wah] [--retries N]
 //! abq bench-svc --csv data.csv [--threads N] [--shards N]
-//!           [--queries N] [--bins N] [--alpha N]
+//!           [--queries N] [--bins N] [--alpha N] [--retries N]
 //! ```
 //!
 //! `build` reads a numeric CSV with a header row, discretizes every
@@ -23,6 +24,13 @@
 //! `serve` builds a sharded concurrent [`svc::Service`] over the CSV
 //! and answers queries read line by line from stdin.
 //! `bench-svc` measures the service's query throughput.
+//! `verify` checks an `ABIX`/`ABSH` file's per-segment checksums and
+//! header sanity without decoding the bit arrays.
+//!
+//! `serve` and `bench-svc` wrap each query in a bounded retry with
+//! decorrelated-jitter backoff ([`mod@svc::retry`]), so transient
+//! [`svc::SvcError::Overloaded`] rejections are absorbed instead of
+//! surfacing to the caller.
 
 use ab::{AbConfig, AbIndex, Level};
 use bitmap::{AttrRange, BinnedTable, Column, EquiDepth, RectQuery, Table};
@@ -34,6 +42,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-svc") => cmd_bench_svc(&args[1..]),
@@ -57,11 +66,12 @@ fn print_usage() {
     eprintln!(
         "usage:\n  abq build --csv FILE --out FILE [--bins N] [--alpha N] \
          [--level L] [--k N] [--precision P]\n  abq info  --index FILE\n  \
+         abq verify --index FILE\n  \
          abq query --index FILE [--where ATTR=LO..HI]... [--rows LO..HI] [--limit N]\n  \
          abq serve --csv FILE [--threads N] [--shards N] [--bins N] [--alpha N] \
-         [--deadline-ms N] [--wah]\n  \
+         [--deadline-ms N] [--wah] [--retries N]\n  \
          abq bench-svc --csv FILE [--threads N] [--shards N] [--queries N] \
-         [--bins N] [--alpha N]"
+         [--bins N] [--alpha N] [--retries N]"
     );
 }
 
@@ -209,6 +219,64 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `abq verify` — per-segment checksum and header report for an
+/// `ABIX` or `ABSH` file, without decoding the bit arrays (fast even
+/// on indexes far larger than memory bandwidth would make a full
+/// decode). Exits non-zero when any segment is damaged.
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--index").ok_or("--index is required")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let report = ab::verify(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} v{}, {} bytes, {} segment(s)",
+        report.container,
+        report.version,
+        bytes.len(),
+        report.segments.len()
+    );
+    for seg in &report.segments {
+        let crc = match seg.checksum {
+            ab::ChecksumStatus::Ok => "crc ok".to_string(),
+            ab::ChecksumStatus::Absent => "crc absent (v1 format)".to_string(),
+            ab::ChecksumStatus::Mismatch { stored, computed } => {
+                format!("CRC MISMATCH stored {stored:#010x} computed {computed:#010x}")
+            }
+        };
+        match &seg.header {
+            Ok(h) => println!(
+                "  shard {}: rows {}..{}, {} bytes, {}, level {}, {} attrs, {} ABs",
+                seg.shard,
+                seg.start_row,
+                seg.start_row + h.num_rows,
+                seg.byte_len,
+                crc,
+                h.level,
+                h.attributes,
+                h.abs
+            ),
+            Err(e) => println!(
+                "  shard {}: start row {}, {} bytes, {}, header unreadable: {e}",
+                seg.shard, seg.start_row, seg.byte_len, crc
+            ),
+        }
+    }
+    if report.healthy() {
+        println!("healthy");
+        Ok(())
+    } else {
+        let bad: Vec<String> = report
+            .segments
+            .iter()
+            .filter(|s| !s.healthy())
+            .map(|s| s.shard.to_string())
+            .collect();
+        Err(format!(
+            "{path}: corrupted segment(s) {} — rebuild them from source data",
+            bad.join(", ")
+        ))
+    }
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let index = load_index(args)?;
     let mut ranges = Vec::new();
@@ -281,6 +349,23 @@ fn parse_threads(args: &[String]) -> Result<usize, String> {
             .map(|n| n.get())
             .unwrap_or(1)),
     }
+}
+
+/// Retry policy for the `serve`/`bench-svc` query paths: up to
+/// `--retries` attempts (default 4; 1 disables retrying) with
+/// decorrelated-jitter backoff against transient overload.
+fn parse_retry_policy(args: &[String]) -> Result<svc::RetryPolicy, String> {
+    let attempts: usize = flag_value(args, "--retries")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--retries must be an integer")?;
+    if attempts == 0 {
+        return Err("--retries must be at least 1".into());
+    }
+    Ok(svc::RetryPolicy {
+        max_attempts: attempts,
+        ..svc::RetryPolicy::default()
+    })
 }
 
 /// Shared setup for `serve` and `bench-svc`: CSV → binned table →
@@ -372,6 +457,7 @@ fn parse_repl_query(line: &str, svc: &Service) -> Result<RectQuery, String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let svc = build_service(args, has_flag(args, "--wah"))?;
+    let policy = parse_retry_policy(args)?;
     let limit: usize = flag_value(args, "--limit")
         .unwrap_or("20")
         .parse()
@@ -379,6 +465,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("query syntax: ATTR=LO..HI [ATTR=LO..HI ...] [rows LO..HI]; `quit` to exit");
     let stdin = std::io::stdin();
     let mut line = String::new();
+    let mut served = 0u64;
     loop {
         line.clear();
         if std::io::BufRead::read_line(&mut stdin.lock(), &mut line).map_err(|e| e.to_string())?
@@ -393,12 +480,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         if trimmed == "quit" || trimmed == "exit" {
             break;
         }
+        served += 1;
         match parse_repl_query(trimmed, &svc).map(|q| {
-            if has_flag(args, "--wah") {
-                svc.query_rect_wah(&q)
-            } else {
-                svc.query_rect(&q)
-            }
+            svc::retry(&policy, served, |_| {
+                if has_flag(args, "--wah") {
+                    svc.query_rect_wah(&q)
+                } else {
+                    svc.query_rect(&q)
+                }
+            })
         }) {
             Ok(Ok(matches)) => {
                 println!("{} rows", matches.len());
@@ -418,6 +508,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_bench_svc(args: &[String]) -> Result<(), String> {
     let svc = build_service(args, false)?;
+    let policy = parse_retry_policy(args)?;
     let queries: usize = flag_value(args, "--queries")
         .unwrap_or("200")
         .parse()
@@ -444,8 +535,10 @@ fn cmd_bench_svc(args: &[String]) -> Result<(), String> {
 
     let started = std::time::Instant::now();
     let mut total_matches = 0usize;
-    for q in &workload {
-        total_matches += svc.query_rect(q).map_err(|e| e.to_string())?.len();
+    for (i, q) in workload.iter().enumerate() {
+        total_matches += svc::retry(&policy, i as u64, |_| svc.query_rect(q))
+            .map_err(|e| e.to_string())?
+            .len();
     }
     let elapsed = started.elapsed();
     let rps = queries as f64 / elapsed.as_secs_f64();
@@ -579,6 +672,48 @@ mod tests {
             "20",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn retry_flag_parses_and_bounds() {
+        assert_eq!(
+            parse_retry_policy(&strings(&["--retries", "7"]))
+                .unwrap()
+                .max_attempts,
+            7
+        );
+        assert_eq!(parse_retry_policy(&strings(&[])).unwrap().max_attempts, 4);
+        assert!(parse_retry_policy(&strings(&["--retries", "0"])).is_err());
+        assert!(parse_retry_policy(&strings(&["--retries", "x"])).is_err());
+    }
+
+    #[test]
+    fn verify_reports_health_and_detects_corruption() {
+        let dir = std::env::temp_dir().join("abq_test_verify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let idx = dir.join("d.ab");
+        let mut body = String::from("price,qty\n");
+        for i in 0..200 {
+            body.push_str(&format!("{}.0,{}.0\n", i % 31, (i * 5) % 7));
+        }
+        std::fs::write(&csv, body).unwrap();
+        cmd_build(&strings(&[
+            "--csv",
+            csv.to_str().unwrap(),
+            "--out",
+            idx.to_str().unwrap(),
+        ]))
+        .unwrap();
+        cmd_verify(&strings(&["--index", idx.to_str().unwrap()])).unwrap();
+        // Flip one payload byte: verify must now fail with a
+        // checksum complaint instead of succeeding.
+        let mut bytes = std::fs::read(&idx).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&idx, &bytes).unwrap();
+        let err = cmd_verify(&strings(&["--index", idx.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("corrupted"), "unexpected error: {err}");
     }
 
     #[test]
