@@ -215,6 +215,35 @@ impl BitVec {
         &self.words
     }
 
+    /// Reads raw word `i` (64 bits starting at bit `i * 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is past the word storage.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// ORs `mask` into raw word `i` — the word-parallel counterpart of
+    /// [`Self::set`], used by the blocked AB to write a whole cell's
+    /// probe bits in ≤ 2 stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if word `i` is not fully inside the vector; callers may
+    /// only address whole words, so partial trailing words stay
+    /// untouched and the trailing-zero invariant holds.
+    #[inline]
+    pub fn or_word(&mut self, i: usize, mask: u64) {
+        assert!(
+            (i + 1) * WORD_BITS <= self.len,
+            "word {i} not fully within {} bits",
+            self.len
+        );
+        self.words[i] |= mask;
+    }
+
     /// In-place bitwise AND with `other`.
     ///
     /// # Panics

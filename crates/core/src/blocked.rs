@@ -17,6 +17,15 @@ use serde::{Deserialize, Serialize};
 /// Bits per block: one x86-64 cache line.
 pub const BLOCK_BITS: u64 = 512;
 
+/// Words per block.
+const BLOCK_WORDS: u64 = BLOCK_BITS / 64;
+
+/// Largest k the word-parallel path supports: each of the cell's two
+/// mask words holds up to 64 distinct bits (the odd stride is a
+/// bijection mod 64), so ⌈k/2⌉ ≤ 64. Larger k falls back to the
+/// bit-at-a-time loop and counts into `kernel.scalar_fallbacks`.
+const WORD_PARALLEL_MAX_K: usize = 128;
+
 /// A blocked approximate bitmap over matrix cells.
 ///
 /// Drop-in alternative to [`crate::ApproximateBitmap`] for the same
@@ -87,7 +96,8 @@ impl BlockedAb {
         self.bits.density()
     }
 
-    /// The block base offset and intra-block probe stride for a cell.
+    /// The block base offset and intra-block probe stride for a cell
+    /// (the scalar addressing scheme, used when `k > 128`).
     #[inline]
     fn cell_hashes(&self, row: u64, col: u64) -> (u64, u64, u64) {
         let x = self.mapper.map(row, col);
@@ -98,13 +108,57 @@ impl BlockedAb {
         (block, h1, h2)
     }
 
+    /// Word-parallel addressing (k ≤ 128): the cell's k probe bits are
+    /// materialized as two 64-bit masks over two words of its block, so
+    /// a whole membership test is ≤ 2 word loads (and an insert is 2
+    /// read-modify-write stores) instead of k dependent bit reads.
+    /// ⌈k/2⌉ bits go into the first mask and ⌊k/2⌋ into the second; the
+    /// odd stride `h2` is a bijection mod 64, so each mask has exactly
+    /// that many distinct bits. Insert and test share this derivation,
+    /// preserving the no-false-negative guarantee.
+    #[inline]
+    fn cell_masks(&self, row: u64, col: u64) -> (usize, usize, u64, u64) {
+        let x = self.mapper.map(row, col);
+        let h = splitmix64(x);
+        let block_word = (h % self.num_blocks) * BLOCK_WORDS;
+        let g = splitmix64(h ^ 0x9E37_79B9_7F4A_7C15);
+        let h2 = splitmix64(x ^ 0x5851_F42D_4C95_7F2D) | 1;
+        let w0 = (block_word + (g & 7)) as usize;
+        let w1 = (block_word + ((g >> 3) & 7)) as usize;
+        let k0 = (self.k as u64).div_ceil(2);
+        let k1 = self.k as u64 / 2;
+        let b0 = g >> 6;
+        let b1 = g >> 35;
+        let mut m0 = 0u64;
+        for t in 0..k0 {
+            m0 |= 1u64 << (b0.wrapping_add(t.wrapping_mul(h2)) % 64);
+        }
+        let mut m1 = 0u64;
+        for t in 0..k1 {
+            m1 |= 1u64 << (b1.wrapping_add(t.wrapping_mul(h2)) % 64);
+        }
+        (w0, w1, m0, m1)
+    }
+
+    /// Whether this AB uses the two-mask word-parallel cell layout.
+    #[inline]
+    fn word_parallel(&self) -> bool {
+        self.k <= WORD_PARALLEL_MAX_K
+    }
+
     /// Inserts cell `(row, col)`.
     #[inline]
     pub fn insert(&mut self, row: u64, col: u64) {
-        let (block, h1, h2) = self.cell_hashes(row, col);
-        for t in 0..self.k as u64 {
-            let off = h1.wrapping_add(t.wrapping_mul(h2)) % BLOCK_BITS;
-            self.bits.set((block + off) as usize);
+        if self.word_parallel() {
+            let (w0, w1, m0, m1) = self.cell_masks(row, col);
+            self.bits.or_word(w0, m0);
+            self.bits.or_word(w1, m1);
+        } else {
+            let (block, h1, h2) = self.cell_hashes(row, col);
+            for t in 0..self.k as u64 {
+                let off = h1.wrapping_add(t.wrapping_mul(h2)) % BLOCK_BITS;
+                self.bits.set((block + off) as usize);
+            }
         }
         self.inserted += 1;
     }
@@ -113,14 +167,20 @@ impl BlockedAb {
     /// above the unblocked filter's at equal (n, k).
     #[inline]
     pub fn contains(&self, row: u64, col: u64) -> bool {
-        let (block, h1, h2) = self.cell_hashes(row, col);
-        for t in 0..self.k as u64 {
-            let off = h1.wrapping_add(t.wrapping_mul(h2)) % BLOCK_BITS;
-            if !self.bits.get((block + off) as usize) {
-                return false;
+        if self.word_parallel() {
+            let (w0, w1, m0, m1) = self.cell_masks(row, col);
+            self.bits.word(w0) & m0 == m0 && self.bits.word(w1) & m1 == m1
+        } else {
+            obs::counter!("kernel.scalar_fallbacks").inc();
+            let (block, h1, h2) = self.cell_hashes(row, col);
+            for t in 0..self.k as u64 {
+                let off = h1.wrapping_add(t.wrapping_mul(h2)) % BLOCK_BITS;
+                if !self.bits.get((block + off) as usize) {
+                    return false;
+                }
             }
+            true
         }
-        true
     }
 }
 
@@ -160,13 +220,47 @@ mod tests {
 
     #[test]
     fn distinct_probes_within_block() {
-        // The odd stride guarantees k distinct offsets for k <= 512.
+        // Scalar path: the odd stride guarantees k distinct offsets for
+        // k <= 512.
         let ab = make(1 << 12, 8);
         let (block, h1, h2) = ab.cell_hashes(7, 3);
         let offs: std::collections::HashSet<u64> = (0..8u64)
             .map(|t| block + h1.wrapping_add(t.wrapping_mul(h2)) % BLOCK_BITS)
             .collect();
         assert_eq!(offs.len(), 8);
+    }
+
+    #[test]
+    fn cell_masks_carry_exactly_k_bits() {
+        // Word-parallel path: ⌈k/2⌉ + ⌊k/2⌋ = k distinct bits across
+        // the two masks (the odd stride is a bijection mod 64), and
+        // both words stay inside the cell's block.
+        for k in [1usize, 2, 5, 8, 64, 128] {
+            let ab = make(1 << 14, k);
+            for cell in 0..200u64 {
+                let (w0, w1, m0, m1) = ab.cell_masks(cell, cell % 16);
+                assert_eq!(m0.count_ones() as usize, k.div_ceil(2), "k={k} cell={cell}");
+                assert_eq!(m1.count_ones() as usize, k / 2, "k={k} cell={cell}");
+                assert_eq!(
+                    w0 as u64 / BLOCK_WORDS,
+                    w1 as u64 / BLOCK_WORDS,
+                    "masks escaped the block"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_fallback_above_128_still_has_no_false_negatives() {
+        let mut ab = make(1 << 14, 130);
+        assert!(!ab.word_parallel());
+        let cells: Vec<(u64, u64)> = (0..50).map(|i| (i, i % 16)).collect();
+        for &(r, c) in &cells {
+            ab.insert(r, c);
+        }
+        for &(r, c) in &cells {
+            assert!(ab.contains(r, c), "false negative at ({r},{c})");
+        }
     }
 
     #[test]

@@ -314,6 +314,20 @@ impl AbIndex {
         }
     }
 
+    /// The (AB, column id) a cell of `attribute`/`bin` addresses — the
+    /// row-independent half of [`Self::test_cell_counted`]'s dispatch,
+    /// hoisted once per query into the batched kernel's cell plans.
+    #[inline]
+    pub(crate) fn cell_plan_target(&self, attribute: usize, bin: u32) -> (&ApproximateBitmap, u64) {
+        let meta = &self.attributes[attribute];
+        debug_assert!(bin < meta.cardinality, "bin {bin} out of range");
+        match self.level {
+            Level::PerDataset => (&self.abs[0], (meta.offset + bin as usize) as u64),
+            Level::PerAttribute => (&self.abs[attribute], bin as u64),
+            Level::PerColumn => (&self.abs[meta.offset + bin as usize], 0),
+        }
+    }
+
     /// Largest k across the constituent ABs — the constant in the
     /// O(c·k) probe bound.
     pub fn max_k(&self) -> usize {

@@ -70,6 +70,7 @@ pub mod counting;
 pub mod encoding;
 pub mod exact;
 pub mod io;
+pub mod kernel;
 pub mod level;
 pub mod planner;
 pub mod query;
@@ -85,6 +86,8 @@ pub use config::{AbConfig, Sizing};
 pub use counting::CountingAb;
 pub use encoding::ApproximateBitmap;
 pub use exact::{execute_exact, prune_false_positives, row_matches};
+pub use kernel::{KernelKind, BATCH_ROWS, PREFETCH_ACTIVE};
+
 pub use io::{
     crc32, from_bytes, shards_from_bytes, shards_from_bytes_checked, shards_to_bytes, to_bytes,
     verify, CheckedSegments, ChecksumStatus, IoError, SegmentHeader, SegmentReport, VerifyReport,

@@ -14,6 +14,7 @@
 //! 100% recall; precision is evaluated against the exact index via
 //! [`PrecisionStats`].
 
+use crate::kernel::KernelKind;
 use crate::level::AbIndex;
 use bitmap::RectQuery;
 use serde::{Deserialize, Serialize};
@@ -103,11 +104,25 @@ impl std::error::Error for QueryError {}
 impl AbIndex {
     /// Figure 5: evaluates an arbitrary cell subset, returning one
     /// boolean per cell in query order. O(c·k) where `c = cells.len()`.
+    /// Runs on the default (batched) kernel; see
+    /// [`Self::retrieve_cells_with_kernel`].
     pub fn retrieve_cells(&self, cells: &[Cell]) -> Vec<bool> {
-        cells
-            .iter()
-            .map(|c| self.test_cell(c.row, c.attribute, c.bin))
-            .collect()
+        self.retrieve_cells_with_kernel(cells, KernelKind::default())
+    }
+
+    /// [`Self::retrieve_cells`] on an explicit probe engine. Verdicts
+    /// are identical either way; only the memory schedule differs.
+    pub fn retrieve_cells_with_kernel(&self, cells: &[Cell], kernel: KernelKind) -> Vec<bool> {
+        match kernel {
+            KernelKind::Scalar => {
+                obs::counter!("kernel.scalar_fallbacks").inc();
+                cells
+                    .iter()
+                    .map(|c| self.test_cell(c.row, c.attribute, c.bin))
+                    .collect()
+            }
+            KernelKind::Batched => crate::kernel::retrieve_cells_batched(self, cells),
+        }
     }
 
     /// Figure 7: evaluates a rectangular query over the AB, returning
@@ -146,9 +161,33 @@ impl AbIndex {
     /// count into `ab.query.rejected`; executed ones flush their
     /// [`QueryStats`] into the `ab.query.*` counters once, so the
     /// registry totals equal the sum of the returned stats exactly.
+    /// Runs on the default (batched) kernel.
     pub fn try_execute_rect_with_stats(
         &self,
         query: &RectQuery,
+    ) -> Result<(Vec<usize>, QueryStats), QueryError> {
+        self.try_execute_rect_with_stats_kernel(query, KernelKind::default())
+    }
+
+    /// [`Self::try_execute_rect`] on an explicit probe engine.
+    pub fn try_execute_rect_with_kernel(
+        &self,
+        query: &RectQuery,
+        kernel: KernelKind,
+    ) -> Result<Vec<usize>, QueryError> {
+        self.try_execute_rect_with_stats_kernel(query, kernel)
+            .map(|(rows, _)| rows)
+    }
+
+    /// [`Self::try_execute_rect_with_stats`] on an explicit probe
+    /// engine. The scalar and batched kernels return bit-identical rows
+    /// and [`QueryStats`] (the differential tests in
+    /// `tests/kernel_differential.rs` enforce this); only the memory
+    /// access schedule differs.
+    pub fn try_execute_rect_with_stats_kernel(
+        &self,
+        query: &RectQuery,
+        kernel: KernelKind,
     ) -> Result<(Vec<usize>, QueryStats), QueryError> {
         if query.row_hi >= self.num_rows() {
             obs::counter!("ab.query.rejected").inc();
@@ -169,6 +208,25 @@ impl AbIndex {
             }
         }
         let _timer = obs::span("ab.query.us");
+        let (rows, stats, short_circuits) = match kernel {
+            KernelKind::Scalar => {
+                obs::counter!("kernel.scalar_fallbacks").inc();
+                self.execute_rect_scalar(query)
+            }
+            KernelKind::Batched => crate::kernel::execute_rect_batched(self, query),
+        };
+        obs::counter!("ab.query.executed").inc();
+        obs::counter!("ab.query.cells_probed").add(stats.cells_probed as u64);
+        obs::counter!("ab.query.bits_read").add(stats.bits_read as u64);
+        obs::counter!("ab.query.rows_matched").add(stats.rows_matched as u64);
+        obs::counter!("ab.query.short_circuit_hits").add(short_circuits);
+        Ok((rows, stats))
+    }
+
+    /// The reference row-at-a-time Figure 7 loop, kept verbatim as the
+    /// semantic ground truth the batched kernel is differentially
+    /// tested against. Returns `(rows, stats, or_short_circuits)`.
+    fn execute_rect_scalar(&self, query: &RectQuery) -> (Vec<usize>, QueryStats, u64) {
         let mut rows = Vec::new();
         let mut stats = QueryStats::default();
         let mut short_circuits = 0u64;
@@ -196,12 +254,7 @@ impl AbIndex {
             }
         }
         stats.rows_matched = rows.len();
-        obs::counter!("ab.query.executed").inc();
-        obs::counter!("ab.query.cells_probed").add(stats.cells_probed as u64);
-        obs::counter!("ab.query.bits_read").add(stats.bits_read as u64);
-        obs::counter!("ab.query.rows_matched").add(stats.rows_matched as u64);
-        obs::counter!("ab.query.short_circuit_hits").add(short_circuits);
-        Ok((rows, stats))
+        (rows, stats, short_circuits)
     }
 
     /// Figure 7 with an explicit row list: the paper's query definition

@@ -208,37 +208,44 @@ impl HashFamily {
     /// Panics if `n == 0` (and, for the column-group family, if the
     /// column is out of range).
     pub fn prober(&self, row: u64, col: u64, mapper: CellMapper, n: u64) -> Prober<'_> {
+        let col_prober = self.col_prober(col, mapper, n);
+        let row_probe = col_prober.begin(row);
+        Prober {
+            col: col_prober,
+            row: row_probe,
+        }
+    }
+
+    /// Hoists the row-independent half of the probe pipeline for one
+    /// (column, AB) pair: family dispatch, the power-of-two reduction
+    /// mask, the SHA-1 chunk width, and the column-group geometry are
+    /// all resolved once here. The batched query kernel builds one
+    /// `ColProber` per (attribute, bin) of a rect query and then derives
+    /// per-row positions with only the cheap mixer via
+    /// [`ColProber::begin`] / [`ColProber::next_position`].
+    ///
+    /// The position sequence is bit-identical to [`HashFamily::prober`]
+    /// (which is now a thin wrapper over this type), so scalar and
+    /// batched probes — and inserts vs retrievals — can never diverge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (and, for the column-group family, if the
+    /// column is out of range).
+    pub fn col_prober(&self, col: u64, mapper: CellMapper, n: u64) -> ColProber<'_> {
         assert!(n > 0, "AB size must be positive");
-        let state = match self {
+        let kind = match self {
             HashFamily::Independent(kinds) => {
                 assert!(!kinds.is_empty(), "empty hash roster");
-                let x = mapper.map(row, col);
-                // One key encoding covers every unseeded probe.
-                let (bytes, len) = decimal_key_bytes(x);
-                ProbeState::Independent {
-                    kinds,
-                    x,
-                    bytes,
-                    len,
-                }
+                ColKind::Independent { kinds }
             }
             HashFamily::Sha1Split => {
-                let x = mapper.map(row, col);
                 // Chunk width: enough bits to cover n, as in Table 1
                 // where a 2^16-bit AB uses 16-bit chunks.
                 let m = (64 - (n - 1).leading_zeros().min(63)).max(1);
-                ProbeState::Sha1 {
-                    stream: DigestStream::new(x),
-                    m,
-                }
+                ColKind::Sha1 { m }
             }
-            HashFamily::DoubleHashing => {
-                let x = mapper.map(row, col);
-                ProbeState::Double {
-                    h1: splitmix64(x),
-                    h2: splitmix64(x ^ 0x5851_F42D_4C95_7F2D) | 1, // odd stride
-                }
-            }
+            HashFamily::DoubleHashing => ColKind::Double,
             HashFamily::ColumnGroup { num_columns } => {
                 assert!(*num_columns > 0, "column count must be positive");
                 assert!(
@@ -246,74 +253,119 @@ impl HashFamily {
                     "column {col} out of range {num_columns}"
                 );
                 let group_size = (n / num_columns).max(1);
-                ProbeState::ColumnGroup {
-                    row,
+                ColKind::ColumnGroup {
                     group_size,
                     group_start: (col * group_size).min(n - 1),
-                    h2: splitmix64(row) | 1,
                 }
             }
         };
         let pow2_mask = if n.is_power_of_two() { n - 1 } else { 0 };
-        Prober {
-            state,
+        ColProber {
+            kind,
+            mapper,
+            col,
             n,
             pow2_mask,
-            t: 0,
         }
     }
 }
 
-/// Per-probe state for one family (see [`HashFamily::prober`]).
-enum ProbeState<'f> {
-    Independent {
-        kinds: &'f [HashKind],
-        x: u64,
-        bytes: [u8; 20],
-        len: usize,
-    },
-    Sha1 {
-        stream: DigestStream,
-        m: u32,
-    },
-    Double {
-        h1: u64,
-        h2: u64,
-    },
-    ColumnGroup {
-        row: u64,
-        group_size: u64,
-        group_start: u64,
-        h2: u64,
-    },
-}
-
-/// Lazily yields the probe positions of one cell in increasing probe
-/// order. Created by [`HashFamily::prober`].
-pub struct Prober<'f> {
-    state: ProbeState<'f>,
+/// Row-independent probe state for one (column, AB) pair. See
+/// [`HashFamily::col_prober`].
+pub struct ColProber<'f> {
+    kind: ColKind<'f>,
+    mapper: CellMapper,
+    col: u64,
     n: u64,
     /// `n − 1` when `n` is a power of two (the paper always rounds AB
     /// sizes up to powers of two, §4.2, so reduction is a mask, not a
     /// division), else 0 meaning "use modulo".
     pow2_mask: u64,
+}
+
+/// The hoisted, per-column half of [`ProbeState`]'s old contents.
+enum ColKind<'f> {
+    Independent { kinds: &'f [HashKind] },
+    Sha1 { m: u32 },
+    Double,
+    ColumnGroup { group_size: u64, group_start: u64 },
+}
+
+/// Per-row probe state, valid only with the [`ColProber`] that created
+/// it. Deliberately small and family-uniform so a query batch can keep
+/// one in flight per row lane.
+pub struct RowProbe {
+    state: RowState,
     t: u64,
 }
 
-impl Prober<'_> {
-    /// The next probe position, in `[0, n)`. The sequence is unbounded;
-    /// callers take the first `k`.
+enum RowState {
+    Independent { x: u64, bytes: [u8; 20], len: usize },
+    Sha1 { stream: DigestStream },
+    Double { h1: u64, h2: u64 },
+    ColumnGroup { row: u64, h2: u64 },
+}
+
+impl RowProbe {
+    /// How many positions have been taken from this probe so far.
     #[inline]
-    pub fn next_position(&mut self) -> u64 {
-        let t = self.t;
-        self.t += 1;
-        match &mut self.state {
-            ProbeState::Independent {
-                kinds,
-                x,
-                bytes,
-                len,
-            } => {
+    pub fn probes(&self) -> u64 {
+        self.t
+    }
+}
+
+impl ColProber<'_> {
+    /// The AB size this prober reduces into.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Starts the probe sequence for one row: only the cheap per-row
+    /// work (cell mapping, key encoding or mixer seeding) happens here.
+    #[inline]
+    pub fn begin(&self, row: u64) -> RowProbe {
+        let state = match &self.kind {
+            ColKind::Independent { .. } => {
+                let x = self.mapper.map(row, self.col);
+                // One key encoding covers every unseeded probe.
+                let (bytes, len) = decimal_key_bytes(x);
+                RowState::Independent { x, bytes, len }
+            }
+            ColKind::Sha1 { .. } => {
+                let x = self.mapper.map(row, self.col);
+                RowState::Sha1 {
+                    stream: DigestStream::new(x),
+                }
+            }
+            ColKind::Double => {
+                let x = self.mapper.map(row, self.col);
+                RowState::Double {
+                    h1: splitmix64(x),
+                    h2: splitmix64(x ^ 0x5851_F42D_4C95_7F2D) | 1, // odd stride
+                }
+            }
+            ColKind::ColumnGroup { .. } => RowState::ColumnGroup {
+                row,
+                h2: splitmix64(row) | 1,
+            },
+        };
+        RowProbe { state, t: 0 }
+    }
+
+    /// The next probe position for `probe`, in `[0, n)`. The sequence
+    /// is unbounded; callers take the first `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `probe` came from a `ColProber` of a
+    /// different family.
+    #[inline]
+    pub fn next_position(&self, probe: &mut RowProbe) -> u64 {
+        let t = probe.t;
+        probe.t += 1;
+        match (&self.kind, &mut probe.state) {
+            (ColKind::Independent { kinds }, RowState::Independent { x, bytes, len }) => {
                 let h = if (t as usize) < kinds.len() {
                     kinds[t as usize].hash_bytes(&bytes[..*len], *x)
                 } else {
@@ -323,28 +375,28 @@ impl Prober<'_> {
                 };
                 self.reduce_hash(h)
             }
-            ProbeState::Sha1 { stream, m } => {
+            (ColKind::Sha1 { m }, RowState::Sha1 { stream }) => {
                 let h = stream.take(*m);
                 self.reduce_hash(h)
             }
-            ProbeState::Double { h1, h2 } => {
+            (ColKind::Double, RowState::Double { h1, h2 }) => {
                 let h = h1.wrapping_add(t.wrapping_mul(*h2));
                 self.reduce_hash(h)
             }
-            ProbeState::ColumnGroup {
-                row,
-                group_size,
-                group_start,
-                h2,
-            } => {
+            (
+                ColKind::ColumnGroup {
+                    group_size,
+                    group_start,
+                },
+                RowState::ColumnGroup { row, h2 },
+            ) => {
                 let off = row.wrapping_add(t.wrapping_mul(*h2)) % *group_size;
                 (*group_start + off).min(self.n - 1)
             }
+            _ => unreachable!("RowProbe used with a ColProber of a different family"),
         }
     }
-}
 
-impl Prober<'_> {
     /// Reduces a full-width hash into `[0, n)`.
     #[inline]
     fn reduce_hash(&self, h: u64) -> u64 {
@@ -353,6 +405,45 @@ impl Prober<'_> {
         } else {
             h % self.n
         }
+    }
+
+    /// Flushes `calls` probe computations into this family's
+    /// `hashkit.hash_calls.*` counter. Batched callers accumulate a
+    /// plain integer across many rows and flush once per query so the
+    /// probe loop stays atomics-free (`Prober` does the same on drop).
+    pub fn record_hash_calls(&self, calls: u64) {
+        #[cfg(feature = "obs-off")]
+        let _ = calls;
+        #[cfg(not(feature = "obs-off"))]
+        {
+            if calls == 0 {
+                return;
+            }
+            let c = match self.kind {
+                ColKind::Independent { .. } => obs::counter!("hashkit.hash_calls.independent"),
+                ColKind::Sha1 { .. } => obs::counter!("hashkit.hash_calls.sha1_split"),
+                ColKind::Double => obs::counter!("hashkit.hash_calls.double_hashing"),
+                ColKind::ColumnGroup { .. } => obs::counter!("hashkit.hash_calls.column_group"),
+            };
+            c.add(calls);
+        }
+    }
+}
+
+/// Lazily yields the probe positions of one cell in increasing probe
+/// order. Created by [`HashFamily::prober`]; a thin wrapper binding a
+/// [`ColProber`] to one [`RowProbe`].
+pub struct Prober<'f> {
+    col: ColProber<'f>,
+    row: RowProbe,
+}
+
+impl Prober<'_> {
+    /// The next probe position, in `[0, n)`. The sequence is unbounded;
+    /// callers take the first `k`.
+    #[inline]
+    pub fn next_position(&mut self) -> u64 {
+        self.col.next_position(&mut self.row)
     }
 }
 
@@ -370,16 +461,7 @@ impl Iterator for Prober<'_> {
 #[cfg(not(feature = "obs-off"))]
 impl Drop for Prober<'_> {
     fn drop(&mut self) {
-        if self.t == 0 {
-            return;
-        }
-        let c = match self.state {
-            ProbeState::Independent { .. } => obs::counter!("hashkit.hash_calls.independent"),
-            ProbeState::Sha1 { .. } => obs::counter!("hashkit.hash_calls.sha1_split"),
-            ProbeState::Double { .. } => obs::counter!("hashkit.hash_calls.double_hashing"),
-            ProbeState::ColumnGroup { .. } => obs::counter!("hashkit.hash_calls.column_group"),
-        };
-        c.add(self.t);
+        self.col.record_hash_calls(self.row.t);
     }
 }
 
@@ -498,6 +580,43 @@ mod tests {
     #[should_panic(expected = "at least one hash")]
     fn zero_k_rejected() {
         positions(&HashFamily::DoubleHashing, 0, 0, 0, 16);
+    }
+
+    /// The hoisted `ColProber` path (used by the batched query kernel)
+    /// must yield exactly the sequences the classic `Prober` path (used
+    /// by inserts) yields — a divergence would manifest as false
+    /// negatives, which the paper's encoding never allows.
+    #[test]
+    fn col_prober_matches_prober_for_all_families() {
+        let families = [
+            HashFamily::default_independent(),
+            HashFamily::Independent(vec![HashKind::Fnv, HashKind::Djb]),
+            HashFamily::Sha1Split,
+            HashFamily::DoubleHashing,
+            HashFamily::ColumnGroup { num_columns: 16 },
+        ];
+        for mapper in [CellMapper::for_columns(16), CellMapper::RowOnly] {
+            for f in &families {
+                if matches!(f, HashFamily::ColumnGroup { .. }) && mapper == CellMapper::RowOnly {
+                    continue; // column-group needs real column ids
+                }
+                for n in [1 << 14, (1 << 14) - 123] {
+                    for col in [0u64, 7] {
+                        let cp = f.col_prober(col, mapper, n);
+                        for row in [0u64, 1, 999, 123_456] {
+                            let mut rp = cp.begin(row);
+                            // k = 13 exercises the roster-reuse branch.
+                            let via_col: Vec<u64> =
+                                (0..13).map(|_| cp.next_position(&mut rp)).collect();
+                            let via_prober: Vec<u64> =
+                                f.prober(row, col, mapper, n).take(13).collect();
+                            assert_eq!(via_col, via_prober, "{f:?} n={n} col={col} row={row}");
+                            assert_eq!(rp.probes(), 13);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[cfg(not(feature = "obs-off"))]

@@ -35,7 +35,7 @@ pub mod partow;
 pub mod sha1;
 pub mod simple;
 
-pub use family::{CellMapper, HashFamily, HashKind, Prober};
+pub use family::{CellMapper, ColProber, HashFamily, HashKind, Prober, RowProbe};
 pub use partow::{decimal_key_bytes, int_key_bytes, splitmix64};
 pub use sha1::{sha1, split_digest, DigestStream};
 pub use simple::{circular_hash, column_group_hash, multiply_shift};

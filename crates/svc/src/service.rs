@@ -37,7 +37,7 @@ use crate::degrade::{degraded_marker, Response, ShardHealth};
 use crate::error::SvcError;
 use crate::pool::WorkerPool;
 use crate::shard::{Shard, ShardedIndex};
-use ab::{AbConfig, Cell, QueryError};
+use ab::{AbConfig, Cell, KernelKind, QueryError};
 use bitmap::{BinnedTable, RectQuery};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -64,6 +64,9 @@ pub struct SvcConfig {
     pub default_deadline: Option<Duration>,
     /// Also build a WAH index per shard for exact answers.
     pub with_wah: bool,
+    /// Probe engine shard jobs run on (results are identical either
+    /// way; see [`ab::KernelKind`]).
+    pub kernel: KernelKind,
 }
 
 impl Default for SvcConfig {
@@ -74,6 +77,7 @@ impl Default for SvcConfig {
             queue_capacity: 256,
             default_deadline: None,
             with_wah: false,
+            kernel: KernelKind::default(),
         }
     }
 }
@@ -135,6 +139,7 @@ pub struct Service {
     default_deadline: Option<Duration>,
     health: Arc<ShardHealth>,
     chaos: Option<Arc<chaos::FaultPlan>>,
+    kernel: KernelKind,
 }
 
 impl Service {
@@ -151,6 +156,7 @@ impl Service {
             default_deadline: cfg.default_deadline,
             health,
             chaos: None,
+            kernel: cfg.kernel,
         }
     }
 
@@ -164,6 +170,7 @@ impl Service {
             default_deadline: cfg.default_deadline,
             health,
             chaos: None,
+            kernel: cfg.kernel,
         }
     }
 
@@ -185,6 +192,11 @@ impl Service {
     /// shard to service.
     pub fn health(&self) -> &ShardHealth {
         &self.health
+    }
+
+    /// The probe engine this service's shard jobs run on.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// Worker threads serving requests.
@@ -279,11 +291,12 @@ impl Service {
             let index = Arc::clone(&self.index);
             let job_ctx = ctx.clone();
             let plan = self.chaos.clone();
+            let kernel = self.kernel;
             let tx = tx.clone();
             if let Err(e) = self.pool.try_execute(move || {
                 let outcome = shard_outcome(|| {
                     chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
-                    run_shard_chunked(&index.shards()[sid], &local, &job_ctx)
+                    run_shard_chunked(&index.shards()[sid], &local, &job_ctx, kernel)
                 });
                 let _ = tx.send((slot, sid, outcome));
             }) {
@@ -433,17 +446,20 @@ impl Service {
             let index = Arc::clone(&self.index);
             let job_ctx = ctx.clone();
             let plan = self.chaos.clone();
+            let kernel = self.kernel;
             let tx = tx.clone();
             if let Err(e) = self.pool.try_execute(move || {
                 let outcome = shard_outcome(|| {
                     chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
                     let shard = &index.shards()[sid];
                     let mut out = Vec::with_capacity(group.cells.len());
+                    let mut probe = Vec::with_capacity(CHUNK_ROWS);
                     for chunk in group.cells.chunks(CHUNK_ROWS) {
                         job_ctx.check()?;
-                        out.extend(chunk.iter().map(|&(pos, c)| {
-                            (pos, shard.index().test_cell(c.row, c.attribute, c.bin))
-                        }));
+                        probe.clear();
+                        probe.extend(chunk.iter().map(|&(_, c)| c));
+                        let hits = shard.index().retrieve_cells_with_kernel(&probe, kernel);
+                        out.extend(chunk.iter().zip(hits).map(|(&(pos, _), hit)| (pos, hit)));
                     }
                     Ok(out)
                 });
@@ -540,6 +556,7 @@ impl Service {
             let index = Arc::clone(&self.index);
             let job_ctx = ctx.clone();
             let plan = self.chaos.clone();
+            let kernel = self.kernel;
             let tx = tx.clone();
             if let Err(e) = self.pool.try_execute(move || {
                 let outcome = shard_outcome(|| {
@@ -547,7 +564,7 @@ impl Service {
                     let shard = &index.shards()[sid];
                     let mut out = Vec::with_capacity(group.queries.len());
                     for (qidx, local) in &group.queries {
-                        out.push((*qidx, run_shard_chunked(shard, local, &job_ctx)?));
+                        out.push((*qidx, run_shard_chunked(shard, local, &job_ctx, kernel)?));
                     }
                     Ok(out)
                 });
@@ -615,11 +632,13 @@ impl Service {
 }
 
 /// Runs one shard's part of a rectangular query in [`CHUNK_ROWS`]
-/// chunks, translating matches back to global row ids.
+/// chunks on the configured probe kernel, translating matches back to
+/// global row ids.
 fn run_shard_chunked(
     shard: &Shard,
     local: &RectQuery,
     ctx: &RequestCtx,
+    kernel: KernelKind,
 ) -> Result<Vec<usize>, SvcError> {
     let mut out = Vec::new();
     let mut lo = local.row_lo;
@@ -630,7 +649,7 @@ fn run_shard_chunked(
         out.extend(
             shard
                 .index()
-                .try_execute_rect(&chunk)?
+                .try_execute_rect_with_kernel(&chunk, kernel)?
                 .into_iter()
                 .map(|r| r + shard.start()),
         );

@@ -10,8 +10,10 @@
 //!           [--rows LO..HI] [--limit N]
 //! abq serve --csv data.csv [--threads N] [--shards N] [--bins N]
 //!           [--alpha N] [--deadline-ms N] [--wah] [--retries N]
+//!           [--kernel scalar|batched]
 //! abq bench-svc --csv data.csv [--threads N] [--shards N]
 //!           [--queries N] [--bins N] [--alpha N] [--retries N]
+//!           [--kernel scalar|batched]
 //! ```
 //!
 //! `build` reads a numeric CSV with a header row, discretizes every
@@ -69,9 +71,9 @@ fn print_usage() {
          abq verify --index FILE\n  \
          abq query --index FILE [--where ATTR=LO..HI]... [--rows LO..HI] [--limit N]\n  \
          abq serve --csv FILE [--threads N] [--shards N] [--bins N] [--alpha N] \
-         [--deadline-ms N] [--wah] [--retries N]\n  \
+         [--deadline-ms N] [--wah] [--retries N] [--kernel scalar|batched]\n  \
          abq bench-svc --csv FILE [--threads N] [--shards N] [--queries N] \
-         [--bins N] [--alpha N] [--retries N]"
+         [--bins N] [--alpha N] [--retries N] [--kernel scalar|batched]"
     );
 }
 
@@ -351,6 +353,15 @@ fn parse_threads(args: &[String]) -> Result<usize, String> {
     }
 }
 
+/// The `--kernel` flag: which probe engine shard jobs run on
+/// (default batched; results are identical, only throughput differs).
+fn parse_kernel(args: &[String]) -> Result<ab::KernelKind, String> {
+    match flag_value(args, "--kernel") {
+        Some(k) => k.parse().map_err(|e| format!("--kernel: {e}")),
+        None => Ok(ab::KernelKind::default()),
+    }
+}
+
 /// Retry policy for the `serve`/`bench-svc` query paths: up to
 /// `--retries` attempts (default 4; 1 disables retrying) with
 /// decorrelated-jitter backoff against transient overload.
@@ -393,6 +404,8 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         None => None,
     };
 
+    let kernel = parse_kernel(args)?;
+
     let table = read_csv(csv)?;
     let binned = BinnedTable::from_table(&table, &EquiDepth::new(bins));
     let cfg = SvcConfig {
@@ -400,16 +413,18 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         shards,
         default_deadline,
         with_wah,
+        kernel,
         ..SvcConfig::default()
     };
     let svc = Service::build(&binned, &AbConfig::new(level).with_alpha(alpha), &cfg);
     println!(
-        "ready: {} rows x {} attributes, {} shards on {} threads ({} AB bytes)",
+        "ready: {} rows x {} attributes, {} shards on {} threads ({} AB bytes, {} kernel)",
         svc.index().num_rows(),
         svc.index().attributes().len(),
         svc.index().num_shards(),
         svc.threads(),
         svc.index().size_bytes(),
+        svc.kernel(),
     );
     Ok(svc)
 }
@@ -652,6 +667,21 @@ mod tests {
     }
 
     #[test]
+    fn kernel_flag_parses_and_defaults() {
+        assert_eq!(
+            parse_kernel(&strings(&["--kernel", "scalar"])),
+            Ok(ab::KernelKind::Scalar)
+        );
+        assert_eq!(
+            parse_kernel(&strings(&["--kernel", "batched"])),
+            Ok(ab::KernelKind::Batched)
+        );
+        assert_eq!(parse_kernel(&strings(&[])), Ok(ab::KernelKind::Batched));
+        let err = parse_kernel(&strings(&["--kernel", "turbo"])).unwrap_err();
+        assert!(err.contains("scalar|batched"), "{err}");
+    }
+
+    #[test]
     fn bench_svc_runs_end_to_end() {
         let dir = std::env::temp_dir().join("abq_test_bench_svc");
         std::fs::create_dir_all(&dir).unwrap();
@@ -661,17 +691,22 @@ mod tests {
             body.push_str(&format!("{}.0,{}.0\n", i % 41, (i * 3) % 11));
         }
         std::fs::write(&csv, body).unwrap();
-        cmd_bench_svc(&strings(&[
-            "--csv",
-            csv.to_str().unwrap(),
-            "--threads",
-            "2",
-            "--shards",
-            "3",
-            "--queries",
-            "20",
-        ]))
-        .unwrap();
+        // Both kernels drive the full service path from the CLI.
+        for kernel in ["scalar", "batched"] {
+            cmd_bench_svc(&strings(&[
+                "--csv",
+                csv.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--shards",
+                "3",
+                "--queries",
+                "20",
+                "--kernel",
+                kernel,
+            ]))
+            .unwrap();
+        }
     }
 
     #[test]
