@@ -8,8 +8,10 @@
 //! * `blocked_word_parallel` — `BlockedAb` cell probes, where all k
 //!   in-block bits collapse into two u64 mask tests.
 //!
-//! The headline out-of-LLC numbers come from `repro_kernel`
-//! (BENCH_kernel.json); this bench tracks relative regressions at
+//! The headline out-of-LLC numbers come from `repro_kernel` /
+//! `repro_simd` (BENCH_kernel.json / BENCH_simd.json; the `simd` rows
+//! here need `--features simd` to differ from `batched`); this bench
+//! tracks relative regressions at
 //! CI-friendly sizes. Run `cargo bench -p bench --bench kernel`
 //! (optionally with `--features prefetch`).
 
@@ -37,6 +39,7 @@ fn bench_rect_kernels(c: &mut Criterion) {
         for (name, kernel) in [
             ("scalar", KernelKind::Scalar),
             ("batched", KernelKind::Batched),
+            ("simd", KernelKind::Simd),
         ] {
             group.bench_function(name, |b| {
                 b.iter(|| {
@@ -67,6 +70,7 @@ fn bench_cell_kernels(c: &mut Criterion) {
     for (name, kernel) in [
         ("scalar", KernelKind::Scalar),
         ("batched", KernelKind::Batched),
+        ("simd", KernelKind::Simd),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| std::hint::black_box(ab.retrieve_cells_with_kernel(&cells, kernel)))

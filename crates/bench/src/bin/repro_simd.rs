@@ -1,0 +1,260 @@
+//! SIMD-wave probe-kernel throughput: scalar vs batched vs simd.
+//!
+//! Reproduces the DESIGN.md §14 claim that vector gather waves beat
+//! the scalar-read batched kernel once the AB is DRAM-resident: the
+//! batched kernel already overlaps the batch's probe latencies, but
+//! still issues one scalar load per lane per wave; the simd kernel
+//! fetches up to [`ab::SIMD_WAVE`] lanes' AB words per gather
+//! instruction and tests their bits with vector shifts, raising the
+//! number of independent misses the core keeps in flight per cycle of
+//! issue work. Batch depth is the adaptive policy's choice
+//! (DRAM-resident → 256-lane pipelines).
+//!
+//! Two AB sizes bracket the memory hierarchy:
+//!
+//! * `in_llc`  — a ~2 MiB AB; probes hit L2/L3, gathers mostly save
+//!   issue bandwidth;
+//! * `out_llc` — a 1 GiB AB, ≥ 2× the benchmark machine's 260 MiB L3
+//!   (the acceptance bar for the speedup claim); random probes miss
+//!   the whole hierarchy.
+//!
+//! Each size runs k ∈ {4, 8, 16} × {scalar, batched64, batched,
+//! simd}. Results land in `BENCH_simd.json` (`kernel.rows_per_sec.*`,
+//! `kernel.speedup.*` vs scalar,
+//! `kernel.simd_speedup_vs_batched64.*` vs the PR 4 kernel) next to
+//! the raw obs counters (`kernel.simd_waves`, `kernel.scalar_waves`,
+//! `kernel.batch_rows` histogram). Compare against
+//! `BENCH_kernel.json` with `abq bench-report`.
+//!
+//! Usage: `repro_simd [--quick]` — `--quick` shrinks both configs to
+//! smoke-test sizes (no JSON claims should be read off a quick run).
+
+use ab::{AbConfig, AbIndex, BatchRows, KernelKind, KernelOpts, Level};
+use bench::{fmt_bytes, print_table, write_bench_snapshot};
+use bitmap::{AttrRange, BinnedColumn, BinnedTable, RectQuery};
+use hashkit::{splitmix64, HashFamily};
+use std::hint::black_box;
+use std::time::Instant;
+
+const CARD: u32 = 16;
+const KS: [usize; 3] = [4, 8, 16];
+
+/// The measured engines. `batched64` is exactly the PR 4 kernel
+/// (scalar waves, fixed 64-row batches) — the baseline the simd
+/// speedup acceptance bar is defined against; `batched` is the same
+/// wave loop at the adaptive depth, isolating the adaptive-batch
+/// contribution from the gather contribution.
+fn kernels() -> [(&'static str, KernelOpts); 4] {
+    [
+        ("scalar", KernelOpts::new(KernelKind::Scalar)),
+        (
+            "batched64",
+            KernelOpts::new(KernelKind::Batched).with_batch_rows(BatchRows::Fixed(64)),
+        ),
+        ("batched", KernelOpts::new(KernelKind::Batched)),
+        ("simd", KernelOpts::new(KernelKind::Simd)),
+    ]
+}
+
+struct SizeConfig {
+    name: &'static str,
+    rows: usize,
+    alpha: u64,
+    /// Queries per measured pass — fewer on the 1 GiB config keeps
+    /// wall clock sane without changing the per-row rates.
+    queries: usize,
+}
+
+/// Deterministic two-attribute uniform table; bins from splitmix64 so
+/// generation stays O(rows) with no rand dependency.
+fn make_table(rows: usize, seed: u64) -> BinnedTable {
+    let mk = |attr_seed: u64| -> Vec<u32> {
+        (0..rows)
+            .map(|i| (splitmix64(attr_seed ^ (i as u64).wrapping_mul(0x9E37)) % CARD as u64) as u32)
+            .collect()
+    };
+    BinnedTable::new(vec![
+        BinnedColumn::new("A", mk(seed), CARD),
+        BinnedColumn::new("B", mk(seed ^ 0xABCD), CARD),
+    ])
+}
+
+/// Width-2 conjunctive range queries over the full row span: per row,
+/// up to 2 probes on attribute A (AND short-circuit on miss), then up
+/// to 2 on B — the paper's workhorse rect shape, probe-bound.
+fn make_queries(rows: usize, n: usize) -> Vec<RectQuery> {
+    (0..n as u32)
+        .map(|i| {
+            let lo = (i * 3) % (CARD - 1);
+            RectQuery::new(
+                vec![
+                    AttrRange::new(0, lo, lo + 1),
+                    AttrRange::new(1, (lo + 5) % (CARD - 1), (lo + 5) % (CARD - 1) + 1),
+                ],
+                0,
+                rows - 1,
+            )
+        })
+        .collect()
+}
+
+/// Rows scanned per second across the query batch (one warm-up pass).
+fn rows_per_sec(idx: &AbIndex, queries: &[RectQuery], opts: KernelOpts) -> f64 {
+    for q in queries {
+        black_box(idx.try_execute_rect_with_opts(q, opts).unwrap());
+    }
+    let scanned: usize = queries.iter().map(|q| q.row_hi - q.row_lo + 1).sum();
+    let start = Instant::now();
+    for q in queries {
+        black_box(idx.try_execute_rect_with_opts(q, opts).unwrap());
+    }
+    scanned as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // out_llc: s = rows·2 cells, s·α = 68M·2·32 = 4.35e9 bits — just
+    // over 2^32, so the pow2 rounding lands on 2^33 bits = 1 GiB,
+    // ~4× the benchmark machine's 260 MiB L3 (the acceptance bar is
+    // ≥ 2× L3).
+    let sizes = if quick {
+        [
+            SizeConfig {
+                name: "in_llc",
+                rows: 20_000,
+                alpha: 16,
+                queries: 4,
+            },
+            SizeConfig {
+                name: "out_llc",
+                rows: 60_000,
+                alpha: 32,
+                queries: 2,
+            },
+        ]
+    } else {
+        [
+            SizeConfig {
+                name: "in_llc",
+                rows: 500_000,
+                alpha: 16,
+                queries: 4,
+            },
+            SizeConfig {
+                name: "out_llc",
+                rows: 68_000_000,
+                alpha: 32,
+                queries: 2,
+            },
+        ]
+    };
+
+    let mut snap_extras: Vec<(String, f64)> = Vec::new();
+    let mut rows_out: Vec<Vec<String>> = Vec::new();
+
+    for size in &sizes {
+        let table = make_table(size.rows, 0xAB);
+        let queries = make_queries(size.rows, size.queries);
+        for k in KS {
+            let build_start = Instant::now();
+            let idx = AbIndex::build(
+                &table,
+                &AbConfig::new(Level::PerDataset)
+                    .with_alpha(size.alpha)
+                    .with_k(k)
+                    .with_family(HashFamily::DoubleHashing),
+            );
+            let build_s = build_start.elapsed().as_secs_f64();
+            let ab_bytes = idx.size_bytes();
+
+            let mut rates = [0.0f64; 4];
+            for (i, (_, opts)) in kernels().iter().enumerate() {
+                rates[i] = rows_per_sec(&idx, &queries, *opts);
+            }
+            let [scalar, batched64, batched, simd] = rates;
+
+            rows_out.push(vec![
+                size.name.to_string(),
+                k.to_string(),
+                fmt_bytes(ab_bytes as u64),
+                format!("{:.1}", scalar / 1e6),
+                format!("{:.1}", batched64 / 1e6),
+                format!("{:.1}", batched / 1e6),
+                format!("{:.1}", simd / 1e6),
+                format!("{:.2}x", simd / scalar),
+                format!("{:.2}x", simd / batched64),
+                format!("{build_s:.0}s"),
+            ]);
+            for (i, (name, _)) in kernels().iter().enumerate() {
+                snap_extras.push((
+                    format!("kernel.rows_per_sec.{name}.k{k}.{}", size.name),
+                    rates[i],
+                ));
+            }
+            snap_extras.push((
+                format!("kernel.speedup.k{k}.{}", size.name),
+                simd / scalar,
+            ));
+            snap_extras.push((
+                format!("kernel.simd_speedup_vs_batched64.k{k}.{}", size.name),
+                simd / batched64,
+            ));
+            snap_extras.push((format!("kernel.ab_bytes.{}", size.name), ab_bytes as f64));
+            snap_extras.push((
+                format!("kernel.batch_rows.{}", size.name),
+                idx.adaptive_batch_rows() as f64,
+            ));
+        }
+    }
+
+    print_table(
+        "Probe kernel: scalar vs batched vs simd (rows/sec, adaptive batch)",
+        &[
+            "config",
+            "k",
+            "AB bytes",
+            "scalar Mr/s",
+            "b64 Mr/s",
+            "batched Mr/s",
+            "simd Mr/s",
+            "vs scalar",
+            "vs b64",
+            "build",
+        ],
+        &rows_out,
+    );
+    let engine = ab::active_simd_engine();
+    println!(
+        "\nsimd engine: {} (compiled: {}), prefetch: {}, cache model: L2 {} / LLC {}",
+        engine.map_or("none (scalar waves)".to_string(), |e| e.to_string()),
+        ab::SIMD_COMPILED,
+        if ab::PREFETCH_ACTIVE {
+            "active"
+        } else {
+            "inactive"
+        },
+        fmt_bytes(ab::CacheModel::get().l2_bytes),
+        fmt_bytes(ab::CacheModel::get().llc_bytes),
+    );
+
+    let mut snap = obs::global().snapshot();
+    for (key, v) in snap_extras {
+        snap = snap.with_extra(&key, v);
+    }
+    snap = snap
+        .with_extra(
+            "kernel.prefetch_active",
+            if ab::PREFETCH_ACTIVE { 1.0 } else { 0.0 },
+        )
+        .with_extra(
+            "kernel.simd_compiled",
+            if ab::SIMD_COMPILED { 1.0 } else { 0.0 },
+        )
+        .with_extra("kernel.simd_engine_active", engine.is_some() as u8 as f64);
+    if quick {
+        println!("(quick mode: skipping BENCH_simd.json)");
+    } else {
+        let path = write_bench_snapshot("simd", &snap).expect("write snapshot");
+        println!("wrote {}", path.display());
+    }
+}

@@ -14,6 +14,9 @@ use std::time::Instant;
 use wah::WahIndex;
 
 pub mod cli;
+pub mod report;
+
+pub use report::{bench_report, BenchSnapshot};
 
 /// The α at which each data set's AB is "smaller than or comparable to
 /// WAH" (paper §6.1): uniform 16 (per column), HEP 8, Landsat 8.

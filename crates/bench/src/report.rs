@@ -1,0 +1,385 @@
+//! `abq bench-report`: folds the `BENCH_*.json` snapshots the repro
+//! binaries drop (`repro_kernel` → `BENCH_kernel.json`, `repro_simd` →
+//! `BENCH_simd.json`, …) into one summary so the perf trajectory is
+//! diffable across PRs.
+//!
+//! The snapshots are written by [`obs::Snapshot::to_json`]; the repo
+//! deliberately carries no JSON dependency (serde here is a
+//! derive-only facade), so this module brings its own ~100-line reader
+//! for exactly that grammar: objects, strings, numbers, and the nested
+//! histogram objects — anything else is a parse error, which is fine
+//! because we only ever read our own output.
+
+use std::collections::BTreeMap;
+
+/// The parts of a `BENCH_*.json` snapshot the report consumes:
+/// everything numeric, flattened to `section.path` keys
+/// (`counters.kernel.batches`, `extra.kernel.rows_per_sec.simd.k8.out_llc`,
+/// `histograms.ab.query.us.count`, …).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Flattened name → value map.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl BenchSnapshot {
+    /// Parses an [`obs::Snapshot::to_json`] document.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: json.as_bytes(),
+            at: 0,
+        };
+        let mut values = BTreeMap::new();
+        p.skip_ws();
+        p.object(&mut values, "")?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.at));
+        }
+        Ok(BenchSnapshot { values })
+    }
+
+    /// Reads and parses a snapshot file.
+    pub fn read(path: &std::path::Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.values.get(key).copied()
+    }
+
+    /// All `(suffix, value)` pairs whose key starts with `prefix`.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, f64)> {
+        self.values
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(move |(k, v)| (&k[prefix.len()..], *v))
+    }
+}
+
+/// Recursive-descent reader for the snapshot grammar. Numbers flatten
+/// into the output map under dotted paths; strings are only legal as
+/// keys (snapshot values are all numeric).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}",
+                b as char, self.at
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    /// Parses `{...}`, flattening numeric members under `prefix`.
+    fn object(&mut self, out: &mut BTreeMap<String, f64>, prefix: &str) -> Result<(), String> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            let path = if prefix.is_empty() {
+                key
+            } else {
+                format!("{prefix}.{key}")
+            };
+            self.expect(b':')?;
+            match self.peek() {
+                Some(b'{') => self.object(out, &path)?,
+                // Arrays (histogram `buckets`) carry per-bucket detail
+                // the report never uses; skip them structurally.
+                Some(b'[') => self.skip_array()?,
+                _ => {
+                    let v = self.number()?;
+                    out.insert(path, v);
+                }
+            }
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.at)),
+            }
+        }
+    }
+
+    /// Consumes a (possibly nested) array of numbers/arrays without
+    /// recording anything.
+    fn skip_array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(());
+        }
+        loop {
+            match self.peek() {
+                Some(b'[') => self.skip_array()?,
+                _ => {
+                    self.number()?;
+                }
+            }
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.at)),
+            }
+        }
+    }
+
+    /// Parses a quoted string. Snapshot keys are metric names (no
+    /// escapes beyond `\"` and `\\` ever occur); unknown escapes are
+    /// kept verbatim rather than rejected.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    if let Some(&next) = self.bytes.get(self.at + 1) {
+                        s.push(next as char);
+                        self.at += 2;
+                    } else {
+                        return Err("dangling escape at end of input".into());
+                    }
+                }
+                Some(&b) => {
+                    s.push(b as char);
+                    self.at += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    /// Parses a JSON number (also accepts the bare `NaN`/`inf` the
+    /// exporter never emits but `json_f64` guards against).
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.at;
+        while self.bytes.get(self.at).is_some_and(|b| {
+            b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+        }) {
+            self.at += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+/// One row of the folded throughput report.
+struct TputRow {
+    source: String,
+    kernel: String,
+    k: String,
+    size: String,
+    rows_per_sec: f64,
+}
+
+/// Folds `BENCH_kernel.json`-style snapshots into one report:
+/// a throughput table over every `kernel.rows_per_sec.<kernel>.<k>.<size>`
+/// entry (with per-config speedup vs that file's scalar baseline),
+/// plus the snapshots' kernel counters. Returns the rendered report;
+/// missing files are skipped with a note so the command stays usable
+/// mid-bringup when only some benches have run.
+pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("# Bench report\n");
+    let mut rows: Vec<TputRow> = Vec::new();
+    let mut loaded: Vec<(String, BenchSnapshot)> = Vec::new();
+    for path in paths {
+        let source = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string())
+            .trim_start_matches("BENCH_")
+            .to_string();
+        match BenchSnapshot::read(path) {
+            Ok(snap) => loaded.push((source, snap)),
+            Err(e) => {
+                let _ = writeln!(out, "- skipped: {e}");
+            }
+        }
+    }
+    for (source, snap) in &loaded {
+        for (suffix, v) in snap.with_prefix("extra.kernel.rows_per_sec.") {
+            // suffix = "<kernel>.<k>.<size>"
+            let parts: Vec<&str> = suffix.splitn(3, '.').collect();
+            if parts.len() == 3 {
+                rows.push(TputRow {
+                    source: source.clone(),
+                    kernel: parts[0].to_string(),
+                    k: parts[1].to_string(),
+                    size: parts[2].to_string(),
+                    rows_per_sec: v,
+                });
+            }
+        }
+    }
+    if rows.is_empty() {
+        out.push_str("no kernel.rows_per_sec entries found\n");
+        return out;
+    }
+    out.push_str(
+        "\n## Probe-kernel throughput (Mrows/s; speedup vs same file's scalar)\n\n\
+         source  kernel   k    size      Mrows/s  speedup\n\
+         ------  -------  ---  -------  --------  -------\n",
+    );
+    rows.sort_by(|a, b| {
+        (&a.source, &a.size, &a.k, &a.kernel).cmp(&(&b.source, &b.size, &b.k, &b.kernel))
+    });
+    for r in &rows {
+        let scalar = rows
+            .iter()
+            .find(|s| {
+                s.source == r.source && s.k == r.k && s.size == r.size && s.kernel == "scalar"
+            })
+            .map(|s| s.rows_per_sec);
+        let speedup = match scalar {
+            Some(s) if s > 0.0 => format!("{:.2}x", r.rows_per_sec / s),
+            _ => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<6}  {:<7}  {:<3}  {:<7}  {:>8.2}  {:>7}",
+            r.source,
+            r.kernel,
+            r.k,
+            r.size,
+            r.rows_per_sec / 1e6,
+            speedup
+        );
+    }
+    out.push_str("\n## Environment\n\n");
+    for (source, snap) in &loaded {
+        for key in [
+            "extra.kernel.ab_bytes.in_llc",
+            "extra.kernel.ab_bytes.out_llc",
+            "extra.kernel.prefetch_active",
+            "extra.kernel.simd_compiled",
+            "extra.kernel.batch_rows.out_llc",
+        ] {
+            if let Some(v) = snap.get(key) {
+                let _ = writeln!(out, "{source}: {} = {v}", &key["extra.".len()..]);
+            }
+        }
+        for key in ["counters.kernel.simd_waves", "counters.kernel.scalar_waves"] {
+            if let Some(v) = snap.get(key) {
+                let _ = writeln!(out, "{source}: {} = {v}", &key["counters.".len()..]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "counters": {
+    "kernel.batches": 12,
+    "kernel.simd_waves": 900
+  },
+  "histograms": {
+    "ab.query.us": { "count": 3, "sum": 42, "min": 1, "max": 40 }
+  },
+  "extra": {
+    "kernel.ab_bytes.out_llc": 536870912,
+    "kernel.rows_per_sec.scalar.k8.out_llc": 2.5e6,
+    "kernel.rows_per_sec.simd.k8.out_llc": 10e6
+  }
+}
+"#;
+
+    #[test]
+    fn parses_snapshot_shape() {
+        let s = BenchSnapshot::parse(SAMPLE).unwrap();
+        assert_eq!(s.get("counters.kernel.batches"), Some(12.0));
+        assert_eq!(s.get("histograms.ab.query.us.count"), Some(3.0));
+        assert_eq!(
+            s.get("extra.kernel.rows_per_sec.simd.k8.out_llc"),
+            Some(10e6)
+        );
+        assert_eq!(s.get("nope"), None);
+        let ks: Vec<_> = s
+            .with_prefix("extra.kernel.rows_per_sec.")
+            .map(|(k, _)| k.to_string())
+            .collect();
+        assert_eq!(ks, vec!["scalar.k8.out_llc", "simd.k8.out_llc"]);
+    }
+
+    #[test]
+    fn parses_real_exporter_output() {
+        let r = obs::Registry::new();
+        r.counter("report.test.counter").add(5);
+        r.histogram("report.test.hist").record(9);
+        let json = r.snapshot().with_extra("check.x", 1.5).to_json();
+        let s = BenchSnapshot::parse(&json).unwrap();
+        #[cfg(not(feature = "obs-off"))]
+        {
+            assert_eq!(s.get("counters.report.test.counter"), Some(5.0));
+            assert_eq!(s.get("histograms.report.test.hist.count"), Some(1.0));
+        }
+        assert_eq!(s.get("extra.check.x"), Some(1.5));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(BenchSnapshot::parse("").is_err());
+        assert!(BenchSnapshot::parse("{").is_err());
+        assert!(BenchSnapshot::parse(r#"{"a": }"#).is_err());
+        assert!(BenchSnapshot::parse(r#"{"a": 1} trailing"#).is_err());
+    }
+
+    #[test]
+    fn report_folds_files_and_computes_speedup() {
+        let dir = std::env::temp_dir().join("bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("BENCH_simd.json");
+        std::fs::write(&p, SAMPLE).unwrap();
+        let missing = dir.join("BENCH_absent.json");
+        let report = bench_report(&[p, missing]);
+        assert!(report.contains("4.00x"), "{report}");
+        assert!(report.contains("skipped"), "{report}");
+        assert!(report.contains("kernel.simd_waves = 900"), "{report}");
+    }
+}

@@ -1,12 +1,12 @@
-//! Batched, prefetch-pipelined probe kernel (DESIGN.md §13).
+//! Batched, prefetch-pipelined, SIMD-widened probe kernel
+//! (DESIGN.md §13–§14).
 //!
 //! The paper's retrieval algorithms (Figures 5 and 7) are O(c·k) in
 //! *probe count*, but the scalar implementation realizes each probe as
 //! a dependent random bit read: the next AB word address is only known
 //! after the previous bit arrives, so a large rect query is bound by
 //! `c · memory latency`, not by bandwidth. This module restructures the
-//! same computation three ways without changing a single observable
-//! result:
+//! same computation without changing a single observable result:
 //!
 //! 1. **Hash hoisting** — a rect query touches the same (attribute,
 //!    bin) columns for every row, so the row-independent half of the
@@ -14,21 +14,44 @@
 //!    width, column-group geometry) is computed once per query into a
 //!    [`CellPlan`] and per-row positions come from the cheap mixer via
 //!    [`hashkit::ColProber`].
-//! 2. **Stage-pipelined probing** — rows are processed in batches of
-//!    [`BATCH_ROWS`]; each live row ("lane") keeps exactly one probe in
-//!    flight, its AB word prefetched, and probes are resolved
-//!    breadth-first across the batch so up to [`BATCH_ROWS`] memory
-//!    latencies overlap instead of serializing.
-//! 3. **Short-circuit preservation** — a lane advances through bins and
+//! 2. **Stage-pipelined probing** — rows are processed in batches;
+//!    each live row ("lane") keeps exactly one probe in flight, its AB
+//!    word prefetched, and probes are resolved breadth-first across
+//!    the batch so many memory latencies overlap instead of
+//!    serializing.
+//! 3. **SIMD gather waves** ([`KernelKind::Simd`]) — the breadth-first
+//!    pass splits into *waves* of up to [`SIMD_WAVE`] lanes whose AB
+//!    words are fetched with one vector gather (AVX-512 / AVX2 on
+//!    x86-64, paired NEON loads on aarch64) and whose bits are tested
+//!    with vector shifts and masks. The engine is picked at runtime
+//!    ([`active_simd_engine`]); without the `simd` feature or on an
+//!    unsupported CPU the kernel degrades to the scalar wave loop.
+//! 4. **Adaptive batch sizing** — the fixed 64-row batch of the first
+//!    batched kernel becomes [`BatchRows::Adaptive`]: the batch depth
+//!    is chosen per query from the resolved AB footprint against the
+//!    machine's cache hierarchy ([`CacheModel`]) — shallow batches for
+//!    L2-resident ABs (latency is short; deep pipelines only add
+//!    bookkeeping), the classic 64 inside the LLC, and
+//!    [`MAX_BATCH_ROWS`]-deep pipelines for DRAM-resident ABs where
+//!    every independent miss in flight pays for itself.
+//! 5. **Short-circuit preservation** — a lane advances through bins and
 //!    ranges exactly as the scalar Figure 7 loop does (OR short-circuit
 //!    on the first present cell, AND short-circuit on the first empty
 //!    range, per-cell break on the first zero bit), so `cells_probed`
 //!    and `bits_read` are identical to the scalar path bit for bit.
 //!
 //! Prefetch instructions are gated behind the `prefetch` cargo feature
-//! (x86-64 `_mm_prefetch`, aarch64 `prfm`); on other targets or with
-//! the feature off the kernel still wins from the overlapped
-//! independent loads the breadth-first order exposes.
+//! (x86-64 `_mm_prefetch`, aarch64 `prfm`); SIMD gathers behind the
+//! `simd` feature. On other targets or with the features off the
+//! kernel still wins from the overlapped independent loads the
+//! breadth-first order exposes.
+//!
+//! Observability: `kernel.batches` (row/cell batches opened),
+//! `kernel.simd_waves` / `kernel.scalar_waves` (how each breadth-first
+//! wave was resolved), `kernel.prefetches` (prefetch instructions
+//! *actually executed* — zero on no-op fallback builds),
+//! `kernel.cell_plans_deduped` (Figure 5 plan-hoisting hits), and the
+//! `kernel.batch_rows` histogram (adaptive depth decisions).
 
 use crate::encoding::ApproximateBitmap;
 use crate::level::AbIndex;
@@ -36,11 +59,24 @@ use crate::query::{Cell, QueryStats};
 use bitmap::RectQuery;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell as StdCell;
+use std::sync::OnceLock;
 
-/// Rows (or cells) resolved concurrently per batch. 64 keeps the match
-/// mask in one machine word and comfortably exceeds the 10–16
-/// outstanding misses current cores sustain.
+/// The classic fixed batch depth of the first batched kernel — still
+/// the adaptive model's choice for LLC-resident ABs, and the depth
+/// [`BatchRows::Fixed`] callers use to reproduce PR 4 behavior.
 pub const BATCH_ROWS: usize = 64;
+
+/// Upper bound on the per-batch lane count (the adaptive model's pick
+/// for DRAM-resident ABs). The match mask is `MAX_BATCH_ROWS` bits.
+pub const MAX_BATCH_ROWS: usize = 256;
+
+/// Lanes resolved by one SIMD gather wave: one AVX-512 gather, two
+/// AVX2 gathers, or four NEON load-pairs.
+pub const SIMD_WAVE: usize = 8;
+
+/// Gathers narrower than this fall back to scalar loads — a masked
+/// gather of 1–3 lanes costs more than the loads it replaces.
+const SIMD_MIN_GATHER: usize = 4;
 
 /// True when this build compiles real prefetch instructions into the
 /// kernel (the `prefetch` feature on a supported target); false means
@@ -50,15 +86,27 @@ pub const PREFETCH_ACTIVE: bool = cfg!(all(
     any(target_arch = "x86_64", target_arch = "aarch64")
 ));
 
+/// True when this build compiles vector gather/load waves into the
+/// kernel (the `simd` feature on x86-64 or aarch64). Whether they
+/// *run* additionally depends on runtime CPU detection — see
+/// [`active_simd_engine`].
+pub const SIMD_COMPILED: bool = cfg!(all(
+    feature = "simd",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
 /// Which probe engine executes a query. Results are always identical;
 /// only the memory access schedule differs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum KernelKind {
     /// The reference row-at-a-time loop (Figures 5/7 verbatim).
     Scalar,
-    /// The batched, prefetch-pipelined kernel in this module.
+    /// The batched, prefetch-pipelined kernel with scalar bit reads.
     #[default]
     Batched,
+    /// The batched kernel with vector gather waves; degrades to the
+    /// batched wave loop when no SIMD engine is compiled in/detected.
+    Simd,
 }
 
 impl std::str::FromStr for KernelKind {
@@ -68,8 +116,9 @@ impl std::str::FromStr for KernelKind {
         match s {
             "scalar" => Ok(KernelKind::Scalar),
             "batched" => Ok(KernelKind::Batched),
+            "simd" => Ok(KernelKind::Simd),
             other => Err(format!(
-                "unknown kernel '{other}' (expected scalar|batched)"
+                "unknown kernel '{other}' (expected scalar|batched|simd)"
             )),
         }
     }
@@ -80,8 +129,258 @@ impl std::fmt::Display for KernelKind {
         f.write_str(match self {
             KernelKind::Scalar => "scalar",
             KernelKind::Batched => "batched",
+            KernelKind::Simd => "simd",
         })
     }
+}
+
+/// How deep the kernel's row/cell batches are.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchRows {
+    /// Pick per query from the resolved AB footprint vs the cache
+    /// hierarchy ([`CacheModel::batch_rows_for`]).
+    #[default]
+    Adaptive,
+    /// Force a fixed depth (clamped to `1..=MAX_BATCH_ROWS`). `Fixed(64)`
+    /// reproduces the PR 4 batched kernel exactly.
+    Fixed(usize),
+}
+
+impl std::str::FromStr for BatchRows {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s == "adaptive" {
+            return Ok(BatchRows::Adaptive);
+        }
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(BatchRows::Fixed(n.min(MAX_BATCH_ROWS))),
+            _ => Err(format!(
+                "bad batch rows '{s}' (expected adaptive or 1..={MAX_BATCH_ROWS})"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BatchRows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchRows::Adaptive => f.write_str("adaptive"),
+            BatchRows::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Full kernel configuration: which engine, how deep the batches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelOpts {
+    /// The probe engine.
+    pub kernel: KernelKind,
+    /// The batch-depth policy.
+    pub batch_rows: BatchRows,
+}
+
+impl KernelOpts {
+    /// `kernel` with the default (adaptive) batch policy.
+    pub fn new(kernel: KernelKind) -> Self {
+        KernelOpts {
+            kernel,
+            batch_rows: BatchRows::default(),
+        }
+    }
+
+    /// Overrides the batch-depth policy.
+    pub fn with_batch_rows(mut self, batch_rows: BatchRows) -> Self {
+        self.batch_rows = batch_rows;
+        self
+    }
+}
+
+impl From<KernelKind> for KernelOpts {
+    fn from(kernel: KernelKind) -> Self {
+        KernelOpts::new(kernel)
+    }
+}
+
+/// The two cache-hierarchy levels the adaptive batch model cares
+/// about. Detected once per process from sysfs on Linux
+/// ([`CacheModel::get`]); conservative defaults elsewhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheModel {
+    /// Per-core L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Last-level cache capacity in bytes.
+    pub llc_bytes: u64,
+}
+
+impl CacheModel {
+    /// Fallback when detection finds nothing: a small modern core
+    /// (1 MiB L2, 32 MiB LLC). Erring small only makes batches deeper,
+    /// which is the safe direction for throughput.
+    pub const DEFAULT: CacheModel = CacheModel {
+        l2_bytes: 1 << 20,
+        llc_bytes: 32 << 20,
+    };
+
+    /// Reads cpu0's cache sizes from Linux sysfs. Returns
+    /// [`Self::DEFAULT`] when the hierarchy can't be read (non-Linux,
+    /// restricted container).
+    pub fn detect() -> CacheModel {
+        Self::from_sysfs("/sys/devices/system/cpu/cpu0/cache").unwrap_or(Self::DEFAULT)
+    }
+
+    /// The process-wide model, detected on first use.
+    pub fn get() -> CacheModel {
+        static MODEL: OnceLock<CacheModel> = OnceLock::new();
+        *MODEL.get_or_init(CacheModel::detect)
+    }
+
+    fn from_sysfs(dir: &str) -> Option<CacheModel> {
+        let mut l2 = 0u64;
+        let mut llc = 0u64;
+        for entry in std::fs::read_dir(dir).ok()? {
+            // Skip anything that isn't a fully-populated indexN dir
+            // (the cache dir also holds e.g. `uevent`).
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            let read = |leaf: &str| std::fs::read_to_string(path.join(leaf)).ok();
+            let (Some(level), Some(kind), Some(size)) = (read("level"), read("type"), read("size"))
+            else {
+                continue;
+            };
+            let Ok(level) = level.trim().parse::<u32>() else {
+                continue;
+            };
+            if kind.trim() == "Instruction" {
+                continue;
+            }
+            let Some(size) = parse_cache_size(size.trim()) else {
+                continue;
+            };
+            if level == 2 {
+                l2 = l2.max(size);
+            }
+            if level >= 2 {
+                llc = llc.max(size);
+            }
+        }
+        if llc == 0 {
+            return None;
+        }
+        Some(CacheModel {
+            l2_bytes: if l2 > 0 { l2 } else { llc },
+            llc_bytes: llc,
+        })
+    }
+
+    /// The batch depth for a query whose probes land in
+    /// `resolved_ab_bytes` of AB storage: shallow (16) when the
+    /// working set sits in L2 (loads return in ~15 cycles; deep
+    /// pipelines only add lane bookkeeping), the classic
+    /// [`BATCH_ROWS`] inside the LLC, and [`MAX_BATCH_ROWS`] once
+    /// probes miss to DRAM and every additional independent miss in
+    /// flight directly buys latency overlap.
+    pub fn batch_rows_for(&self, resolved_ab_bytes: u64) -> usize {
+        if resolved_ab_bytes <= self.l2_bytes {
+            16
+        } else if resolved_ab_bytes <= self.llc_bytes {
+            BATCH_ROWS
+        } else {
+            MAX_BATCH_ROWS
+        }
+    }
+}
+
+/// Parses sysfs cache sizes like `48K`, `2048K`, `260M`, `1G`.
+fn parse_cache_size(s: &str) -> Option<u64> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' => (&s[..s.len() - 1], 1024),
+        b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.trim().parse::<u64>().ok().map(|v| v * mult)
+}
+
+impl AbIndex {
+    /// The batch depth [`BatchRows::Adaptive`] picks for full-index
+    /// queries against this index — the per-index half of the
+    /// calibration (the per-query half narrows the footprint to the
+    /// ABs a query actually resolves to). Recorded into the
+    /// `kernel.batch_rows` histogram by [`crate::planner::calibrate`]
+    /// so index load time captures the decision once.
+    pub fn adaptive_batch_rows(&self) -> usize {
+        CacheModel::get().batch_rows_for(self.size_bytes() as u64)
+    }
+}
+
+/// The vector engine resolving gather waves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdEngine {
+    /// x86-64 AVX2: two 4-lane `vpgatherqq` per wave.
+    Avx2,
+    /// x86-64 AVX-512F: one 8-lane masked gather per wave.
+    Avx512,
+    /// aarch64 NEON: four 2×u64 load-pairs per wave.
+    Neon,
+}
+
+impl std::fmt::Display for SimdEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimdEngine::Avx2 => "avx2",
+            SimdEngine::Avx512 => "avx512",
+            SimdEngine::Neon => "neon",
+        })
+    }
+}
+
+/// The gather engine [`KernelKind::Simd`] queries run on, resolved
+/// once per process: `None` when the `simd` feature is off, the
+/// target has no vector path, or the CPU lacks the instructions —
+/// the kernel then degrades to scalar waves (counted in
+/// `kernel.scalar_waves`).
+///
+/// The env var `AB_SIMD` (`avx512` | `avx2` | `neon` | `off`, read at
+/// first query) can narrow the choice below what the CPU supports —
+/// CI uses it to differentially test every compiled path — but never
+/// widen it past detection.
+pub fn active_simd_engine() -> Option<SimdEngine> {
+    static ENGINE: OnceLock<Option<SimdEngine>> = OnceLock::new();
+    *ENGINE.get_or_init(|| {
+        let forced = std::env::var("AB_SIMD").ok();
+        let best = detect_simd_engine();
+        match (forced.as_deref(), best) {
+            (Some("off"), _) => None,
+            (Some("avx2"), Some(SimdEngine::Avx512)) | (Some("avx2"), Some(SimdEngine::Avx2)) => {
+                Some(SimdEngine::Avx2)
+            }
+            (Some("avx512"), Some(SimdEngine::Avx512)) => Some(SimdEngine::Avx512),
+            (Some("neon"), Some(SimdEngine::Neon)) => Some(SimdEngine::Neon),
+            (Some(_), _) => None, // unknown or unsupported request: scalar waves
+            (None, best) => best,
+        }
+    })
+}
+
+#[allow(unreachable_code)]
+fn detect_simd_engine() -> Option<SimdEngine> {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return Some(SimdEngine::Avx512);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Some(SimdEngine::Avx2);
+        }
+        return None;
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        // NEON is baseline on aarch64.
+        return Some(SimdEngine::Neon);
+    }
+    None
 }
 
 /// Requests the cache line holding AB bit `pos` ahead of its read.
@@ -109,6 +408,140 @@ fn prefetch(words: &[u64], pos: u64) {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Vector gather waves
+// ---------------------------------------------------------------------------
+
+/// Tests the AB bits of one wave: lane `l` reads the u64 at absolute
+/// address `addrs[l]` and tests bit `shifts[l]`; the returned mask has
+/// bit `l` set iff that AB bit is set. Only the low `w` lanes are
+/// read (masked gathers never dereference dead lanes).
+#[cfg_attr(
+    not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))),
+    allow(unused_variables)
+)]
+fn wave_bits(engine: SimdEngine, addrs: &[u64; SIMD_WAVE], shifts: &[u64; SIMD_WAVE], w: usize) -> u8 {
+    debug_assert!((1..=SIMD_WAVE).contains(&w));
+    match engine {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: runtime dispatch guarantees the target features, and
+        // every live lane's address points at an in-bounds AB word.
+        SimdEngine::Avx2 => unsafe { gather_wave_avx2(addrs, shifts, w) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: as above.
+        SimdEngine::Avx512 => unsafe { gather_wave_avx512(addrs, shifts, w) },
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        // SAFETY: as above; NEON is baseline on aarch64.
+        SimdEngine::Neon => unsafe { gather_wave_neon(addrs, shifts, w) },
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("SIMD engine not compiled into this build"),
+    }
+}
+
+/// AVX2 wave: two masked 4-lane `vpgatherqq` against a null base with
+/// the lanes' absolute addresses as byte offsets (scale 1), then a
+/// variable right shift + mask to extract the probed bits.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `addrs[..w]` are valid,
+/// aligned-for-u64 readable addresses.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_wave_avx2(addrs: &[u64; SIMD_WAVE], shifts: &[u64; SIMD_WAVE], w: usize) -> u8 {
+    use core::arch::x86_64::*;
+    // Lane-enable masks for 0..=4 live lanes (gather reads where the
+    // element's sign bit is set).
+    const LANE_MASKS: [[i64; 4]; 5] = [
+        [0, 0, 0, 0],
+        [-1, 0, 0, 0],
+        [-1, -1, 0, 0],
+        [-1, -1, -1, 0],
+        [-1, -1, -1, -1],
+    ];
+    let ones = _mm256_set1_epi64x(1);
+    let mut out = 0u8;
+    let mut lane = 0usize;
+    while lane < w {
+        let cnt = (w - lane).min(4);
+        let idx = _mm256_loadu_si256(addrs.as_ptr().add(lane) as *const __m256i);
+        let mask = _mm256_loadu_si256(LANE_MASKS[cnt].as_ptr() as *const __m256i);
+        let words = _mm256_mask_i64gather_epi64::<1>(
+            _mm256_setzero_si256(),
+            core::ptr::null(),
+            idx,
+            mask,
+        );
+        let sh = _mm256_loadu_si256(shifts.as_ptr().add(lane) as *const __m256i);
+        let bits = _mm256_and_si256(_mm256_srlv_epi64(words, sh), ones);
+        let hit = _mm256_cmpeq_epi64(bits, ones);
+        let m = _mm256_movemask_pd(_mm256_castsi256_pd(hit)) as u32;
+        out |= ((m & ((1u32 << cnt) - 1)) as u8) << lane;
+        lane += cnt;
+    }
+    out
+}
+
+/// AVX-512F wave: one masked 8-lane gather (absolute addresses, scale
+/// 1), vector shift, and a compare-to-mask — the probed bits land
+/// directly in a `__mmask8`.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and `addrs[..w]` are
+/// valid, aligned-for-u64 readable addresses.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn gather_wave_avx512(addrs: &[u64; SIMD_WAVE], shifts: &[u64; SIMD_WAVE], w: usize) -> u8 {
+    use core::arch::x86_64::*;
+    let kmask = ((1u16 << w) - 1) as __mmask8;
+    let idx = _mm512_loadu_si512(addrs.as_ptr() as *const __m512i);
+    let words =
+        _mm512_mask_i64gather_epi64::<1>(_mm512_setzero_si512(), kmask, idx, core::ptr::null());
+    let sh = _mm512_loadu_si512(shifts.as_ptr() as *const __m512i);
+    let ones = _mm512_set1_epi64(1);
+    let bits = _mm512_and_epi64(_mm512_srlv_epi64(words, sh), ones);
+    _mm512_mask_cmpeq_epi64_mask(kmask, bits, ones)
+}
+
+/// NEON wave: four 2×u64 load-pairs (no gather on NEON), vector
+/// variable shift (negative left-shift counts shift right), mask, and
+/// per-lane extraction.
+///
+/// # Safety
+///
+/// Caller must ensure `addrs[..w]` are valid, aligned-for-u64
+/// readable addresses.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+unsafe fn gather_wave_neon(addrs: &[u64; SIMD_WAVE], shifts: &[u64; SIMD_WAVE], w: usize) -> u8 {
+    use core::arch::aarch64::*;
+    let mut out = 0u8;
+    let mut lane = 0usize;
+    while lane + 2 <= w {
+        let words = vcombine_u64(
+            vld1_u64(addrs[lane] as *const u64),
+            vld1_u64(addrs[lane + 1] as *const u64),
+        );
+        let negsh = vcombine_s64(
+            vdup_n_s64(-(shifts[lane] as i64)),
+            vdup_n_s64(-(shifts[lane + 1] as i64)),
+        );
+        let bits = vandq_u64(vshlq_u64(words, negsh), vdupq_n_u64(1));
+        out |= (vgetq_lane_u64::<0>(bits) as u8) << lane;
+        out |= (vgetq_lane_u64::<1>(bits) as u8) << (lane + 1);
+        lane += 2;
+    }
+    if lane < w {
+        let word = core::ptr::read(addrs[lane] as *const u64);
+        out |= (((word >> shifts[lane]) & 1) as u8) << lane;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Shared plan / lane machinery
+// ---------------------------------------------------------------------------
 
 /// The hoisted, row-independent state for one (attribute, bin) column
 /// of a query: raw AB words, k, and the reusable hash prober.
@@ -138,6 +571,13 @@ impl<'a> CellPlan<'a> {
         (self.words[(pos / 64) as usize] >> (pos % 64)) & 1 == 1
     }
 
+    /// The absolute byte address of the word holding bit `pos` — the
+    /// gather operand. Always in bounds (`pos < n`).
+    #[inline(always)]
+    fn word_addr(&self, pos: u64) -> u64 {
+        self.words.as_ptr().wrapping_add((pos / 64) as usize) as u64
+    }
+
     /// Computes (and prefetches) the next probe position for `probe`.
     #[inline(always)]
     fn issue(&self, probe: &mut hashkit::RowProbe) -> u64 {
@@ -145,6 +585,74 @@ impl<'a> CellPlan<'a> {
         self.calls.set(self.calls.get() + 1);
         prefetch(self.words, pos);
         pos
+    }
+
+    /// Batch form of [`Self::issue`] for opening a wave of lanes on
+    /// the same plan: positions come from the vector-friendly
+    /// [`hashkit::ColProber::next_positions`] (identical sequence),
+    /// the call count is bumped once, and every position's word is
+    /// prefetched.
+    fn issue_batch(&self, probes: &mut [hashkit::RowProbe], out: &mut [u64]) {
+        self.prober.next_positions(probes, out);
+        self.calls.set(self.calls.get() + probes.len() as u64);
+        for &pos in out.iter().take(probes.len()) {
+            prefetch(self.words, pos);
+        }
+    }
+}
+
+/// Per-query wave accounting, flushed into obs once at the end so the
+/// probe loops stay atomics-free.
+#[derive(Default)]
+struct WaveCounters {
+    batches: u64,
+    simd_waves: u64,
+    scalar_waves: u64,
+}
+
+impl WaveCounters {
+    /// `prefetched_positions` is the number of probe positions the
+    /// query issued; each issued position executes exactly one
+    /// prefetch instruction — but only on builds where the prefetch
+    /// is compiled in. On no-op fallback builds (`prefetch` feature
+    /// off, or an unsupported target) nothing is added, so
+    /// `kernel.prefetches` never reports phantom prefetches.
+    fn flush(self, prefetched_positions: u64) {
+        obs::counter!("kernel.batches").add(self.batches);
+        if self.simd_waves > 0 {
+            obs::counter!("kernel.simd_waves").add(self.simd_waves);
+        }
+        if self.scalar_waves > 0 {
+            obs::counter!("kernel.scalar_waves").add(self.scalar_waves);
+        }
+        if PREFETCH_ACTIVE {
+            obs::counter!("kernel.prefetches").add(prefetched_positions);
+        }
+    }
+}
+
+/// Ascending-order match mask over one batch's slots (up to
+/// [`MAX_BATCH_ROWS`] bits).
+#[derive(Default)]
+struct MatchMask([u64; MAX_BATCH_ROWS / 64]);
+
+impl MatchMask {
+    #[inline(always)]
+    fn set(&mut self, slot: u32) {
+        self.0[slot as usize / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Pushes `base + slot` for every set slot, in ascending slot
+    /// order — restoring row order regardless of lane retire order.
+    fn drain_into(&mut self, rows: &mut Vec<usize>, base: usize) {
+        for (w, word) in self.0.iter_mut().enumerate() {
+            let mut m = *word;
+            while m != 0 {
+                rows.push(base + w * 64 + m.trailing_zeros() as usize);
+                m &= m - 1;
+            }
+            *word = 0;
+        }
     }
 }
 
@@ -164,24 +672,6 @@ struct Lane {
 }
 
 impl Lane {
-    /// Opens a lane on its row's first cell (range 0, bin 0).
-    #[inline]
-    fn new(row: u64, slot: u32, plans: &[Vec<CellPlan>], stats: &mut QueryStats) -> Self {
-        let plan = &plans[0][0];
-        stats.cells_probed += 1;
-        let mut probe = plan.prober.begin(row);
-        let pos = plan.issue(&mut probe);
-        Lane {
-            row,
-            slot,
-            range: 0,
-            bin: 0,
-            t: 0,
-            pos,
-            probe,
-        }
-    }
-
     /// Starts the probe sequence of cell (range, bin) for this lane's
     /// row. Mirrors the scalar path's `cells_probed += 1` placement:
     /// the counter moves *before* any bit is read.
@@ -196,14 +686,108 @@ impl Lane {
     }
 }
 
+/// What the Figure 7 state transition did with a lane.
+enum LaneFate {
+    /// The lane has a new probe in flight.
+    Live,
+    /// Every range was satisfied: the row is an (approximate) match.
+    Matched,
+    /// A range was exhausted with no hit: the row is out.
+    Dead,
+}
+
+/// Applies one bit's worth of the Figure 7 evaluation to `lane`,
+/// identical for the scalar-wave and SIMD-wave loops (and, in
+/// observable effect, to the row-at-a-time reference loop): OR
+/// short-circuit on the k-th set bit, AND short-circuit on the last
+/// exhausted bin, per-cell break on the first zero bit.
+#[inline(always)]
+fn advance_lane(
+    lane: &mut Lane,
+    plans: &[Vec<CellPlan>],
+    num_ranges: usize,
+    stats: &mut QueryStats,
+    short_circuits: &mut u64,
+    hit: bool,
+) -> LaneFate {
+    let range_plans = &plans[lane.range as usize];
+    let plan = &range_plans[lane.bin as usize];
+    stats.bits_read += 1;
+    lane.t += 1;
+    if hit {
+        if lane.t < plan.k {
+            // Bit set, cell undecided: issue the next probe.
+            lane.pos = plan.issue(&mut lane.probe);
+            return LaneFate::Live;
+        }
+        // All k bits set: the cell is (approximately) present —
+        // Figure 7's OR short-circuit.
+        *short_circuits += u64::from((lane.bin as usize) < range_plans.len() - 1);
+        lane.range += 1;
+        lane.bin = 0;
+        if lane.range as usize == num_ranges {
+            return LaneFate::Matched;
+        }
+        if plans[lane.range as usize].is_empty() {
+            return LaneFate::Dead; // degenerate range: row fails
+        }
+        lane.start_cell(plans, stats);
+        LaneFate::Live
+    } else {
+        // Zero bit: cell definitely absent (Figure 5 break).
+        lane.bin += 1;
+        if lane.bin as usize == range_plans.len() {
+            // Range exhausted with no hit: Figure 7's AND
+            // short-circuit — the row is out.
+            return LaneFate::Dead;
+        }
+        lane.start_cell(plans, stats);
+        LaneFate::Live
+    }
+}
+
+/// Resolves the batch-depth policy against a resolved AB footprint and
+/// records the decision in the `kernel.batch_rows` histogram.
+fn choose_batch_rows(batch_rows: BatchRows, resolved_ab_bytes: u64) -> usize {
+    let rows = match batch_rows {
+        BatchRows::Fixed(n) => n.clamp(1, MAX_BATCH_ROWS),
+        BatchRows::Adaptive => CacheModel::get().batch_rows_for(resolved_ab_bytes),
+    };
+    obs::histogram!("kernel.batch_rows").record(rows as u64);
+    rows
+}
+
+/// Total bytes of the *distinct* ABs a query's plans resolve to — the
+/// probe working set the adaptive batch model sizes against (several
+/// plans of a per-attribute or per-dataset index share one AB).
+fn resolved_plan_bytes(plans: &[Vec<CellPlan>]) -> u64 {
+    let mut seen: Vec<*const u64> = Vec::new();
+    let mut bytes = 0u64;
+    for plan in plans.iter().flatten() {
+        let ptr = plan.words.as_ptr();
+        if !seen.contains(&ptr) {
+            seen.push(ptr);
+            bytes += (plan.words.len() * 8) as u64;
+        }
+    }
+    bytes
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: rectangular queries
+// ---------------------------------------------------------------------------
+
 /// Figure 7 over row batches: bit-identical results and [`QueryStats`]
-/// to the scalar loop in `query.rs`, with up to [`BATCH_ROWS`] probe
-/// latencies overlapped. Returns `(rows, stats, or_short_circuits)`.
+/// to the scalar loop in `query.rs`, with up to the batch depth's
+/// probe latencies overlapped (and, on the SIMD engine, the wave's AB
+/// words fetched by vector gathers). Returns
+/// `(rows, stats, or_short_circuits)`.
 ///
 /// The caller has already validated row and bin bounds.
-pub(crate) fn execute_rect_batched(
+pub(crate) fn execute_rect_waves(
     index: &AbIndex,
     query: &RectQuery,
+    opts: KernelOpts,
 ) -> (Vec<usize>, QueryStats, u64) {
     let mut rows = Vec::new();
     let mut stats = QueryStats::default();
@@ -232,80 +816,50 @@ pub(crate) fn execute_rect_batched(
                 .collect()
         })
         .collect();
+    let batch_rows = choose_batch_rows(opts.batch_rows, resolved_plan_bytes(&plans));
+    let engine = match opts.kernel {
+        KernelKind::Simd => active_simd_engine(),
+        _ => None,
+    };
     let num_ranges = plans.len();
-    let mut lanes: Vec<Lane> = Vec::with_capacity(BATCH_ROWS);
-    let mut batches = 0u64;
+    let mut lanes: Vec<Lane> = Vec::with_capacity(batch_rows);
+    let mut probes: Vec<hashkit::RowProbe> = Vec::with_capacity(batch_rows);
+    let mut wave = WaveCounters::default();
+    let mut matched = MatchMask::default();
     let mut base = query.row_lo;
     loop {
-        let batch_len = (query.row_hi - base + 1).min(BATCH_ROWS);
-        batches += 1;
-        let mut matched: u64 = 0;
+        let batch_len = (query.row_hi - base + 1).min(batch_rows);
+        wave.batches += 1;
         lanes.clear();
         if plans[0].is_empty() {
             // Degenerate first range (lo > hi): no row can match and,
             // like the scalar loop, no probe is issued.
         } else {
-            for slot in 0..batch_len {
-                let row = (base + slot) as u64;
-                lanes.push(Lane::new(row, slot as u32, &plans, &mut stats));
-            }
+            open_lanes(base, batch_len, &plans, &mut stats, &mut probes, &mut lanes);
         }
-        // Breadth-first resolution: each pass tests one (prefetched)
-        // bit per live lane, so the batch keeps up to `lanes.len()`
-        // independent loads in flight.
-        while !lanes.is_empty() {
-            let mut i = 0;
-            while i < lanes.len() {
-                let lane = &mut lanes[i];
-                let range_plans = &plans[lane.range as usize];
-                let plan = &range_plans[lane.bin as usize];
-                stats.bits_read += 1;
-                lane.t += 1;
-                if plan.bit(lane.pos) {
-                    if lane.t < plan.k {
-                        // Bit set, cell undecided: issue the next probe.
-                        lane.pos = plan.issue(&mut lane.probe);
-                        i += 1;
-                        continue;
-                    }
-                    // All k bits set: the cell is (approximately)
-                    // present — Figure 7's OR short-circuit.
-                    short_circuits += u64::from((lane.bin as usize) < range_plans.len() - 1);
-                    lane.range += 1;
-                    lane.bin = 0;
-                    if lane.range as usize == num_ranges {
-                        matched |= 1u64 << lane.slot;
-                        lanes.swap_remove(i);
-                        continue;
-                    }
-                    if plans[lane.range as usize].is_empty() {
-                        lanes.swap_remove(i); // degenerate range: row fails
-                        continue;
-                    }
-                    lane.start_cell(&plans, &mut stats);
-                    i += 1;
-                } else {
-                    // Zero bit: cell definitely absent (Figure 5 break).
-                    lane.bin += 1;
-                    if lane.bin as usize == range_plans.len() {
-                        // Range exhausted with no hit: Figure 7's AND
-                        // short-circuit — the row is out.
-                        lanes.swap_remove(i);
-                        continue;
-                    }
-                    lane.start_cell(&plans, &mut stats);
-                    i += 1;
-                }
-            }
+        match engine {
+            None => run_scalar_waves(
+                &plans,
+                num_ranges,
+                &mut lanes,
+                &mut stats,
+                &mut short_circuits,
+                &mut matched,
+                &mut wave,
+            ),
+            Some(e) => run_simd_waves(
+                e,
+                &plans,
+                num_ranges,
+                &mut lanes,
+                &mut stats,
+                &mut short_circuits,
+                &mut matched,
+                &mut wave,
+            ),
         }
-        // The match mask restores ascending row order regardless of the
-        // order lanes retired in.
-        let mut m = matched;
-        while m != 0 {
-            rows.push(base + m.trailing_zeros() as usize);
-            m &= m - 1;
-        }
-        if query.row_hi - base < BATCH_ROWS {
+        matched.drain_into(&mut rows, base);
+        if query.row_hi - base < batch_rows {
             break;
         }
         base += batch_len;
@@ -314,39 +868,204 @@ pub(crate) fn execute_rect_batched(
     for plan in plans.iter().flatten() {
         plan.prober.record_hash_calls(plan.calls.get());
     }
-    obs::counter!("kernel.batches").add(batches);
-    if PREFETCH_ACTIVE {
-        // Every computed position is prefetched exactly once before its
-        // read, so the prefetch count equals bits_read.
-        obs::counter!("kernel.prefetches").add(stats.bits_read as u64);
-    }
+    // Every issued position is read exactly once, so the number of
+    // (potentially prefetched) positions equals bits_read.
+    wave.flush(stats.bits_read as u64);
     (rows, stats, short_circuits)
 }
 
-/// One in-flight cell of a Figure 5 subset query.
-struct CellLane<'a> {
+/// Opens one batch's lanes on their rows' first cell (range 0, bin 0):
+/// all first-probe positions come from one vector-friendly
+/// [`CellPlan::issue_batch`] call against the shared plan.
+fn open_lanes(
+    base: usize,
+    batch_len: usize,
+    plans: &[Vec<CellPlan>],
+    stats: &mut QueryStats,
+    probes: &mut Vec<hashkit::RowProbe>,
+    lanes: &mut Vec<Lane>,
+) {
+    let plan = &plans[0][0];
+    stats.cells_probed += batch_len;
+    probes.clear();
+    probes.extend((0..batch_len).map(|slot| plan.prober.begin((base + slot) as u64)));
+    let mut first = [0u64; MAX_BATCH_ROWS];
+    plan.issue_batch(probes, &mut first[..batch_len]);
+    for (slot, probe) in probes.drain(..).enumerate() {
+        lanes.push(Lane {
+            row: (base + slot) as u64,
+            slot: slot as u32,
+            range: 0,
+            bin: 0,
+            t: 0,
+            pos: first[slot],
+            probe,
+        });
+    }
+}
+
+/// Breadth-first resolution with scalar bit reads: each pass tests one
+/// (prefetched) bit per live lane, so the batch keeps up to
+/// `lanes.len()` independent loads in flight.
+#[allow(clippy::too_many_arguments)]
+fn run_scalar_waves(
+    plans: &[Vec<CellPlan>],
+    num_ranges: usize,
+    lanes: &mut Vec<Lane>,
+    stats: &mut QueryStats,
+    short_circuits: &mut u64,
+    matched: &mut MatchMask,
+    wave: &mut WaveCounters,
+) {
+    while !lanes.is_empty() {
+        wave.scalar_waves += 1;
+        let mut i = 0;
+        while i < lanes.len() {
+            let lane = &mut lanes[i];
+            let hit = plans[lane.range as usize][lane.bin as usize].bit(lane.pos);
+            match advance_lane(lane, plans, num_ranges, stats, short_circuits, hit) {
+                LaneFate::Live => i += 1,
+                LaneFate::Matched => {
+                    matched.set(lanes[i].slot);
+                    lanes.swap_remove(i);
+                }
+                LaneFate::Dead => {
+                    lanes.swap_remove(i);
+                }
+            }
+        }
+    }
+}
+
+/// Breadth-first resolution with vector gather waves: phase 1 fetches
+/// every live lane's AB word in [`SIMD_WAVE`]-lane gathers and tests
+/// the probed bits with vector shifts; phase 2 applies the identical
+/// per-lane Figure 7 transitions. Tails narrower than
+/// [`SIMD_MIN_GATHER`] use scalar loads (counted as scalar waves).
+#[allow(clippy::too_many_arguments)]
+fn run_simd_waves(
+    engine: SimdEngine,
+    plans: &[Vec<CellPlan>],
+    num_ranges: usize,
+    lanes: &mut Vec<Lane>,
+    stats: &mut QueryStats,
+    short_circuits: &mut u64,
+    matched: &mut MatchMask,
+    wave: &mut WaveCounters,
+) {
+    let mut bits = [false; MAX_BATCH_ROWS];
+    while !lanes.is_empty() {
+        let n = lanes.len();
+        // Phase 1: resolve the current bit of every live lane.
+        let mut j = 0usize;
+        while j < n {
+            let w = (n - j).min(SIMD_WAVE);
+            if w >= SIMD_MIN_GATHER {
+                let mut addrs = [0u64; SIMD_WAVE];
+                let mut shifts = [0u64; SIMD_WAVE];
+                for l in 0..w {
+                    let lane = &lanes[j + l];
+                    let plan = &plans[lane.range as usize][lane.bin as usize];
+                    addrs[l] = plan.word_addr(lane.pos);
+                    shifts[l] = lane.pos % 64;
+                }
+                let mask = wave_bits(engine, &addrs, &shifts, w);
+                for l in 0..w {
+                    bits[j + l] = mask & (1 << l) != 0;
+                }
+                wave.simd_waves += 1;
+            } else {
+                for l in 0..w {
+                    let lane = &lanes[j + l];
+                    bits[j + l] = plans[lane.range as usize][lane.bin as usize].bit(lane.pos);
+                }
+                wave.scalar_waves += 1;
+            }
+            j += w;
+        }
+        // Phase 2: per-lane transitions, bit-identical to the scalar
+        // wave. Iterating downward keeps the bits[i] ↔ lanes[i]
+        // correspondence intact across swap_removes (the swapped-in
+        // lane always comes from an already-processed index).
+        for i in (0..n).rev() {
+            let hit = bits[i];
+            let lane = &mut lanes[i];
+            match advance_lane(lane, plans, num_ranges, stats, short_circuits, hit) {
+                LaneFate::Live => {}
+                LaneFate::Matched => {
+                    matched.set(lanes[i].slot);
+                    lanes.swap_remove(i);
+                }
+                LaneFate::Dead => {
+                    lanes.swap_remove(i);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: cell-subset queries
+// ---------------------------------------------------------------------------
+
+/// One in-flight cell of a Figure 5 subset query. Plans are hoisted
+/// per chunk and shared between lanes probing the same (attribute,
+/// bin), so the lane holds an index instead of owning its plan.
+struct CellLane {
     idx: usize,
-    plan: CellPlan<'a>,
+    plan: u32,
     probe: hashkit::RowProbe,
     pos: u64,
     t: u32,
 }
 
+/// Applies one bit's worth of the Figure 5 evaluation: `Some(verdict)`
+/// retires the lane (first zero bit → definite miss; k-th set bit →
+/// approximate hit), `None` leaves its next probe in flight.
+#[inline(always)]
+fn advance_cell_lane(lane: &mut CellLane, plans: &[CellPlan], hit: bool) -> Option<bool> {
+    lane.t += 1;
+    if !hit {
+        return Some(false);
+    }
+    let plan = &plans[lane.plan as usize];
+    if lane.t == plan.k {
+        return Some(true);
+    }
+    lane.pos = plan.issue(&mut lane.probe);
+    None
+}
+
 /// Figure 5 over cell batches: identical verdicts (in query order) to
-/// the scalar `test_cell` loop, with batched latency overlap.
+/// the scalar `test_cell` loop, with batched latency overlap and
+/// per-chunk [`CellPlan`] hoisting — repeated (attribute, bin) pairs
+/// within a chunk share one hoisted hash state, the same win rect
+/// queries get from per-query plans (counted in
+/// `kernel.cell_plans_deduped`).
 ///
 /// # Panics
 ///
 /// Panics on out-of-range rows or bins, with the same messages as
 /// [`AbIndex::test_cell_counted`].
-pub(crate) fn retrieve_cells_batched(index: &AbIndex, cells: &[Cell]) -> Vec<bool> {
+pub(crate) fn retrieve_cells_waves(index: &AbIndex, cells: &[Cell], opts: KernelOpts) -> Vec<bool> {
     let mut out = vec![false; cells.len()];
-    let mut batches = 0u64;
-    let mut positions = 0u64;
-    let mut lanes: Vec<CellLane> = Vec::with_capacity(BATCH_ROWS);
-    for (chunk_idx, chunk) in cells.chunks(BATCH_ROWS).enumerate() {
-        batches += 1;
-        lanes.clear();
+    let batch_rows = choose_batch_rows(opts.batch_rows, index.size_bytes() as u64);
+    let engine = match opts.kernel {
+        KernelKind::Simd => active_simd_engine(),
+        _ => None,
+    };
+    let mut wave = WaveCounters::default();
+    let mut issued_positions = 0u64;
+    let mut deduped = 0u64;
+    let mut bits = [false; MAX_BATCH_ROWS];
+    for (chunk_idx, chunk) in cells.chunks(batch_rows).enumerate() {
+        wave.batches += 1;
+        // Plan hoisting: one CellPlan per distinct (attribute, bin) in
+        // the chunk.
+        let mut plan_ids: std::collections::HashMap<(usize, u32), u32> =
+            std::collections::HashMap::with_capacity(chunk.len());
+        let mut plans: Vec<CellPlan> = Vec::new();
+        let mut lanes: Vec<CellLane> = Vec::with_capacity(chunk.len());
         for (j, c) in chunk.iter().enumerate() {
             let meta = &index.attributes()[c.attribute];
             assert!(
@@ -361,45 +1080,101 @@ pub(crate) fn retrieve_cells_batched(index: &AbIndex, cells: &[Cell]) -> Vec<boo
                 c.row,
                 index.num_rows()
             );
-            let (ab, col) = index.cell_plan_target(c.attribute, c.bin);
-            let plan = CellPlan::new(ab, col);
+            let pid = match plan_ids.entry((c.attribute, c.bin)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    deduped += 1;
+                    *e.get()
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let (ab, col) = index.cell_plan_target(c.attribute, c.bin);
+                    plans.push(CellPlan::new(ab, col));
+                    *v.insert((plans.len() - 1) as u32)
+                }
+            };
+            let plan = &plans[pid as usize];
             let mut probe = plan.prober.begin(c.row as u64);
             let pos = plan.issue(&mut probe);
             lanes.push(CellLane {
-                idx: chunk_idx * BATCH_ROWS + j,
-                plan,
+                idx: chunk_idx * batch_rows + j,
+                plan: pid,
                 probe,
                 pos,
                 t: 0,
             });
         }
-        while !lanes.is_empty() {
-            let mut i = 0;
-            while i < lanes.len() {
-                let lane = &mut lanes[i];
-                lane.t += 1;
-                if !lane.plan.bit(lane.pos) {
-                    let dead = lanes.swap_remove(i); // definite miss
-                    positions += dead.plan.calls.get();
-                    dead.plan.prober.record_hash_calls(dead.plan.calls.get());
-                    continue;
+        match engine {
+            None => {
+                while !lanes.is_empty() {
+                    wave.scalar_waves += 1;
+                    let mut i = 0;
+                    while i < lanes.len() {
+                        let lane = &mut lanes[i];
+                        let hit = plans[lane.plan as usize].bit(lane.pos);
+                        match advance_cell_lane(lane, &plans, hit) {
+                            None => i += 1,
+                            Some(verdict) => {
+                                out[lanes[i].idx] = verdict;
+                                lanes.swap_remove(i);
+                            }
+                        }
+                    }
                 }
-                if lane.t == lane.plan.k {
-                    let done = lanes.swap_remove(i); // all k bits set
-                    out[done.idx] = true;
-                    positions += done.plan.calls.get();
-                    done.plan.prober.record_hash_calls(done.plan.calls.get());
-                    continue;
+            }
+            Some(e) => {
+                while !lanes.is_empty() {
+                    let n = lanes.len();
+                    let mut j = 0usize;
+                    while j < n {
+                        let w = (n - j).min(SIMD_WAVE);
+                        if w >= SIMD_MIN_GATHER {
+                            let mut addrs = [0u64; SIMD_WAVE];
+                            let mut shifts = [0u64; SIMD_WAVE];
+                            for l in 0..w {
+                                let lane = &lanes[j + l];
+                                addrs[l] = plans[lane.plan as usize].word_addr(lane.pos);
+                                shifts[l] = lane.pos % 64;
+                            }
+                            let mask = wave_bits(e, &addrs, &shifts, w);
+                            for l in 0..w {
+                                bits[j + l] = mask & (1 << l) != 0;
+                            }
+                            wave.simd_waves += 1;
+                        } else {
+                            for l in 0..w {
+                                let lane = &lanes[j + l];
+                                bits[j + l] = plans[lane.plan as usize].bit(lane.pos);
+                            }
+                            wave.scalar_waves += 1;
+                        }
+                        j += w;
+                    }
+                    for i in (0..n).rev() {
+                        let hit = bits[i];
+                        let lane = &mut lanes[i];
+                        match advance_cell_lane(lane, &plans, hit) {
+                            None => {}
+                            Some(verdict) => {
+                                out[lanes[i].idx] = verdict;
+                                lanes.swap_remove(i);
+                            }
+                        }
+                    }
                 }
-                lane.pos = lane.plan.issue(&mut lane.probe);
-                i += 1;
             }
         }
+        // One flush per hoisted plan (not per lane): totals match the
+        // per-cell scalar path, and — with shared plans — counting
+        // each plan once is what keeps the issued-position count (and
+        // hence `kernel.prefetches`) free of double counting.
+        for plan in &plans {
+            issued_positions += plan.calls.get();
+            plan.prober.record_hash_calls(plan.calls.get());
+        }
     }
-    obs::counter!("kernel.batches").add(batches);
-    if PREFETCH_ACTIVE {
-        obs::counter!("kernel.prefetches").add(positions);
+    if deduped > 0 {
+        obs::counter!("kernel.cell_plans_deduped").add(deduped);
     }
+    wave.flush(issued_positions);
     out
 }
 
@@ -411,13 +1186,93 @@ mod tests {
     fn kernel_kind_parses_and_displays() {
         assert_eq!("scalar".parse::<KernelKind>(), Ok(KernelKind::Scalar));
         assert_eq!("batched".parse::<KernelKind>(), Ok(KernelKind::Batched));
+        assert_eq!("simd".parse::<KernelKind>(), Ok(KernelKind::Simd));
         assert_eq!(KernelKind::default(), KernelKind::Batched);
         assert_eq!(KernelKind::Scalar.to_string(), "scalar");
         assert_eq!(KernelKind::Batched.to_string(), "batched");
+        assert_eq!(KernelKind::Simd.to_string(), "simd");
         let err = "fancy".parse::<KernelKind>().unwrap_err();
         assert!(
-            err.contains("fancy") && err.contains("scalar|batched"),
+            err.contains("fancy") && err.contains("scalar|batched|simd"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn batch_rows_parses_clamps_and_displays() {
+        assert_eq!("adaptive".parse::<BatchRows>(), Ok(BatchRows::Adaptive));
+        assert_eq!("8".parse::<BatchRows>(), Ok(BatchRows::Fixed(8)));
+        assert_eq!(
+            "100000".parse::<BatchRows>(),
+            Ok(BatchRows::Fixed(MAX_BATCH_ROWS))
+        );
+        assert!("0".parse::<BatchRows>().is_err());
+        assert!("turbo".parse::<BatchRows>().is_err());
+        assert_eq!(BatchRows::Adaptive.to_string(), "adaptive");
+        assert_eq!(BatchRows::Fixed(64).to_string(), "64");
+        assert_eq!(BatchRows::default(), BatchRows::Adaptive);
+    }
+
+    #[test]
+    fn kernel_opts_builders() {
+        let o = KernelOpts::new(KernelKind::Simd).with_batch_rows(BatchRows::Fixed(8));
+        assert_eq!(o.kernel, KernelKind::Simd);
+        assert_eq!(o.batch_rows, BatchRows::Fixed(8));
+        let d: KernelOpts = KernelKind::Batched.into();
+        assert_eq!(d.batch_rows, BatchRows::Adaptive);
+    }
+
+    #[test]
+    fn cache_model_thresholds() {
+        let m = CacheModel {
+            l2_bytes: 1 << 20,
+            llc_bytes: 32 << 20,
+        };
+        assert_eq!(m.batch_rows_for(16 << 10), 16); // in L2
+        assert_eq!(m.batch_rows_for(1 << 20), 16); // exactly L2
+        assert_eq!(m.batch_rows_for(2 << 20), BATCH_ROWS); // in LLC
+        assert_eq!(m.batch_rows_for(33 << 20), MAX_BATCH_ROWS); // DRAM
+    }
+
+    #[test]
+    fn cache_size_parsing() {
+        assert_eq!(parse_cache_size("48K"), Some(48 * 1024));
+        assert_eq!(parse_cache_size("2048K"), Some(2048 * 1024));
+        assert_eq!(parse_cache_size("260M"), Some(260 * 1024 * 1024));
+        assert_eq!(parse_cache_size("1G"), Some(1 << 30));
+        assert_eq!(parse_cache_size("12345"), Some(12345));
+        assert_eq!(parse_cache_size("nope"), None);
+    }
+
+    #[test]
+    fn detected_cache_model_is_sane() {
+        let m = CacheModel::detect();
+        assert!(m.l2_bytes >= 64 << 10, "implausible L2: {}", m.l2_bytes);
+        assert!(m.llc_bytes >= m.l2_bytes, "LLC smaller than L2: {m:?}");
+    }
+
+    #[test]
+    fn match_mask_restores_ascending_order() {
+        let mut mask = MatchMask::default();
+        for slot in [200u32, 3, 64, 0, 255, 65] {
+            mask.set(slot);
+        }
+        let mut rows = Vec::new();
+        mask.drain_into(&mut rows, 1000);
+        assert_eq!(rows, vec![1000, 1003, 1064, 1065, 1200, 1255]);
+        // Drained mask is clear.
+        let mut again = Vec::new();
+        mask.drain_into(&mut again, 0);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn simd_engine_constants_consistent() {
+        // A detected engine implies the build compiled the SIMD paths.
+        assert!(active_simd_engine().is_none() || SIMD_COMPILED);
+        // Display names are what the CLI/env accept.
+        assert_eq!(SimdEngine::Avx2.to_string(), "avx2");
+        assert_eq!(SimdEngine::Avx512.to_string(), "avx512");
+        assert_eq!(SimdEngine::Neon.to_string(), "neon");
     }
 }

@@ -86,7 +86,10 @@ pub use config::{AbConfig, Sizing};
 pub use counting::CountingAb;
 pub use encoding::ApproximateBitmap;
 pub use exact::{execute_exact, prune_false_positives, row_matches};
-pub use kernel::{KernelKind, BATCH_ROWS, PREFETCH_ACTIVE};
+pub use kernel::{
+    active_simd_engine, BatchRows, CacheModel, KernelKind, KernelOpts, SimdEngine, BATCH_ROWS,
+    MAX_BATCH_ROWS, PREFETCH_ACTIVE, SIMD_COMPILED, SIMD_WAVE,
+};
 
 pub use io::{
     crc32, from_bytes, shards_from_bytes, shards_from_bytes_checked, shards_to_bytes, to_bytes,

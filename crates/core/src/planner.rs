@@ -121,6 +121,12 @@ pub fn calibrate(
 ) -> CostModel {
     assert!(!sample_queries.is_empty(), "need sample queries");
 
+    // The kernel's adaptive batch depth is a per-index property of the
+    // same calibration pass (AB footprint vs cache hierarchy); record
+    // it here so one `kernel.batch_rows` sample per index exists even
+    // before the first query runs.
+    obs::histogram!("kernel.batch_rows").record(ab.adaptive_batch_rows() as u64);
+
     let mut ab_ms = Vec::with_capacity(sample_queries.len());
     let mut ab_per_row_attr = Vec::with_capacity(sample_queries.len());
     let mut last = Instant::now();

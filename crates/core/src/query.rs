@@ -14,7 +14,7 @@
 //! 100% recall; precision is evaluated against the exact index via
 //! [`PrecisionStats`].
 
-use crate::kernel::KernelKind;
+use crate::kernel::{KernelKind, KernelOpts};
 use crate::level::AbIndex;
 use bitmap::RectQuery;
 use serde::{Deserialize, Serialize};
@@ -113,7 +113,13 @@ impl AbIndex {
     /// [`Self::retrieve_cells`] on an explicit probe engine. Verdicts
     /// are identical either way; only the memory schedule differs.
     pub fn retrieve_cells_with_kernel(&self, cells: &[Cell], kernel: KernelKind) -> Vec<bool> {
-        match kernel {
+        self.retrieve_cells_with_opts(cells, kernel.into())
+    }
+
+    /// [`Self::retrieve_cells`] with full kernel options (engine and
+    /// batch-depth policy).
+    pub fn retrieve_cells_with_opts(&self, cells: &[Cell], opts: KernelOpts) -> Vec<bool> {
+        match opts.kernel {
             KernelKind::Scalar => {
                 obs::counter!("kernel.scalar_fallbacks").inc();
                 cells
@@ -121,7 +127,9 @@ impl AbIndex {
                     .map(|c| self.test_cell(c.row, c.attribute, c.bin))
                     .collect()
             }
-            KernelKind::Batched => crate::kernel::retrieve_cells_batched(self, cells),
+            KernelKind::Batched | KernelKind::Simd => {
+                crate::kernel::retrieve_cells_waves(self, cells, opts)
+            }
         }
     }
 
@@ -179,15 +187,35 @@ impl AbIndex {
             .map(|(rows, _)| rows)
     }
 
+    /// [`Self::try_execute_rect`] with full kernel options.
+    pub fn try_execute_rect_with_opts(
+        &self,
+        query: &RectQuery,
+        opts: KernelOpts,
+    ) -> Result<Vec<usize>, QueryError> {
+        self.try_execute_rect_with_stats_opts(query, opts)
+            .map(|(rows, _)| rows)
+    }
+
     /// [`Self::try_execute_rect_with_stats`] on an explicit probe
-    /// engine. The scalar and batched kernels return bit-identical rows
-    /// and [`QueryStats`] (the differential tests in
+    /// engine. Every kernel returns bit-identical rows and
+    /// [`QueryStats`] (the differential tests in
     /// `tests/kernel_differential.rs` enforce this); only the memory
     /// access schedule differs.
     pub fn try_execute_rect_with_stats_kernel(
         &self,
         query: &RectQuery,
         kernel: KernelKind,
+    ) -> Result<(Vec<usize>, QueryStats), QueryError> {
+        self.try_execute_rect_with_stats_opts(query, kernel.into())
+    }
+
+    /// [`Self::try_execute_rect_with_stats`] with full kernel options
+    /// (engine and batch-depth policy).
+    pub fn try_execute_rect_with_stats_opts(
+        &self,
+        query: &RectQuery,
+        opts: KernelOpts,
     ) -> Result<(Vec<usize>, QueryStats), QueryError> {
         if query.row_hi >= self.num_rows() {
             obs::counter!("ab.query.rejected").inc();
@@ -208,12 +236,14 @@ impl AbIndex {
             }
         }
         let _timer = obs::span("ab.query.us");
-        let (rows, stats, short_circuits) = match kernel {
+        let (rows, stats, short_circuits) = match opts.kernel {
             KernelKind::Scalar => {
                 obs::counter!("kernel.scalar_fallbacks").inc();
                 self.execute_rect_scalar(query)
             }
-            KernelKind::Batched => crate::kernel::execute_rect_batched(self, query),
+            KernelKind::Batched | KernelKind::Simd => {
+                crate::kernel::execute_rect_waves(self, query, opts)
+            }
         };
         obs::counter!("ab.query.executed").inc();
         obs::counter!("ab.query.cells_probed").add(stats.cells_probed as u64);

@@ -37,7 +37,7 @@ use crate::degrade::{degraded_marker, Response, ShardHealth};
 use crate::error::SvcError;
 use crate::pool::WorkerPool;
 use crate::shard::{Shard, ShardedIndex};
-use ab::{AbConfig, Cell, KernelKind, QueryError};
+use ab::{AbConfig, BatchRows, Cell, KernelKind, KernelOpts, QueryError};
 use bitmap::{BinnedTable, RectQuery};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -67,6 +67,10 @@ pub struct SvcConfig {
     /// Probe engine shard jobs run on (results are identical either
     /// way; see [`ab::KernelKind`]).
     pub kernel: KernelKind,
+    /// Batch-depth policy for the batched/simd kernels
+    /// ([`ab::BatchRows::Adaptive`] sizes per query from the cache
+    /// hierarchy).
+    pub batch_rows: BatchRows,
 }
 
 impl Default for SvcConfig {
@@ -78,6 +82,7 @@ impl Default for SvcConfig {
             default_deadline: None,
             with_wah: false,
             kernel: KernelKind::default(),
+            batch_rows: BatchRows::default(),
         }
     }
 }
@@ -139,7 +144,7 @@ pub struct Service {
     default_deadline: Option<Duration>,
     health: Arc<ShardHealth>,
     chaos: Option<Arc<chaos::FaultPlan>>,
-    kernel: KernelKind,
+    kernel: KernelOpts,
 }
 
 impl Service {
@@ -156,7 +161,7 @@ impl Service {
             default_deadline: cfg.default_deadline,
             health,
             chaos: None,
-            kernel: cfg.kernel,
+            kernel: KernelOpts::new(cfg.kernel).with_batch_rows(cfg.batch_rows),
         }
     }
 
@@ -170,7 +175,7 @@ impl Service {
             default_deadline: cfg.default_deadline,
             health,
             chaos: None,
-            kernel: cfg.kernel,
+            kernel: KernelOpts::new(cfg.kernel).with_batch_rows(cfg.batch_rows),
         }
     }
 
@@ -196,6 +201,11 @@ impl Service {
 
     /// The probe engine this service's shard jobs run on.
     pub fn kernel(&self) -> KernelKind {
+        self.kernel.kernel
+    }
+
+    /// The full kernel options (engine + batch-depth policy).
+    pub fn kernel_opts(&self) -> KernelOpts {
         self.kernel
     }
 
@@ -458,7 +468,7 @@ impl Service {
                         job_ctx.check()?;
                         probe.clear();
                         probe.extend(chunk.iter().map(|&(_, c)| c));
-                        let hits = shard.index().retrieve_cells_with_kernel(&probe, kernel);
+                        let hits = shard.index().retrieve_cells_with_opts(&probe, kernel);
                         out.extend(chunk.iter().zip(hits).map(|(&(pos, _), hit)| (pos, hit)));
                     }
                     Ok(out)
@@ -638,7 +648,7 @@ fn run_shard_chunked(
     shard: &Shard,
     local: &RectQuery,
     ctx: &RequestCtx,
-    kernel: KernelKind,
+    kernel: KernelOpts,
 ) -> Result<Vec<usize>, SvcError> {
     let mut out = Vec::new();
     let mut lo = local.row_lo;
@@ -649,7 +659,7 @@ fn run_shard_chunked(
         out.extend(
             shard
                 .index()
-                .try_execute_rect_with_kernel(&chunk, kernel)?
+                .try_execute_rect_with_opts(&chunk, kernel)?
                 .into_iter()
                 .map(|r| r + shard.start()),
         );

@@ -10,10 +10,11 @@
 //!           [--rows LO..HI] [--limit N]
 //! abq serve --csv data.csv [--threads N] [--shards N] [--bins N]
 //!           [--alpha N] [--deadline-ms N] [--wah] [--retries N]
-//!           [--kernel scalar|batched]
+//!           [--kernel scalar|batched|simd] [--batch-rows adaptive|N]
 //! abq bench-svc --csv data.csv [--threads N] [--shards N]
 //!           [--queries N] [--bins N] [--alpha N] [--retries N]
-//!           [--kernel scalar|batched]
+//!           [--kernel scalar|batched|simd] [--batch-rows adaptive|N]
+//! abq bench-report [BENCH_kernel.json BENCH_simd.json ...]
 //! ```
 //!
 //! `build` reads a numeric CSV with a header row, discretizes every
@@ -26,6 +27,9 @@
 //! `serve` builds a sharded concurrent [`svc::Service`] over the CSV
 //! and answers queries read line by line from stdin.
 //! `bench-svc` measures the service's query throughput.
+//! `bench-report` folds `BENCH_*.json` snapshots from the repro
+//! binaries into one throughput summary (speedups vs scalar), so perf
+//! trajectory diffs cleanly across PRs.
 //! `verify` checks an `ABIX`/`ABSH` file's per-segment checksums and
 //! header sanity without decoding the bit arrays.
 //!
@@ -48,6 +52,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-svc") => cmd_bench_svc(&args[1..]),
+        Some("bench-report") => cmd_bench_report(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -71,9 +76,12 @@ fn print_usage() {
          abq verify --index FILE\n  \
          abq query --index FILE [--where ATTR=LO..HI]... [--rows LO..HI] [--limit N]\n  \
          abq serve --csv FILE [--threads N] [--shards N] [--bins N] [--alpha N] \
-         [--deadline-ms N] [--wah] [--retries N] [--kernel scalar|batched]\n  \
+         [--deadline-ms N] [--wah] [--retries N] [--kernel scalar|batched|simd] \
+         [--batch-rows adaptive|N]\n  \
          abq bench-svc --csv FILE [--threads N] [--shards N] [--queries N] \
-         [--bins N] [--alpha N] [--retries N] [--kernel scalar|batched]"
+         [--bins N] [--alpha N] [--retries N] [--kernel scalar|batched|simd] \
+         [--batch-rows adaptive|N]\n  \
+         abq bench-report [BENCH_FILE.json ...]"
     );
 }
 
@@ -355,10 +363,22 @@ fn parse_threads(args: &[String]) -> Result<usize, String> {
 
 /// The `--kernel` flag: which probe engine shard jobs run on
 /// (default batched; results are identical, only throughput differs).
+/// `simd` needs the `simd` cargo feature compiled in to differ from
+/// `batched` — without it the wave loop degrades to scalar reads.
 fn parse_kernel(args: &[String]) -> Result<ab::KernelKind, String> {
     match flag_value(args, "--kernel") {
         Some(k) => k.parse().map_err(|e| format!("--kernel: {e}")),
         None => Ok(ab::KernelKind::default()),
+    }
+}
+
+/// The `--batch-rows` flag: probe-batch depth policy (default
+/// adaptive: sized per query from the AB footprint vs the cache
+/// hierarchy).
+fn parse_batch_rows(args: &[String]) -> Result<ab::BatchRows, String> {
+    match flag_value(args, "--batch-rows") {
+        Some(b) => b.parse().map_err(|e| format!("--batch-rows: {e}")),
+        None => Ok(ab::BatchRows::default()),
     }
 }
 
@@ -405,6 +425,7 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
     };
 
     let kernel = parse_kernel(args)?;
+    let batch_rows = parse_batch_rows(args)?;
 
     let table = read_csv(csv)?;
     let binned = BinnedTable::from_table(&table, &EquiDepth::new(bins));
@@ -414,6 +435,7 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         default_deadline,
         with_wah,
         kernel,
+        batch_rows,
         ..SvcConfig::default()
     };
     let svc = Service::build(&binned, &AbConfig::new(level).with_alpha(alpha), &cfg);
@@ -567,6 +589,35 @@ fn cmd_bench_svc(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `abq bench-report [FILES...]` — folds `BENCH_*.json` snapshots into
+/// one throughput summary. With no arguments it reads every
+/// `BENCH_*.json` in the current directory.
+fn cmd_bench_report(args: &[String]) -> Result<(), String> {
+    let paths: Vec<std::path::PathBuf> = if args.is_empty() {
+        let mut found: Vec<std::path::PathBuf> = std::fs::read_dir(".")
+            .map_err(|e| e.to_string())?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        found.sort();
+        if found.is_empty() {
+            return Err("no BENCH_*.json files in the current directory \
+                        (run the repro binaries first, or pass paths)"
+                .into());
+        }
+        found
+    } else {
+        args.iter().map(std::path::PathBuf::from).collect()
+    };
+    print!("{}", bench::bench_report(&paths));
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,9 +727,48 @@ mod tests {
             parse_kernel(&strings(&["--kernel", "batched"])),
             Ok(ab::KernelKind::Batched)
         );
+        assert_eq!(
+            parse_kernel(&strings(&["--kernel", "simd"])),
+            Ok(ab::KernelKind::Simd)
+        );
         assert_eq!(parse_kernel(&strings(&[])), Ok(ab::KernelKind::Batched));
         let err = parse_kernel(&strings(&["--kernel", "turbo"])).unwrap_err();
-        assert!(err.contains("scalar|batched"), "{err}");
+        assert!(err.contains("scalar|batched|simd"), "{err}");
+    }
+
+    #[test]
+    fn batch_rows_flag_parses_and_defaults() {
+        assert_eq!(
+            parse_batch_rows(&strings(&["--batch-rows", "adaptive"])),
+            Ok(ab::BatchRows::Adaptive)
+        );
+        assert_eq!(
+            parse_batch_rows(&strings(&["--batch-rows", "128"])),
+            Ok(ab::BatchRows::Fixed(128))
+        );
+        assert_eq!(parse_batch_rows(&strings(&[])), Ok(ab::BatchRows::Adaptive));
+        assert!(parse_batch_rows(&strings(&["--batch-rows", "0"])).is_err());
+        assert!(parse_batch_rows(&strings(&["--batch-rows", "x"])).is_err());
+    }
+
+    #[test]
+    fn bench_report_reads_snapshots() {
+        let dir = std::env::temp_dir().join("abq_test_bench_report");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("BENCH_fake.json");
+        std::fs::write(
+            &p,
+            r#"{"counters":{},"histograms":{},"extra":{
+                "kernel.rows_per_sec.scalar.k8.out_llc": 1e6,
+                "kernel.rows_per_sec.simd.k8.out_llc": 2e6}}"#,
+        )
+        .unwrap();
+        cmd_bench_report(&strings(&[p.to_str().unwrap()])).unwrap();
+        // Malformed input surfaces in the report as a skip note, not an
+        // error — partial fleets of bench files are normal mid-bringup.
+        let bad = dir.join("BENCH_bad.json");
+        std::fs::write(&bad, "{oops").unwrap();
+        cmd_bench_report(&strings(&[bad.to_str().unwrap()])).unwrap();
     }
 
     #[test]
@@ -691,8 +781,9 @@ mod tests {
             body.push_str(&format!("{}.0,{}.0\n", i % 41, (i * 3) % 11));
         }
         std::fs::write(&csv, body).unwrap();
-        // Both kernels drive the full service path from the CLI.
-        for kernel in ["scalar", "batched"] {
+        // Every kernel drives the full service path from the CLI
+        // (simd degrades gracefully on builds without the feature).
+        for kernel in ["scalar", "batched", "simd"] {
             cmd_bench_svc(&strings(&[
                 "--csv",
                 csv.to_str().unwrap(),

@@ -1,21 +1,43 @@
-//! Scalar ↔ batched probe-kernel differential tests.
+//! Probe-kernel differential tests: the full kernel matrix
+//! (scalar × batched × simd) × batch-depth policies (adaptive and
+//! forced 8/64/256) against the scalar reference loop.
 //!
-//! The batched kernel (DESIGN.md §13) restructures the Figure 5/7
-//! probe loops for memory-level parallelism but must not change a
-//! single observable: rect results must be bit-identical and the
-//! `QueryStats` probe accounting (`cells_probed`, `bits_read`,
+//! The batched and SIMD kernels (DESIGN.md §13–§14) restructure the
+//! Figure 5/7 probe loops for memory-level parallelism but must not
+//! change a single observable: rect results must be bit-identical and
+//! the `QueryStats` probe accounting (`cells_probed`, `bits_read`,
 //! `rows_matched`) must match the scalar reference loop exactly —
 //! this is the guard against double-counting `bits_read` and, more
 //! importantly, against any probe-sequence divergence that would show
 //! up as a false negative.
 //!
-//! Run with and without `--features prefetch`; CI's `kernel-smoke` job
-//! does both.
+//! Run with and without `--features prefetch` and `--features simd`;
+//! CI's `kernel-smoke` and `simd-smoke` jobs cover all configs (the
+//! latter also pins `AB_SIMD=avx2` in a separate process to exercise
+//! the narrower gather path on AVX-512 machines).
 
-use ab::{AbConfig, AbIndex, Cell, KernelKind, Level};
+use ab::{AbConfig, AbIndex, BatchRows, Cell, KernelKind, KernelOpts, Level};
 use bitmap::{AttrRange, BinnedTable, RectQuery};
 use datagen::small_uniform;
 use hashkit::HashFamily;
+
+/// Every non-reference kernel configuration under test: both wave
+/// engines crossed with the adaptive policy and fixed depths bracketing
+/// it (8 = sub-wave, 64 = classic, 256 = the deep-pipeline maximum).
+fn kernel_matrix() -> Vec<KernelOpts> {
+    let mut m = Vec::new();
+    for kernel in [KernelKind::Batched, KernelKind::Simd] {
+        for batch in [
+            BatchRows::Adaptive,
+            BatchRows::Fixed(8),
+            BatchRows::Fixed(64),
+            BatchRows::Fixed(256),
+        ] {
+            m.push(KernelOpts::new(kernel).with_batch_rows(batch));
+        }
+    }
+    m
+}
 
 /// The 3 seeded datasets the satellite task asks for: different row
 /// counts (off multiples of the 64-row batch), attribute counts, and
@@ -90,23 +112,23 @@ fn rect_results_and_probe_accounting_identical() {
                 let (scalar_rows, scalar_stats) = idx
                     .try_execute_rect_with_stats_kernel(q, KernelKind::Scalar)
                     .unwrap();
-                let (batched_rows, batched_stats) = idx
-                    .try_execute_rect_with_stats_kernel(q, KernelKind::Batched)
-                    .unwrap();
-                let ctx = format!("dataset {d}, config {c}, query {qi}");
-                assert_eq!(scalar_rows, batched_rows, "rows diverged: {ctx}");
-                assert_eq!(
-                    scalar_stats.cells_probed, batched_stats.cells_probed,
-                    "cells_probed diverged: {ctx}"
-                );
-                assert_eq!(
-                    scalar_stats.bits_read, batched_stats.bits_read,
-                    "bits_read diverged: {ctx}"
-                );
-                assert_eq!(
-                    scalar_stats.rows_matched, batched_stats.rows_matched,
-                    "rows_matched diverged: {ctx}"
-                );
+                for opts in kernel_matrix() {
+                    let (rows, stats) = idx.try_execute_rect_with_stats_opts(q, opts).unwrap();
+                    let ctx = format!("dataset {d}, config {c}, query {qi}, kernel {opts:?}");
+                    assert_eq!(scalar_rows, rows, "rows diverged: {ctx}");
+                    assert_eq!(
+                        scalar_stats.cells_probed, stats.cells_probed,
+                        "cells_probed diverged: {ctx}"
+                    );
+                    assert_eq!(
+                        scalar_stats.bits_read, stats.bits_read,
+                        "bits_read diverged: {ctx}"
+                    );
+                    assert_eq!(
+                        scalar_stats.rows_matched, stats.rows_matched,
+                        "rows_matched diverged: {ctx}"
+                    );
+                }
             }
         }
     }
@@ -132,9 +154,38 @@ fn cell_subset_verdicts_identical() {
                 })
                 .collect();
             let scalar = idx.retrieve_cells_with_kernel(&cells, KernelKind::Scalar);
-            let batched = idx.retrieve_cells_with_kernel(&cells, KernelKind::Batched);
-            assert_eq!(scalar, batched);
+            for opts in kernel_matrix() {
+                let waves = idx.retrieve_cells_with_opts(&cells, opts);
+                assert_eq!(scalar, waves, "verdicts diverged on {opts:?}");
+            }
         }
+    }
+}
+
+/// The per-chunk `CellPlan` dedupe must not change verdicts even when
+/// a chunk is dominated by one (attribute, bin) pair — the sharpest
+/// plan-sharing shape.
+#[test]
+fn cell_subset_with_heavy_duplicates_identical() {
+    let table = &datasets()[0];
+    let idx = AbIndex::build(table, &AbConfig::new(Level::PerAttribute).with_alpha(8));
+    // 300 cells over just 4 distinct (attribute, bin) pairs, rows
+    // varying — every chunk dedupes most of its plans.
+    let cells: Vec<Cell> = (0..300)
+        .map(|i| {
+            let row = (i * 13) % table.num_rows();
+            let attr = i % 2;
+            let bin = ((i / 2) % 2) as u32 % table.column(attr).cardinality;
+            Cell::new(row, attr, bin)
+        })
+        .collect();
+    let scalar = idx.retrieve_cells_with_kernel(&cells, KernelKind::Scalar);
+    for opts in kernel_matrix() {
+        assert_eq!(
+            scalar,
+            idx.retrieve_cells_with_opts(&cells, opts),
+            "verdicts diverged on {opts:?}"
+        );
     }
 }
 
@@ -169,10 +220,47 @@ fn empty_row_interval_matches() {
         row_lo: 100,
         row_hi: 50,
     };
-    for kernel in [KernelKind::Scalar, KernelKind::Batched] {
+    for kernel in [KernelKind::Scalar, KernelKind::Batched, KernelKind::Simd] {
         let (rows, stats) = idx.try_execute_rect_with_stats_kernel(&q, kernel).unwrap();
         assert!(rows.is_empty());
         assert_eq!(stats.cells_probed, 0);
         assert_eq!(stats.bits_read, 0);
+    }
+}
+
+/// `kernel.prefetches` must report only prefetch instructions that
+/// actually executed: on builds where the prefetch is a no-op
+/// (`PREFETCH_ACTIVE == false`) the counter stays frozen across both
+/// query paths; on active builds it advances by exactly `bits_read`
+/// (each issued probe position prefetches its AB word once).
+#[test]
+fn prefetch_counter_counts_only_real_prefetches() {
+    let table = &datasets()[0];
+    let idx = AbIndex::build(table, &AbConfig::new(Level::PerAttribute).with_alpha(8));
+    let q = RectQuery::new(
+        vec![AttrRange::new(0, 0, table.column(0).cardinality / 2)],
+        0,
+        table.num_rows() - 1,
+    );
+    for opts in kernel_matrix() {
+        let before = obs::global().snapshot().counter("kernel.prefetches");
+        let (_, stats) = idx.try_execute_rect_with_stats_opts(&q, opts).unwrap();
+        let cells: Vec<Cell> = (0..100)
+            .map(|i| Cell::new((i * 7) % table.num_rows(), 0, 0))
+            .collect();
+        let verdicts = idx.retrieve_cells_with_opts(&cells, opts);
+        let after = obs::global().snapshot().counter("kernel.prefetches");
+        if ab::PREFETCH_ACTIVE {
+            assert!(
+                after - before >= stats.bits_read as u64,
+                "active build under-reported prefetches on {opts:?}: {before} -> {after}"
+            );
+        } else {
+            assert_eq!(
+                before, after,
+                "no-op build reported phantom prefetches on {opts:?}"
+            );
+        }
+        assert_eq!(verdicts.len(), cells.len());
     }
 }
