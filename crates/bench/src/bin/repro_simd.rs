@@ -191,10 +191,7 @@ fn main() {
                     rates[i],
                 ));
             }
-            snap_extras.push((
-                format!("kernel.speedup.k{k}.{}", size.name),
-                simd / scalar,
-            ));
+            snap_extras.push((format!("kernel.speedup.k{k}.{}", size.name), simd / scalar));
             snap_extras.push((
                 format!("kernel.simd_speedup_vs_batched64.k{k}.{}", size.name),
                 simd / batched64,

@@ -4,10 +4,15 @@
 //!
 //! Emits `BENCH_svc.json` (an `obs` registry snapshot) whose `extra`
 //! map carries `svc.rps.threadsN` for each point plus
-//! `svc.speedup.8v1`. On a multi-core machine the 8-thread point is
-//! expected to clear 3× the 1-thread point; on a single hardware
-//! thread the numbers stay flat — the snapshot additionally records
-//! `svc.hw_threads` so readers can interpret the scaling.
+//! `svc.speedup.8v1`, and client-side **exact** latency percentiles
+//! `svc.latency_us.<kind>.threads<N>.{p50,p95,p99}` for the `rect`
+//! and `batch` query kinds (computed from every request's wall time,
+//! nearest-rank — not the streaming sketch the live `/metrics`
+//! endpoint serves, so the two can be cross-checked). On a multi-core
+//! machine the 8-thread point is expected to clear 3× the 1-thread
+//! point; on a single hardware thread the numbers stay flat — the
+//! snapshot additionally records `svc.hw_threads` so readers can
+//! interpret the scaling.
 //!
 //! Usage: `cargo run --release -p bench --bin repro_svc
 //!         [--scale F] [--seed N] [--queries N]`
@@ -20,6 +25,82 @@ use svc::{Service, ShardedIndex, SvcConfig};
 
 const THREAD_POINTS: [usize; 4] = [1, 2, 4, 8];
 const SHARDS: usize = 8;
+const BATCH: usize = 8;
+
+/// Exact nearest-rank percentile over sorted latencies.
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One measured point: every request's latency in µs, plus req/s.
+struct Point {
+    threads: usize,
+    rps: f64,
+    elapsed: f64,
+    lat_us: Vec<u64>,
+}
+
+impl Point {
+    fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            pct(&self.lat_us, 50.0),
+            pct(&self.lat_us, 95.0),
+            pct(&self.lat_us, 99.0),
+        )
+    }
+}
+
+/// Replays the workload through `clients` client threads, each
+/// issuing `per_client` requests of one kind, timing every request.
+fn run_point(
+    svc: &Arc<Service>,
+    workload: &Arc<Vec<RectQuery>>,
+    threads: usize,
+    per_client: usize,
+    batched: bool,
+) -> Point {
+    let started = std::time::Instant::now();
+    let clients: Vec<_> = (0..threads)
+        .map(|c| {
+            let svc = Arc::clone(svc);
+            let workload = Arc::clone(workload);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let at = std::time::Instant::now();
+                    if batched {
+                        let lo = (c * per_client + i * BATCH) % workload.len();
+                        let chunk: Vec<RectQuery> = (0..BATCH)
+                            .map(|j| workload[(lo + j) % workload.len()].clone())
+                            .collect();
+                        svc.query_batch(&chunk).expect("batch failed");
+                    } else {
+                        let q = &workload[(c * per_client + i) % workload.len()];
+                        svc.query_rect(q).expect("query failed");
+                    }
+                    lat.push(at.elapsed().as_micros() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat_us: Vec<u64> = Vec::new();
+    for c in clients {
+        lat_us.extend(c.join().expect("client panicked"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    Point {
+        threads,
+        rps: (threads * per_client) as f64 / elapsed,
+        elapsed,
+        lat_us,
+    }
+}
 
 fn main() {
     let opts = bench::cli::from_env();
@@ -43,61 +124,84 @@ fn main() {
     let workload: Arc<Vec<RectQuery>> = Arc::new(datagen::generate(&ds.binned, &params));
     let per_client = (opts.queries / 4).max(8);
 
-    let mut rps_points = Vec::new();
+    let mut rect_points = Vec::new();
+    let mut batch_points = Vec::new();
     for &threads in &THREAD_POINTS {
         let svc = Arc::new(Service::from_index(
             index.clone(),
             &SvcConfig {
                 threads,
                 queue_capacity: 4096,
+                // The bench measures the query path itself; per-request
+                // span trees would be pure overhead here (and are
+                // covered by their own tests).
+                trace_requests: false,
                 ..SvcConfig::default()
             },
         ));
         // As many client threads as workers, each replaying the same
         // deterministic slice of the workload.
-        let started = std::time::Instant::now();
-        let clients: Vec<_> = (0..threads)
-            .map(|c| {
-                let svc = Arc::clone(&svc);
-                let workload = Arc::clone(&workload);
-                std::thread::spawn(move || {
-                    for i in 0..per_client {
-                        let q = &workload[(c * per_client + i) % workload.len()];
-                        svc.query_rect(q).expect("query failed");
-                    }
-                })
-            })
-            .collect();
-        for c in clients {
-            c.join().expect("client panicked");
-        }
-        let elapsed = started.elapsed().as_secs_f64();
-        let total = (threads * per_client) as f64;
-        let rps = total / elapsed;
-        rps_points.push((threads, rps, elapsed));
+        rect_points.push(run_point(&svc, &workload, threads, per_client, false));
+        batch_points.push(run_point(
+            &svc,
+            &workload,
+            threads,
+            (per_client / BATCH).max(4),
+            true,
+        ));
     }
 
-    let rows_out: Vec<Vec<String>> = rps_points
+    let rows_out: Vec<Vec<String>> = rect_points
         .iter()
-        .map(|(t, rps, s)| {
+        .map(|p| {
+            let (p50, p95, p99) = p.percentiles();
             vec![
-                t.to_string(),
-                format!("{rps:.0}"),
-                format!("{s:.3}"),
-                format!("{:.2}x", rps / rps_points[0].1),
+                p.threads.to_string(),
+                format!("{:.0}", p.rps),
+                format!("{:.3}", p.elapsed),
+                format!("{:.2}x", p.rps / rect_points[0].rps),
+                p50.to_string(),
+                p95.to_string(),
+                p99.to_string(),
             ]
         })
         .collect();
     print_table(
-        "Service throughput (sharded concurrent query service)",
-        &["threads", "req/s", "seconds", "vs 1 thread"],
+        "Service throughput (sharded concurrent query service, rect)",
+        &[
+            "threads",
+            "req/s",
+            "seconds",
+            "vs 1 thread",
+            "p50 µs",
+            "p95 µs",
+            "p99 µs",
+        ],
         &rows_out,
+    );
+    let batch_rows_out: Vec<Vec<String>> = batch_points
+        .iter()
+        .map(|p| {
+            let (p50, p95, p99) = p.percentiles();
+            vec![
+                p.threads.to_string(),
+                format!("{:.0}", p.rps),
+                p50.to_string(),
+                p95.to_string(),
+                p99.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Batched requests ({BATCH} rects per request)"),
+        &["threads", "req/s", "p50 µs", "p95 µs", "p99 µs"],
+        &batch_rows_out,
     );
 
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let speedup = rps_points[3].1 / rps_points[0].1;
+    let speedup = rect_points[3].rps / rect_points[0].rps;
     println!("\n8-thread speedup over 1 thread: {speedup:.2}x ({hw} hardware threads)");
 
     let mut snap = obs::global()
@@ -106,8 +210,18 @@ fn main() {
         .with_extra("svc.hw_threads", hw as f64)
         .with_extra("svc.queries_per_client", per_client as f64)
         .with_extra("svc.dataset_rows", rows as f64);
-    for (threads, rps, _) in &rps_points {
-        snap = snap.with_extra(&format!("svc.rps.threads{threads}"), *rps);
+    for p in &rect_points {
+        snap = snap.with_extra(&format!("svc.rps.threads{}", p.threads), p.rps);
+    }
+    for (kind, points) in [("rect", &rect_points), ("batch", &batch_points)] {
+        for p in points.iter() {
+            let (p50, p95, p99) = p.percentiles();
+            let base = format!("svc.latency_us.{kind}.threads{}", p.threads);
+            snap = snap
+                .with_extra(&format!("{base}.p50"), p50 as f64)
+                .with_extra(&format!("{base}.p95"), p95 as f64)
+                .with_extra(&format!("{base}.p99"), p99 as f64);
+        }
     }
     match write_bench_snapshot("svc", &snap) {
         Ok(path) => println!("wrote {}", path.display()),

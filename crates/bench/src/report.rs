@@ -41,8 +41,7 @@ impl BenchSnapshot {
 
     /// Reads and parses a snapshot file.
     pub fn read(path: &std::path::Path) -> Result<Self, String> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
@@ -85,10 +84,7 @@ impl Parser<'_> {
             self.at += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at offset {}",
-                b as char, self.at
-            ))
+            Err(format!("expected '{}' at offset {}", b as char, self.at))
         }
     }
 
@@ -193,9 +189,11 @@ impl Parser<'_> {
     fn number(&mut self) -> Result<f64, String> {
         self.skip_ws();
         let start = self.at;
-        while self.bytes.get(self.at).is_some_and(|b| {
-            b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
-        }) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
             self.at += 1;
         }
         std::str::from_utf8(&self.bytes[start..self.at])
@@ -212,6 +210,16 @@ struct TputRow {
     k: String,
     size: String,
     rows_per_sec: f64,
+}
+
+/// One row of the folded service-latency report.
+struct LatRow {
+    source: String,
+    kind: String,
+    threads: String,
+    p50: Option<f64>,
+    p95: Option<f64>,
+    p99: Option<f64>,
 }
 
 /// Folds `BENCH_kernel.json`-style snapshots into one report:
@@ -254,39 +262,107 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
             }
         }
     }
-    if rows.is_empty() {
-        out.push_str("no kernel.rows_per_sec entries found\n");
+    // Service latency percentiles: extra.svc.latency_us.<kind>.threads<N>.<p>
+    let mut lat: Vec<LatRow> = Vec::new();
+    for (source, snap) in &loaded {
+        for (suffix, v) in snap.with_prefix("extra.svc.latency_us.") {
+            // suffix = "<kind>.threads<N>.<p50|p95|p99>"
+            let parts: Vec<&str> = suffix.splitn(3, '.').collect();
+            let (kind, threads, p) = match parts[..] {
+                [kind, t, p] => match t.strip_prefix("threads") {
+                    Some(n) => (kind, n.to_string(), p),
+                    None => continue,
+                },
+                _ => continue,
+            };
+            let row = match lat
+                .iter_mut()
+                .find(|r| r.source == *source && r.kind == kind && r.threads == threads)
+            {
+                Some(r) => r,
+                None => {
+                    lat.push(LatRow {
+                        source: source.clone(),
+                        kind: kind.to_string(),
+                        threads,
+                        p50: None,
+                        p95: None,
+                        p99: None,
+                    });
+                    lat.last_mut().expect("just pushed")
+                }
+            };
+            match p {
+                "p50" => row.p50 = Some(v),
+                "p95" => row.p95 = Some(v),
+                "p99" => row.p99 = Some(v),
+                _ => {}
+            }
+        }
+    }
+    if rows.is_empty() && lat.is_empty() {
+        out.push_str("no kernel.rows_per_sec or svc.latency_us entries found\n");
         return out;
     }
-    out.push_str(
-        "\n## Probe-kernel throughput (Mrows/s; speedup vs same file's scalar)\n\n\
-         source  kernel   k    size      Mrows/s  speedup\n\
-         ------  -------  ---  -------  --------  -------\n",
-    );
-    rows.sort_by(|a, b| {
-        (&a.source, &a.size, &a.k, &a.kernel).cmp(&(&b.source, &b.size, &b.k, &b.kernel))
-    });
-    for r in &rows {
-        let scalar = rows
-            .iter()
-            .find(|s| {
-                s.source == r.source && s.k == r.k && s.size == r.size && s.kernel == "scalar"
-            })
-            .map(|s| s.rows_per_sec);
-        let speedup = match scalar {
-            Some(s) if s > 0.0 => format!("{:.2}x", r.rows_per_sec / s),
-            _ => "-".to_string(),
-        };
-        let _ = writeln!(
-            out,
-            "{:<6}  {:<7}  {:<3}  {:<7}  {:>8.2}  {:>7}",
-            r.source,
-            r.kernel,
-            r.k,
-            r.size,
-            r.rows_per_sec / 1e6,
-            speedup
+    if !rows.is_empty() {
+        out.push_str(
+            "\n## Probe-kernel throughput (Mrows/s; speedup vs same file's scalar)\n\n\
+             source  kernel   k    size      Mrows/s  speedup\n\
+             ------  -------  ---  -------  --------  -------\n",
         );
+        rows.sort_by(|a, b| {
+            (&a.source, &a.size, &a.k, &a.kernel).cmp(&(&b.source, &b.size, &b.k, &b.kernel))
+        });
+        for r in &rows {
+            let scalar = rows
+                .iter()
+                .find(|s| {
+                    s.source == r.source && s.k == r.k && s.size == r.size && s.kernel == "scalar"
+                })
+                .map(|s| s.rows_per_sec);
+            let speedup = match scalar {
+                Some(s) if s > 0.0 => format!("{:.2}x", r.rows_per_sec / s),
+                _ => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<6}  {:<7}  {:<3}  {:<7}  {:>8.2}  {:>7}",
+                r.source,
+                r.kernel,
+                r.k,
+                r.size,
+                r.rows_per_sec / 1e6,
+                speedup
+            );
+        }
+    }
+    if !lat.is_empty() {
+        out.push_str(
+            "\n## Service latency (µs, client-observed)\n\n\
+             source  kind   threads   p50 µs   p95 µs   p99 µs\n\
+             ------  -----  -------  -------  -------  -------\n",
+        );
+        lat.sort_by(|a, b| {
+            let ta = a.threads.parse::<u64>().unwrap_or(0);
+            let tb = b.threads.parse::<u64>().unwrap_or(0);
+            (&a.source, &a.kind, ta).cmp(&(&b.source, &b.kind, tb))
+        });
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.0}"),
+            None => "-".to_string(),
+        };
+        for r in &lat {
+            let _ = writeln!(
+                out,
+                "{:<6}  {:<5}  {:>7}  {:>7}  {:>7}  {:>7}",
+                r.source,
+                r.kind,
+                r.threads,
+                fmt(r.p50),
+                fmt(r.p95),
+                fmt(r.p99)
+            );
+        }
     }
     out.push_str("\n## Environment\n\n");
     for (source, snap) in &loaded {
@@ -381,5 +457,49 @@ mod tests {
         assert!(report.contains("4.00x"), "{report}");
         assert!(report.contains("skipped"), "{report}");
         assert!(report.contains("kernel.simd_waves = 900"), "{report}");
+    }
+
+    #[test]
+    fn report_folds_service_latency_percentiles() {
+        let dir = std::env::temp_dir().join("bench_report_lat_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("BENCH_svc.json");
+        std::fs::write(
+            &p,
+            r#"{
+  "counters": {},
+  "extra": {
+    "svc.rps.threads8": 5000.0,
+    "svc.latency_us.rect.threads1.p50": 120.0,
+    "svc.latency_us.rect.threads1.p95": 340.0,
+    "svc.latency_us.rect.threads1.p99": 900.0,
+    "svc.latency_us.rect.threads8.p50": 150.0,
+    "svc.latency_us.rect.threads8.p95": 410.0,
+    "svc.latency_us.rect.threads8.p99": 1200.0,
+    "svc.latency_us.batch.threads8.p50": 800.0,
+    "svc.latency_us.batch.threads8.p95": 1500.0,
+    "svc.latency_us.batch.threads8.p99": 2100.0
+  }
+}
+"#,
+        )
+        .unwrap();
+        let report = bench_report(&[p]);
+        assert!(report.contains("## Service latency"), "{report}");
+        // All three quantiles of one row land on one line, kinds are
+        // separate rows, and thread points sort numerically.
+        let rect8 = report
+            .lines()
+            .find(|l| l.contains("rect") && l.contains("  8  "))
+            .unwrap_or_else(|| panic!("no rect/8 row in {report}"));
+        for v in ["150", "410", "1200"] {
+            assert!(rect8.contains(v), "{rect8}");
+        }
+        assert!(report.contains("batch"), "{report}");
+        let order: Vec<usize> = ["threads  ", " 1 ", " 8 "]
+            .iter()
+            .filter_map(|s| report.find(*s))
+            .collect();
+        assert_eq!(order.len(), 3, "{report}");
     }
 }

@@ -12,7 +12,7 @@
 //!    bin) columns for every row, so the row-independent half of the
 //!    probe pipeline (family dispatch, reduction mask, SHA-1 chunk
 //!    width, column-group geometry) is computed once per query into a
-//!    [`CellPlan`] and per-row positions come from the cheap mixer via
+//!    `CellPlan` and per-row positions come from the cheap mixer via
 //!    [`hashkit::ColProber`].
 //! 2. **Stage-pipelined probing** — rows are processed in batches;
 //!    each live row ("lane") keeps exactly one probe in flight, its AB
@@ -421,7 +421,12 @@ fn prefetch(words: &[u64], pos: u64) {
     not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))),
     allow(unused_variables)
 )]
-fn wave_bits(engine: SimdEngine, addrs: &[u64; SIMD_WAVE], shifts: &[u64; SIMD_WAVE], w: usize) -> u8 {
+fn wave_bits(
+    engine: SimdEngine,
+    addrs: &[u64; SIMD_WAVE],
+    shifts: &[u64; SIMD_WAVE],
+    w: usize,
+) -> u8 {
     debug_assert!((1..=SIMD_WAVE).contains(&w));
     match engine {
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
@@ -467,12 +472,8 @@ unsafe fn gather_wave_avx2(addrs: &[u64; SIMD_WAVE], shifts: &[u64; SIMD_WAVE], 
         let cnt = (w - lane).min(4);
         let idx = _mm256_loadu_si256(addrs.as_ptr().add(lane) as *const __m256i);
         let mask = _mm256_loadu_si256(LANE_MASKS[cnt].as_ptr() as *const __m256i);
-        let words = _mm256_mask_i64gather_epi64::<1>(
-            _mm256_setzero_si256(),
-            core::ptr::null(),
-            idx,
-            mask,
-        );
+        let words =
+            _mm256_mask_i64gather_epi64::<1>(_mm256_setzero_si256(), core::ptr::null(), idx, mask);
         let sh = _mm256_loadu_si256(shifts.as_ptr().add(lane) as *const __m256i);
         let bits = _mm256_and_si256(_mm256_srlv_epi64(words, sh), ones);
         let hit = _mm256_cmpeq_epi64(bits, ones);
@@ -876,7 +877,7 @@ pub(crate) fn execute_rect_waves(
 
 /// Opens one batch's lanes on their rows' first cell (range 0, bin 0):
 /// all first-probe positions come from one vector-friendly
-/// [`CellPlan::issue_batch`] call against the shared plan.
+/// `CellPlan::issue_batch` call against the shared plan.
 fn open_lanes(
     base: usize,
     batch_len: usize,
@@ -1038,7 +1039,7 @@ fn advance_cell_lane(lane: &mut CellLane, plans: &[CellPlan], hit: bool) -> Opti
 
 /// Figure 5 over cell batches: identical verdicts (in query order) to
 /// the scalar `test_cell` loop, with batched latency overlap and
-/// per-chunk [`CellPlan`] hoisting — repeated (attribute, bin) pairs
+/// per-chunk `CellPlan` hoisting — repeated (attribute, bin) pairs
 /// within a chunk share one hoisted hash state, the same win rect
 /// queries get from per-query plans (counted in
 /// `kernel.cell_plans_deduped`).

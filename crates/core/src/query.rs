@@ -119,6 +119,14 @@ impl AbIndex {
     /// [`Self::retrieve_cells`] with full kernel options (engine and
     /// batch-depth policy).
     pub fn retrieve_cells_with_opts(&self, cells: &[Cell], opts: KernelOpts) -> Vec<bool> {
+        let mut tspan = obs::span_current(match opts.kernel {
+            KernelKind::Scalar => "ab.kernel.scalar",
+            KernelKind::Batched => "ab.kernel.batched",
+            KernelKind::Simd => "ab.kernel.simd",
+        });
+        if tspan.enabled() {
+            tspan.annotate("cells_probed", cells.len());
+        }
         match opts.kernel {
             KernelKind::Scalar => {
                 obs::counter!("kernel.scalar_fallbacks").inc();
@@ -236,6 +244,13 @@ impl AbIndex {
             }
         }
         let _timer = obs::span("ab.query.us");
+        // Kernel-stage trace span: attaches under whatever request
+        // span the caller entered on this thread (no-op otherwise).
+        let mut tspan = obs::span_current(match opts.kernel {
+            KernelKind::Scalar => "ab.kernel.scalar",
+            KernelKind::Batched => "ab.kernel.batched",
+            KernelKind::Simd => "ab.kernel.simd",
+        });
         let (rows, stats, short_circuits) = match opts.kernel {
             KernelKind::Scalar => {
                 obs::counter!("kernel.scalar_fallbacks").inc();
@@ -245,6 +260,11 @@ impl AbIndex {
                 crate::kernel::execute_rect_waves(self, query, opts)
             }
         };
+        if tspan.enabled() {
+            tspan.annotate("cells_probed", stats.cells_probed);
+            tspan.annotate("bits_read", stats.bits_read);
+            tspan.annotate("rows_matched", stats.rows_matched);
+        }
         obs::counter!("ab.query.executed").inc();
         obs::counter!("ab.query.cells_probed").add(stats.cells_probed as u64);
         obs::counter!("ab.query.bits_read").add(stats.bits_read as u64);

@@ -705,6 +705,7 @@ mod tests {
                 // Batched: one wave per probe index across all rows.
                 let mut probes: Vec<RowProbe> = rows.iter().map(|&r| cp.begin(r)).collect();
                 let mut out = vec![0u64; rows.len()];
+                #[allow(clippy::needless_range_loop)] // step indexes the 2-D reference table
                 for step in 0..4 {
                     cp.next_positions(&mut probes, &mut out);
                     for (r, &got) in out.iter().enumerate() {

@@ -4,9 +4,20 @@
 //! the output matches what serde's derives on [`Snapshot`] would
 //! produce, so downstream tooling can deserialize it with serde once
 //! available.
+//!
+//! The Prometheus exporter targets real scrapers: every metric gets
+//! `# HELP` (carrying the original dotted name) and `# TYPE` lines,
+//! histogram buckets are cumulative with a closing `+Inf`, sketches
+//! export as summaries with `quantile` labels, and sanitized names are
+//! **uniquified** — `kernel.batches` and `kernel_batches` both
+//! sanitize to `kernel_batches`, so the second registrant (in snapshot
+//! iteration order) is deterministically suffixed `_2` instead of
+//! silently emitting a duplicate series that scrapers reject.
 
 use crate::histogram::HistogramSnapshot;
+use crate::sketch::SketchSnapshot;
 use crate::Snapshot;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// Escapes `s` as the contents of a JSON string literal.
@@ -66,9 +77,34 @@ fn json_histogram(out: &mut String, h: &HistogramSnapshot) {
     out.push_str("]}");
 }
 
+fn json_sketch(out: &mut String, s: &SketchSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
+        s.count,
+        s.sum,
+        s.min,
+        s.max,
+        json_f64(s.mean),
+        s.p50,
+        s.p90,
+        s.p95,
+        s.p99,
+        s.p999,
+    );
+    for (i, (bucket, count)) in s.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{bucket},{count}]");
+    }
+    out.push_str("]}");
+}
+
 /// Sanitizes a dotted metric name into a Prometheus metric name
 /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other invalid characters
-/// become underscores.
+/// become underscores. Sanitization can collide — [`NameSpace`]
+/// resolves that per exposition.
 fn prom_name(name: &str) -> String {
     let mut out: String = name
         .chars()
@@ -86,10 +122,55 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escapes a `# HELP` text (Prometheus exposition: backslash and
+/// newline must be escaped).
+fn help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Tracks every series name emitted in one exposition and uniquifies
+/// sanitized base names that collide: the first claimant keeps the
+/// clean name, later ones get deterministic `_2`, `_3`, … suffixes.
+/// A claim reserves the base name *and* each derived series suffix
+/// (`_bucket`, `_sum`, `_count`), so a counter named `x_count` can
+/// never collide with histogram `x`'s `_count` series either.
+struct NameSpace {
+    used: BTreeSet<String>,
+}
+
+impl NameSpace {
+    fn new() -> Self {
+        NameSpace {
+            used: BTreeSet::new(),
+        }
+    }
+
+    /// Claims a sanitized base name whose exposition will emit
+    /// `base + suffix` for each listed suffix (use `""` for the bare
+    /// name). Returns the possibly-uniquified base to emit under.
+    fn claim(&mut self, base: &str, suffixes: &[&str]) -> String {
+        let mut attempt = 0usize;
+        loop {
+            let candidate = if attempt == 0 {
+                base.to_string()
+            } else {
+                format!("{base}_{}", attempt + 1)
+            };
+            let series: Vec<String> = suffixes.iter().map(|s| format!("{candidate}{s}")).collect();
+            if series.iter().all(|s| !self.used.contains(s)) {
+                self.used.extend(series);
+                return candidate;
+            }
+            attempt += 1;
+        }
+    }
+}
+
 impl Snapshot {
     /// Serializes the snapshot as a JSON object with `counters`,
-    /// `histograms`, and `extra` maps (see [`crate::HistogramSnapshot`]
-    /// for the histogram fields). Keys are sorted.
+    /// `histograms`, `sketches`, and `extra` maps (see
+    /// [`crate::HistogramSnapshot`] and [`crate::SketchSnapshot`] for
+    /// the per-metric fields). Keys are sorted.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         for (i, (name, value)) in self.counters.iter().enumerate() {
@@ -112,6 +193,17 @@ impl Snapshot {
         if !self.histograms.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("},\n  \"sketches\": {");
+        for (i, (name, s)) in self.sketches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": ", json_escape(name));
+            json_sketch(&mut out, s);
+        }
+        if !self.sketches.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("},\n  \"extra\": {");
         for (i, (name, value)) in self.extra.iter().enumerate() {
             if i > 0 {
@@ -127,18 +219,25 @@ impl Snapshot {
     }
 
     /// Serializes the snapshot in Prometheus text exposition format.
-    /// Dotted names become underscore names; histograms expand to
-    /// cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
-    /// `extra` values export as untyped gauges.
+    ///
+    /// Dotted names become underscore names (uniquified on collision —
+    /// see the module docs); every metric gets `# HELP` (the original
+    /// dotted name) and `# TYPE` lines. Histograms expand to cumulative
+    /// `_bucket{le="…"}` series plus `_sum`/`_count`; sketches export
+    /// as summaries with `{quantile="…"}` series plus `_sum`/`_count`;
+    /// `extra` values export as gauges.
     pub fn to_prometheus(&self) -> String {
+        let mut ns = NameSpace::new();
         let mut out = String::new();
         for (name, value) in &self.counters {
-            let n = prom_name(name);
+            let n = ns.claim(&prom_name(name), &[""]);
+            let _ = writeln!(out, "# HELP {n} {}", help_escape(name));
             let _ = writeln!(out, "# TYPE {n} counter");
             let _ = writeln!(out, "{n} {value}");
         }
         for (name, h) in &self.histograms {
-            let n = prom_name(name);
+            let n = ns.claim(&prom_name(name), &["", "_bucket", "_sum", "_count"]);
+            let _ = writeln!(out, "# HELP {n} {}", help_escape(name));
             let _ = writeln!(out, "# TYPE {n} histogram");
             let mut cumulative = 0u64;
             for &(bits, count) in &h.buckets {
@@ -150,8 +249,25 @@ impl Snapshot {
             let _ = writeln!(out, "{n}_sum {}", h.sum);
             let _ = writeln!(out, "{n}_count {}", h.count);
         }
+        for (name, s) in &self.sketches {
+            let n = ns.claim(&prom_name(name), &["", "_sum", "_count"]);
+            let _ = writeln!(out, "# HELP {n} {}", help_escape(name));
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (q, v) in [
+                ("0.5", s.p50),
+                ("0.9", s.p90),
+                ("0.95", s.p95),
+                ("0.99", s.p99),
+                ("0.999", s.p999),
+            ] {
+                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{n}_sum {}", s.sum);
+            let _ = writeln!(out, "{n}_count {}", s.count);
+        }
         for (name, value) in &self.extra {
-            let n = prom_name(name);
+            let n = ns.claim(&prom_name(name), &[""]);
+            let _ = writeln!(out, "# HELP {n} {}", help_escape(name));
             let _ = writeln!(out, "# TYPE {n} gauge");
             let _ = writeln!(out, "{n} {}", json_f64(*value));
         }
@@ -169,6 +285,10 @@ mod tests {
         let h = r.histogram("ex.latency_us");
         h.record(5);
         h.record(700);
+        let s = r.sketch("ex.lat_sketch_us");
+        for v in [10, 20, 30, 40] {
+            s.record(v);
+        }
         r.snapshot().with_extra("check.sum", 3.0)
     }
 
@@ -179,6 +299,8 @@ mod tests {
         assert!(j.contains("\"count\":2"));
         assert!(j.contains("\"sum\":705"));
         assert!(j.contains("\"check.sum\": 3.0"));
+        assert!(j.contains("\"ex.lat_sketch_us\""));
+        assert!(j.contains("\"p999\":"));
         // Balanced braces/brackets — cheap structural validity check.
         assert_eq!(
             j.matches('{').count(),
@@ -199,6 +321,7 @@ mod tests {
     #[test]
     fn prometheus_format() {
         let p = sample().to_prometheus();
+        assert!(p.contains("# HELP ex_hits ex.hits"));
         assert!(p.contains("# TYPE ex_hits counter"));
         assert!(p.contains("ex_hits 3"));
         assert!(p.contains("# TYPE ex_latency_us histogram"));
@@ -209,7 +332,43 @@ mod tests {
         assert!(p.contains("ex_latency_us_bucket{le=\"+Inf\"} 2"));
         assert!(p.contains("ex_latency_us_sum 705"));
         assert!(p.contains("ex_latency_us_count 2"));
+        assert!(p.contains("# TYPE ex_lat_sketch_us summary"));
+        assert!(p.contains("ex_lat_sketch_us{quantile=\"0.5\"}"));
+        assert!(p.contains("ex_lat_sketch_us{quantile=\"0.999\"}"));
+        assert!(p.contains("ex_lat_sketch_us_count 4"));
         assert!(p.contains("check_sum 3.0"));
+    }
+
+    #[test]
+    fn sanitized_collisions_are_uniquified() {
+        let r = Registry::new();
+        // Both sanitize to `kernel_batches`.
+        r.counter("kernel.batches").add(1);
+        r.counter("kernel_batches").add(2);
+        let p = r.snapshot().to_prometheus();
+        // BTreeMap order: "kernel.batches" < "kernel_batches".
+        assert!(p.contains("\nkernel_batches 1\n"));
+        assert!(p.contains("# HELP kernel_batches_2 kernel_batches"));
+        assert!(p.contains("\nkernel_batches_2 2\n"));
+        // No duplicate series name anywhere.
+        let mut seen = std::collections::BTreeSet::new();
+        for line in p.lines().filter(|l| !l.starts_with('#')) {
+            let series = line.split([' ', '{']).next().unwrap();
+            assert!(seen.insert(series.to_string()), "duplicate series {series}");
+        }
+    }
+
+    #[test]
+    fn histogram_derived_series_cannot_collide_with_counters() {
+        let r = Registry::new();
+        r.counter("x.count").add(9); // sanitizes to x_count
+        r.histogram("x").record(1); // wants x_bucket/x_sum/x_count
+        let p = r.snapshot().to_prometheus();
+        // The histogram's claim sees x_count taken and moves to x_2.
+        assert!(p.contains("\nx_count 9\n"));
+        assert!(p.contains("# TYPE x_2 histogram"));
+        assert!(p.contains("x_2_count 1"));
+        assert!(!p.contains("\nx_count 1\n"));
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! * [`span`] — RAII timing spans, nestable, with a thread-local span
 //!   stack; each span records its wall time (µs) into the histogram of
 //!   the same name on drop;
+//! * [`QuantileSketch`] — log-linear (HDR-style) sketches with ~1.6%
+//!   relative error, for latency quantiles where pow2 histogram buckets
+//!   are too coarse near p99;
+//! * [`trace`] — request-scoped span trees ([`TraceCtx`]) and the
+//!   global [`FlightRecorder`] keeping the last N completed traces;
 //! * [`Registry`] — a global registry keyed by `&'static str` metric
 //!   names, snapshottable;
 //! * [`Snapshot`] — exported as JSON ([`Snapshot::to_json`]) or
@@ -57,12 +62,19 @@ mod counter;
 mod export;
 mod histogram;
 mod registry;
+mod sketch;
 mod span;
+pub mod trace;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{global, Registry, Snapshot};
+pub use sketch::{QuantileSketch, SketchSnapshot, SketchTimer, SKETCH_BUCKETS};
 pub use span::{active_spans, span, span_depth, SpanGuard};
+pub use trace::{
+    parse_dump, recorder, span_current, AnnValue, FlightRecorder, SpanRecord, Trace, TraceCtx,
+    TraceSpan,
+};
 
 /// Caches the [`Counter`] lookup for a call site: expands to an
 /// expression of type `&'static Counter` resolved from the global
@@ -91,5 +103,22 @@ macro_rules! histogram {
         static SITE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
             ::std::sync::OnceLock::new();
         &**SITE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+/// Caches the [`QuantileSketch`] lookup for a call site (see
+/// [`counter!`]). Use a sketch instead of a histogram when the tail
+/// matters: pow2 histogram buckets are ~2× wide near p99, a sketch is
+/// accurate to ~1.6%.
+///
+/// ```
+/// obs::sketch!("doc.example.lat_sketch_us").record(42);
+/// ```
+#[macro_export]
+macro_rules! sketch {
+    ($name:expr) => {{
+        static SITE: ::std::sync::OnceLock<::std::sync::Arc<$crate::QuantileSketch>> =
+            ::std::sync::OnceLock::new();
+        &**SITE.get_or_init(|| $crate::global().sketch($name))
     }};
 }

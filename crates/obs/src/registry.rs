@@ -1,20 +1,22 @@
 //! Global metric registry and snapshots.
 
-use crate::{Counter, Histogram, HistogramSnapshot};
+use crate::{Counter, Histogram, HistogramSnapshot, QuantileSketch, SketchSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// A registry of named counters and histograms.
+/// A registry of named counters, histograms, and quantile sketches.
 ///
 /// Names are `&'static str` dotted paths (see the crate docs for the
 /// naming conventions). Lookup takes a `Mutex`, so hot paths should
-/// resolve once and hold the `Arc` — the [`counter!`](crate::counter!)
-/// and [`histogram!`](crate::histogram!) macros do this per call site.
+/// resolve once and hold the `Arc` — the [`counter!`](crate::counter!),
+/// [`histogram!`](crate::histogram!), and [`sketch!`](crate::sketch!)
+/// macros do this per call site.
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    sketches: Mutex<BTreeMap<&'static str, Arc<QuantileSketch>>>,
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -53,6 +55,18 @@ impl Registry {
         )
     }
 
+    /// Returns the quantile sketch named `name`, creating it on first
+    /// use.
+    pub fn sketch(&self, name: &'static str) -> Arc<QuantileSketch> {
+        Arc::clone(
+            self.sketches
+                .lock()
+                .expect("obs registry poisoned")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
     /// Registered counter names, sorted.
     pub fn counter_names(&self) -> Vec<&'static str> {
         self.counters
@@ -66,6 +80,16 @@ impl Registry {
     /// Registered histogram names, sorted.
     pub fn histogram_names(&self) -> Vec<&'static str> {
         self.histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Registered sketch names, sorted.
+    pub fn sketch_names(&self) -> Vec<&'static str> {
+        self.sketches
             .lock()
             .expect("obs registry poisoned")
             .keys()
@@ -89,9 +113,17 @@ impl Registry {
             .iter()
             .map(|(&k, v)| (k.to_string(), v.snapshot()))
             .collect();
+        let sketches = self
+            .sketches
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.snapshot()))
+            .collect();
         Snapshot {
             counters,
             histograms,
+            sketches,
             extra: BTreeMap::new(),
         }
     }
@@ -115,6 +147,14 @@ impl Registry {
         {
             h.reset();
         }
+        for s in self
+            .sketches
+            .lock()
+            .expect("obs registry poisoned")
+            .values()
+        {
+            s.reset();
+        }
     }
 }
 
@@ -123,6 +163,7 @@ impl std::fmt::Debug for Registry {
         f.debug_struct("Registry")
             .field("counters", &self.counter_names().len())
             .field("histograms", &self.histogram_names().len())
+            .field("sketches", &self.sketch_names().len())
             .finish()
     }
 }
@@ -137,6 +178,9 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram states by metric name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch states by metric name.
+    #[serde(default)]
+    pub sketches: BTreeMap<String, SketchSnapshot>,
     /// Caller-attached cross-check values (not registry metrics).
     pub extra: BTreeMap<String, f64>,
 }
@@ -150,6 +194,11 @@ impl Snapshot {
     /// The histogram named `name`, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
+    }
+
+    /// The quantile sketch named `name`, if registered.
+    pub fn sketch(&self, name: &str) -> Option<&SketchSnapshot> {
+        self.sketches.get(name)
     }
 
     /// Attaches a cross-check value under `key` (builder style).

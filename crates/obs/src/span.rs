@@ -1,4 +1,21 @@
 //! RAII timing spans.
+//!
+//! # Thread locality
+//!
+//! The span stack behind [`active_spans`] / [`span_depth`] is
+//! **per-thread**: a guard pushed on one thread is invisible to every
+//! other, so a request whose work fans out over a pool shows up as
+//! disconnected single-thread fragments here. That is by design — this
+//! stack exists for cheap ambient context (who is timing right now on
+//! *this* thread), not request attribution, and making it global would
+//! put a shared lock on every span push.
+//!
+//! For a request-scoped view that *does* cross threads, use
+//! [`crate::trace`]: a [`crate::TraceCtx`] travels with the request,
+//! the dispatching side captures a parent span id
+//! ([`crate::TraceSpan::id`]) and the worker side reattaches with
+//! [`crate::TraceCtx::span_under`] — producing one well-nested span
+//! tree per request regardless of which threads ran the pieces.
 
 use crate::Histogram;
 use std::cell::RefCell;
@@ -13,7 +30,8 @@ thread_local! {
 /// Starts a timing span: the returned guard records the elapsed wall
 /// time in microseconds into the histogram named `name` when dropped.
 /// Spans nest freely; the per-thread stack of open span names is
-/// visible via [`active_spans`] / [`span_depth`].
+/// visible via [`active_spans`] / [`span_depth`] (on **this thread
+/// only** — see the module docs for the cross-thread story).
 ///
 /// Under `obs-off` the guard still maintains the stack (it is cheap and
 /// keeps `active_spans` truthful) but the drop records nothing.

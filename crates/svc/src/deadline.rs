@@ -74,12 +74,14 @@ impl CancelToken {
 }
 
 /// Everything a shard task needs to decide whether to keep working.
-/// Cloning shares the cancellation flag (the deadline is `Copy`).
+/// Cloning shares the cancellation flag and the trace (the deadline is
+/// `Copy`).
 #[derive(Clone, Debug)]
 pub struct RequestCtx {
     /// The request's absolute deadline.
     pub deadline: Deadline,
     cancel: CancelToken,
+    trace: obs::TraceCtx,
 }
 
 impl RequestCtx {
@@ -88,7 +90,26 @@ impl RequestCtx {
         RequestCtx {
             deadline,
             cancel: CancelToken::new(),
+            trace: obs::TraceCtx::disabled(),
         }
+    }
+
+    /// A context carrying a caller-owned trace: the service records
+    /// request spans into it but does **not** finish it — the caller
+    /// decides when the trace is complete (e.g. after retries) and
+    /// calls [`crate::Service::finish_trace`]. Without this, the
+    /// service starts and finishes one trace per request by itself.
+    pub fn traced(deadline: Deadline, trace: obs::TraceCtx) -> Self {
+        RequestCtx {
+            deadline,
+            cancel: CancelToken::new(),
+            trace,
+        }
+    }
+
+    /// The trace this request records into (disabled by default).
+    pub fn trace(&self) -> &obs::TraceCtx {
+        &self.trace
     }
 
     /// Cancels every task sharing this context.

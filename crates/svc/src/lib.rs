@@ -25,7 +25,17 @@
 //! * [`degrade`] — shard quarantine and the typed [`Degraded`] response
 //!   marker for conservative (*maybe present*) answers;
 //! * [`mod@retry`] — bounded retry with decorrelated-jitter backoff for
-//!   transient [`SvcError::Overloaded`] rejections.
+//!   transient [`SvcError::Overloaded`] rejections;
+//! * [`telemetry`] — a zero-dependency HTTP endpoint serving
+//!   `/metrics` (Prometheus), `/healthz`, and `/debug/traces` (the
+//!   request-trace flight recorder).
+//!
+//! Every request is traced end-to-end by default (see
+//! [`SvcConfig::trace_requests`]): one span tree per request — request
+//! root, admission, per-shard jobs (across worker threads), kernel
+//! stages, merge — lands in the global [`obs::recorder`] flight
+//! recorder, with requests slower than [`SvcConfig::slow_query`]
+//! pinned as a slow-query log.
 //!
 //! ## Quick start
 //!
@@ -62,6 +72,7 @@ pub mod pool;
 pub mod retry;
 pub mod service;
 pub mod shard;
+pub mod telemetry;
 
 pub use batch::{group_cells_by_shard, group_rects_by_shard, ShardCells, ShardRects};
 pub use chaos::{Fault, FaultPlan, FaultRule};
@@ -70,6 +81,7 @@ pub use deadline::{CancelToken, Deadline, RequestCtx};
 pub use degrade::{Degraded, Response, ShardHealth};
 pub use error::SvcError;
 pub use pool::WorkerPool;
-pub use retry::{retry, RetryPolicy};
+pub use retry::{retry, retry_traced, RetryPolicy};
 pub use service::{Service, SvcConfig, CHUNK_ROWS};
 pub use shard::{Shard, ShardedIndex};
+pub use telemetry::TelemetryServer;

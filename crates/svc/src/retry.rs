@@ -54,6 +54,25 @@ impl Default for RetryPolicy {
 pub fn retry<T>(
     policy: &RetryPolicy,
     seed: u64,
+    op: impl FnMut(usize) -> Result<T, SvcError>,
+) -> Result<T, SvcError> {
+    retry_traced(policy, seed, &obs::TraceCtx::disabled(), op)
+}
+
+/// [`retry`] recording its backoff decisions into `trace`: each sleep
+/// becomes a `svc.retry.backoff` event annotated with the attempt
+/// number and sleep microseconds, and exhaustion becomes a
+/// `svc.retry.exhausted` event. Combine with
+/// [`crate::RequestCtx::traced`] so every attempt's `svc.request`
+/// span and the sleeps between them land in one trace.
+///
+/// # Panics
+///
+/// Panics if `policy.max_attempts` is zero.
+pub fn retry_traced<T>(
+    policy: &RetryPolicy,
+    seed: u64,
+    trace: &obs::TraceCtx,
     mut op: impl FnMut(usize) -> Result<T, SvcError>,
 ) -> Result<T, SvcError> {
     assert!(policy.max_attempts >= 1, "need at least one attempt");
@@ -69,6 +88,7 @@ pub fn retry<T>(
             Err(_) => {}
         }
         if attempts >= policy.max_attempts {
+            trace.event("svc.retry.exhausted", "attempts", attempts);
             return Err(SvcError::RetriesExhausted { attempts });
         }
         // Decorrelated jitter: uniform in [base, 3 × previous sleep],
@@ -79,9 +99,15 @@ pub fn retry<T>(
         let hi = (prev_sleep.as_micros() as u64).saturating_mul(3).max(lo) + 1;
         let sleep = Duration::from_micros(lo + rng % (hi - lo)).min(policy.cap);
         if started.elapsed() + sleep > policy.max_elapsed {
+            trace.event("svc.retry.exhausted", "attempts", attempts);
             return Err(SvcError::RetriesExhausted { attempts });
         }
         obs::counter!("svc.retries").inc();
+        if trace.enabled() {
+            let mut e = trace.span_under(0, "svc.retry.backoff");
+            e.annotate("attempt", attempts);
+            e.annotate("sleep_us", sleep.as_micros() as u64);
+        }
         std::thread::sleep(sleep);
         prev_sleep = sleep;
     }

@@ -71,6 +71,15 @@ pub struct SvcConfig {
     /// ([`ab::BatchRows::Adaptive`] sizes per query from the cache
     /// hierarchy).
     pub batch_rows: BatchRows,
+    /// Start a request-scoped trace for every request that doesn't
+    /// carry its own (see [`RequestCtx::traced`]); completed traces
+    /// land in the global [`obs::recorder`]. Tracing costs one small
+    /// allocation per span, so latency benchmarks may turn it off.
+    pub trace_requests: bool,
+    /// Requests at least this slow are **pinned** in the flight
+    /// recorder (the slow-query log) instead of rotating out of the
+    /// ring, and counted in `svc.slow_queries`.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for SvcConfig {
@@ -83,6 +92,8 @@ impl Default for SvcConfig {
             with_wah: false,
             kernel: KernelKind::default(),
             batch_rows: BatchRows::default(),
+            trace_requests: true,
+            slow_query: None,
         }
     }
 }
@@ -131,6 +142,21 @@ fn shard_outcome<T>(body: impl FnOnce() -> Result<T, SvcError>) -> ShardOutcome<
     }
 }
 
+/// Stamps a shard job's trace span with how the job ended.
+fn annotate_shard_outcome<T>(span: &mut obs::TraceSpan, outcome: &ShardOutcome<T>) {
+    if !span.enabled() {
+        return;
+    }
+    match outcome {
+        ShardOutcome::Done(Ok(_)) => span.annotate("outcome", "ok"),
+        ShardOutcome::Done(Err(e)) => {
+            span.annotate("outcome", "error");
+            span.annotate("error", error_code(e));
+        }
+        ShardOutcome::Panicked => span.annotate("outcome", "panicked"),
+    }
+}
+
 /// Every global row a shard-local query part covers — the
 /// conservative ("maybe present") answer for a quarantined shard.
 fn conservative_rows(shard_start: usize, local: &RectQuery) -> Vec<usize> {
@@ -145,6 +171,35 @@ pub struct Service {
     health: Arc<ShardHealth>,
     chaos: Option<Arc<chaos::FaultPlan>>,
     kernel: KernelOpts,
+    trace_requests: bool,
+    slow_query: Option<Duration>,
+}
+
+/// The per-kind request-latency sketch (`svc.latency_us.<kind>`) —
+/// accurate p50/p95/p99 where the pow2 `svc.request_us` histogram
+/// buckets are ~2× wide.
+fn latency_sketch(kind: &'static str) -> &'static obs::QuantileSketch {
+    match kind {
+        "rect" => obs::sketch!("svc.latency_us.rect"),
+        "rect_wah" => obs::sketch!("svc.latency_us.rect_wah"),
+        "cells" => obs::sketch!("svc.latency_us.cells"),
+        "batch" => obs::sketch!("svc.latency_us.batch"),
+        _ => obs::sketch!("svc.latency_us.other"),
+    }
+}
+
+/// Short stable code for trace annotations.
+fn error_code(e: &SvcError) -> &'static str {
+    match e {
+        SvcError::Overloaded { .. } => "overloaded",
+        SvcError::DeadlineExceeded => "deadline_exceeded",
+        SvcError::Cancelled => "cancelled",
+        SvcError::Query(_) => "invalid_query",
+        SvcError::Shutdown => "shutdown",
+        SvcError::WahUnavailable => "wah_unavailable",
+        SvcError::RetriesExhausted { .. } => "retries_exhausted",
+        SvcError::ShardQuarantined { .. } => "shard_quarantined",
+    }
 }
 
 impl Service {
@@ -162,6 +217,8 @@ impl Service {
             health,
             chaos: None,
             kernel: KernelOpts::new(cfg.kernel).with_batch_rows(cfg.batch_rows),
+            trace_requests: cfg.trace_requests,
+            slow_query: cfg.slow_query,
         }
     }
 
@@ -176,6 +233,8 @@ impl Service {
             health,
             chaos: None,
             kernel: KernelOpts::new(cfg.kernel).with_batch_rows(cfg.batch_rows),
+            trace_requests: cfg.trace_requests,
+            slow_query: cfg.slow_query,
         }
     }
 
@@ -219,11 +278,81 @@ impl Service {
         self.pool.queue_depth()
     }
 
+    /// The quarantine ledger behind its `Arc` — for telemetry servers
+    /// that outlive borrows of the service.
+    pub fn health_arc(&self) -> Arc<ShardHealth> {
+        Arc::clone(&self.health)
+    }
+
     fn ctx_with_default(&self) -> RequestCtx {
         RequestCtx::new(match self.default_deadline {
             Some(budget) => Deadline::within(budget),
             None => Deadline::none(),
         })
+    }
+
+    /// Wraps one request: opens its `svc.request` root span (on the
+    /// caller's trace if the ctx carries one, on a fresh service-owned
+    /// trace otherwise), annotates the outcome, records the per-kind
+    /// latency sketch, and — for service-owned traces — finishes the
+    /// trace into the global flight recorder.
+    fn traced_request<T>(
+        &self,
+        kind: &'static str,
+        ctx: &RequestCtx,
+        run: impl FnOnce(&obs::TraceCtx, u64) -> Result<T, SvcError>,
+    ) -> Result<T, SvcError> {
+        let _timer = obs::span("svc.request_us");
+        obs::counter!("svc.requests").inc();
+        let start = std::time::Instant::now();
+        let (trace, owned) = if ctx.trace().enabled() {
+            (ctx.trace().clone(), false)
+        } else if self.trace_requests {
+            (obs::TraceCtx::start(kind), true)
+        } else {
+            (obs::TraceCtx::disabled(), false)
+        };
+        let mut root = trace.span_under(0, "svc.request");
+        root.annotate("kind", kind);
+        let root_id = root.id();
+        let result = run(&trace, root_id);
+        match &result {
+            Ok(_) => root.annotate("outcome", "ok"),
+            Err(e) => {
+                root.annotate("outcome", "error");
+                root.annotate("error", error_code(e));
+            }
+        }
+        drop(root);
+        latency_sketch(kind).record(start.elapsed().as_micros() as u64);
+        if owned {
+            self.record_trace(&trace);
+        }
+        result
+    }
+
+    /// Finishes a trace and files it in the global [`obs::recorder`],
+    /// pinning it as a slow query when it crossed
+    /// [`SvcConfig::slow_query`].
+    fn record_trace(&self, trace: &obs::TraceCtx) {
+        if let Some(t) = trace.finish() {
+            let pin = self
+                .slow_query
+                .is_some_and(|thr| u128::from(t.duration_us) >= thr.as_micros());
+            if pin {
+                obs::counter!("svc.slow_queries").inc();
+            }
+            obs::recorder().record(t, pin);
+        }
+    }
+
+    /// Finishes a **caller-owned** trace (see [`RequestCtx::traced`])
+    /// and files it in the global flight recorder, applying the
+    /// service's slow-query pinning policy. Call once, after the last
+    /// request (e.g. the last retry attempt) recorded into it; each
+    /// attempt appears as its own `svc.request` root span.
+    pub fn finish_trace(&self, trace: &obs::TraceCtx) {
+        self.record_trace(trace);
     }
 
     /// Rectangular AB query under the service's default deadline.
@@ -273,12 +402,24 @@ impl Service {
         query: &RectQuery,
         ctx: &RequestCtx,
     ) -> Result<Response<Vec<usize>>, SvcError> {
-        let _timer = obs::span("svc.request_us");
-        obs::counter!("svc.requests").inc();
+        self.traced_request("rect", ctx, |trace, root_id| {
+            self.rect_ctx_traced(query, ctx, trace, root_id)
+        })
+    }
+
+    fn rect_ctx_traced(
+        &self,
+        query: &RectQuery,
+        ctx: &RequestCtx,
+        trace: &obs::TraceCtx,
+        root_id: u64,
+    ) -> Result<Response<Vec<usize>>, SvcError> {
+        let mut admit = trace.span_under(root_id, "svc.admit");
         self.index.validate_rect(query)?;
         ctx.check()?;
         let parts = self.index.split_rect(query);
         obs::histogram!("svc.fanout").record(parts.len() as u64);
+        admit.annotate("fanout", parts.len());
         // Remember each slot's row interval so a panicking shard's
         // slice can be re-answered conservatively after the fact.
         let slot_spans: Vec<(usize, RectQuery)> = parts.clone();
@@ -289,6 +430,9 @@ impl Service {
         for (slot, (sid, local)) in parts.into_iter().enumerate() {
             let start = self.index.shards()[sid].start();
             if self.health.is_quarantined(sid) {
+                trace
+                    .span_under(root_id, "svc.quarantined")
+                    .annotate("shard", sid);
                 merged[slot] = Some(conservative_rows(start, &local));
                 degraded.push(sid);
                 continue;
@@ -303,11 +447,18 @@ impl Service {
             let plan = self.chaos.clone();
             let kernel = self.kernel;
             let tx = tx.clone();
+            let job_trace = trace.clone();
             if let Err(e) = self.pool.try_execute(move || {
+                let mut tspan = job_trace.span_under(root_id, "svc.shard");
+                tspan.annotate("shard", sid);
+                let enter = tspan.enter();
                 let outcome = shard_outcome(|| {
                     chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
                     run_shard_chunked(&index.shards()[sid], &local, &job_ctx, kernel)
                 });
+                drop(enter);
+                annotate_shard_outcome(&mut tspan, &outcome);
+                drop(tspan);
                 let _ = tx.send((slot, sid, outcome));
             }) {
                 // Shed: abandon the whole request and stop any parts
@@ -319,6 +470,8 @@ impl Service {
             expected += 1;
         }
         drop(tx);
+        drop(admit);
+        let mut merge = trace.span_under(root_id, "svc.merge");
         for _ in 0..expected {
             match self.collect(&rx, ctx)? {
                 (slot, _, ShardOutcome::Done(Ok(rows))) => merged[slot] = Some(rows),
@@ -331,6 +484,9 @@ impl Service {
                     merged[slot] = Some(conservative_rows(start, local));
                 }
             }
+        }
+        if !degraded.is_empty() {
+            merge.annotate("degraded_shards", degraded.len());
         }
         // Shard parts were issued in row order, so flattening by slot
         // yields globally sorted rows.
@@ -346,20 +502,45 @@ impl Service {
     /// conservative, so a quarantined (or newly panicking) shard
     /// fails the request with [`SvcError::ShardQuarantined`].
     pub fn query_rect_wah(&self, query: &RectQuery) -> Result<Vec<usize>, SvcError> {
-        let _timer = obs::span("svc.request_us");
-        obs::counter!("svc.requests").inc();
+        self.query_rect_wah_ctx(query, &self.ctx_with_default())
+    }
+
+    /// [`Self::query_rect_wah`] under a caller-owned [`RequestCtx`]
+    /// (deadline, cancellation, and optionally a caller-owned trace —
+    /// see [`RequestCtx::traced`]).
+    pub fn query_rect_wah_ctx(
+        &self,
+        query: &RectQuery,
+        ctx: &RequestCtx,
+    ) -> Result<Vec<usize>, SvcError> {
+        self.traced_request("rect_wah", ctx, |trace, root_id| {
+            self.rect_wah_traced(query, ctx, trace, root_id)
+        })
+    }
+
+    fn rect_wah_traced(
+        &self,
+        query: &RectQuery,
+        ctx: &RequestCtx,
+        trace: &obs::TraceCtx,
+        root_id: u64,
+    ) -> Result<Vec<usize>, SvcError> {
+        let mut admit = trace.span_under(root_id, "svc.admit");
         self.index.validate_rect(query)?;
         if self.index.shards().iter().any(|s| s.wah().is_none()) {
             return Err(SvcError::WahUnavailable);
         }
-        let ctx = self.ctx_with_default();
         ctx.check()?;
         let parts = self.index.split_rect(query);
         obs::histogram!("svc.fanout").record(parts.len() as u64);
+        admit.annotate("fanout", parts.len());
         if let Some(&(sid, _)) = parts
             .iter()
             .find(|(sid, _)| self.health.is_quarantined(*sid))
         {
+            trace
+                .span_under(root_id, "svc.quarantined")
+                .annotate("shard", sid);
             return Err(SvcError::ShardQuarantined { shard: sid });
         }
         let (tx, rx) = mpsc::channel();
@@ -369,7 +550,11 @@ impl Service {
             let job_ctx = ctx.clone();
             let plan = self.chaos.clone();
             let tx = tx.clone();
+            let job_trace = trace.clone();
             if let Err(e) = self.pool.try_execute(move || {
+                let mut tspan = job_trace.span_under(root_id, "svc.shard");
+                tspan.annotate("shard", sid);
+                let enter = tspan.enter();
                 let outcome = shard_outcome(|| {
                     job_ctx.check()?;
                     chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
@@ -382,6 +567,9 @@ impl Service {
                         .map(|r| r + shard.start())
                         .collect::<Vec<usize>>())
                 });
+                drop(enter);
+                annotate_shard_outcome(&mut tspan, &outcome);
+                drop(tspan);
                 let _ = tx.send((slot, sid, outcome));
             }) {
                 ctx.cancel();
@@ -390,14 +578,16 @@ impl Service {
             }
         }
         drop(tx);
+        drop(admit);
+        let _merge = trace.span_under(root_id, "svc.merge");
         let mut merged: Vec<Option<Vec<usize>>> = (0..expected).map(|_| None).collect();
         for _ in 0..expected {
-            match self.collect(&rx, &ctx)? {
+            match self.collect(&rx, ctx)? {
                 (slot, _, ShardOutcome::Done(Ok(rows))) => merged[slot] = Some(rows),
-                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(&ctx, e)),
+                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(ctx, e)),
                 (_, sid, ShardOutcome::Panicked) => {
                     self.health.quarantine(sid);
-                    return Err(self.abandon(&ctx, SvcError::ShardQuarantined { shard: sid }));
+                    return Err(self.abandon(ctx, SvcError::ShardQuarantined { shard: sid }));
                 }
             }
         }
@@ -418,17 +608,30 @@ impl Service {
     /// present*, the conservative AB answer — and the response's
     /// `degraded` marker names those shards.
     pub fn try_retrieve_cells(&self, cells: &[Cell]) -> Result<Response<Vec<bool>>, SvcError> {
-        let _timer = obs::span("svc.request_us");
-        obs::counter!("svc.requests").inc();
+        let ctx = self.ctx_with_default();
+        self.traced_request("cells", &ctx, |trace, root_id| {
+            self.retrieve_cells_traced(cells, &ctx, trace, root_id)
+        })
+    }
+
+    fn retrieve_cells_traced(
+        &self,
+        cells: &[Cell],
+        ctx: &RequestCtx,
+        trace: &obs::TraceCtx,
+        root_id: u64,
+    ) -> Result<Response<Vec<bool>>, SvcError> {
+        let mut admit = trace.span_under(root_id, "svc.admit");
         obs::histogram!("svc.batch.size").record(cells.len() as u64);
         self.validate_cells(cells)?;
         if cells.is_empty() {
             return Ok(Response::healthy(Vec::new()));
         }
-        let ctx = self.ctx_with_default();
         ctx.check()?;
         let groups = group_cells_by_shard(&self.index, cells);
         obs::histogram!("svc.fanout").record(groups.len() as u64);
+        admit.annotate("fanout", groups.len());
+        admit.annotate("cells", cells.len());
         // Remember each slot's probe positions so a panicking shard's
         // probes can be re-answered conservatively after the fact.
         let slot_positions: Vec<Vec<usize>> = groups
@@ -442,6 +645,9 @@ impl Service {
         for (slot, group) in groups.into_iter().enumerate() {
             let sid = group.shard;
             if self.health.is_quarantined(sid) {
+                trace
+                    .span_under(root_id, "svc.quarantined")
+                    .annotate("shard", sid);
                 for &pos in &slot_positions[slot] {
                     answers[pos] = true;
                 }
@@ -458,7 +664,11 @@ impl Service {
             let plan = self.chaos.clone();
             let kernel = self.kernel;
             let tx = tx.clone();
+            let job_trace = trace.clone();
             if let Err(e) = self.pool.try_execute(move || {
+                let mut tspan = job_trace.span_under(root_id, "svc.shard");
+                tspan.annotate("shard", sid);
+                let enter = tspan.enter();
                 let outcome = shard_outcome(|| {
                     chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
                     let shard = &index.shards()[sid];
@@ -473,6 +683,9 @@ impl Service {
                     }
                     Ok(out)
                 });
+                drop(enter);
+                annotate_shard_outcome(&mut tspan, &outcome);
+                drop(tspan);
                 let _ = tx.send((slot, sid, outcome));
             }) {
                 ctx.cancel();
@@ -482,14 +695,16 @@ impl Service {
             expected += 1;
         }
         drop(tx);
+        drop(admit);
+        let mut merge = trace.span_under(root_id, "svc.merge");
         for _ in 0..expected {
-            match self.collect(&rx, &ctx)? {
+            match self.collect(&rx, ctx)? {
                 (_, _, ShardOutcome::Done(Ok(hits))) => {
                     for (pos, hit) in hits {
                         answers[pos] = hit;
                     }
                 }
-                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(&ctx, e)),
+                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(ctx, e)),
                 (slot, sid, ShardOutcome::Panicked) => {
                     self.health.quarantine(sid);
                     degraded.push(sid);
@@ -498,6 +713,9 @@ impl Service {
                     }
                 }
             }
+        }
+        if !degraded.is_empty() {
+            merge.annotate("degraded_shards", degraded.len());
         }
         Ok(Response {
             value: answers,
@@ -523,8 +741,20 @@ impl Service {
         &self,
         queries: &[RectQuery],
     ) -> Result<Response<Vec<Vec<usize>>>, SvcError> {
-        let _timer = obs::span("svc.request_us");
-        obs::counter!("svc.requests").inc();
+        let ctx = self.ctx_with_default();
+        self.traced_request("batch", &ctx, |trace, root_id| {
+            self.query_batch_traced(queries, &ctx, trace, root_id)
+        })
+    }
+
+    fn query_batch_traced(
+        &self,
+        queries: &[RectQuery],
+        ctx: &RequestCtx,
+        trace: &obs::TraceCtx,
+        root_id: u64,
+    ) -> Result<Response<Vec<Vec<usize>>>, SvcError> {
+        let mut admit = trace.span_under(root_id, "svc.admit");
         obs::histogram!("svc.batch.size").record(queries.len() as u64);
         for q in queries {
             self.index.validate_rect(q)?;
@@ -532,10 +762,11 @@ impl Service {
         if queries.is_empty() {
             return Ok(Response::healthy(Vec::new()));
         }
-        let ctx = self.ctx_with_default();
         ctx.check()?;
         let groups = group_rects_by_shard(&self.index, queries);
         obs::histogram!("svc.fanout").record(groups.len() as u64);
+        admit.annotate("fanout", groups.len());
+        admit.annotate("queries", queries.len());
         // Remember each group's parts so a panicking shard's slices
         // can be re-answered conservatively after the fact.
         let group_parts: Vec<Vec<(usize, RectQuery)>> =
@@ -554,6 +785,9 @@ impl Service {
         for (slot, group) in groups.into_iter().enumerate() {
             let sid = group.shard;
             if self.health.is_quarantined(sid) {
+                trace
+                    .span_under(root_id, "svc.quarantined")
+                    .annotate("shard", sid);
                 conservative_group(&mut per_query, slot, sid);
                 degraded.push(sid);
                 continue;
@@ -568,7 +802,11 @@ impl Service {
             let plan = self.chaos.clone();
             let kernel = self.kernel;
             let tx = tx.clone();
+            let job_trace = trace.clone();
             if let Err(e) = self.pool.try_execute(move || {
+                let mut tspan = job_trace.span_under(root_id, "svc.shard");
+                tspan.annotate("shard", sid);
+                let enter = tspan.enter();
                 let outcome = shard_outcome(|| {
                     chaos::inject(plan.as_deref(), points::SHARD_QUERY, Some(sid))?;
                     let shard = &index.shards()[sid];
@@ -578,6 +816,9 @@ impl Service {
                     }
                     Ok(out)
                 });
+                drop(enter);
+                annotate_shard_outcome(&mut tspan, &outcome);
+                drop(tspan);
                 let _ = tx.send((slot, sid, outcome));
             }) {
                 ctx.cancel();
@@ -587,22 +828,27 @@ impl Service {
             expected += 1;
         }
         drop(tx);
+        drop(admit);
+        let mut merge = trace.span_under(root_id, "svc.merge");
         // Parts arrive in shard-completion order; tag each with its
         // shard id and sort per query so the merge stays row-ordered.
         for _ in 0..expected {
-            match self.collect(&rx, &ctx)? {
+            match self.collect(&rx, ctx)? {
                 (_, sid, ShardOutcome::Done(Ok(parts))) => {
                     for (qidx, rows) in parts {
                         per_query[qidx].push((sid, rows));
                     }
                 }
-                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(&ctx, e)),
+                (_, _, ShardOutcome::Done(Err(e))) => return Err(self.abandon(ctx, e)),
                 (slot, sid, ShardOutcome::Panicked) => {
                     self.health.quarantine(sid);
                     degraded.push(sid);
                     conservative_group(&mut per_query, slot, sid);
                 }
             }
+        }
+        if !degraded.is_empty() {
+            merge.annotate("degraded_shards", degraded.len());
         }
         Ok(Response {
             value: per_query

@@ -1,0 +1,228 @@
+//! Request-scoped tracing under real concurrency: every request must
+//! yield exactly one complete, well-nested span tree in the flight
+//! recorder — across 8 worker threads, with chaos faults panicking a
+//! shard mid-request.
+
+#![cfg(not(feature = "obs-off"))]
+
+use ab::{AbConfig, Level};
+use bitmap::{AttrRange, BinnedColumn, BinnedTable, RectQuery};
+#[cfg(not(feature = "chaos-off"))]
+use std::sync::Arc;
+#[cfg(not(feature = "chaos-off"))]
+use svc::chaos::{points, Fault, FaultPlan, FaultRule};
+#[cfg(not(feature = "chaos-off"))]
+use svc::RetryPolicy;
+use svc::{Deadline, RequestCtx, Service, SvcConfig};
+
+const ROWS: usize = 4096;
+
+fn table() -> BinnedTable {
+    BinnedTable::new(vec![
+        BinnedColumn::new("a", (0..ROWS).map(|i| (i % 8) as u32).collect(), 8),
+        BinnedColumn::new("b", (0..ROWS).map(|i| (i / 7 % 5) as u32).collect(), 5),
+    ])
+}
+
+fn config() -> SvcConfig {
+    SvcConfig {
+        threads: 8,
+        shards: 8,
+        ..SvcConfig::default()
+    }
+}
+
+fn rect(lo: usize, hi: usize) -> RectQuery {
+    RectQuery::new(vec![AttrRange::new(0, 2, 6)], lo, hi)
+}
+
+/// Walks one trace and checks structural integrity: exactly one root,
+/// every parent resolvable, every child's interval inside its
+/// parent's.
+#[cfg(not(feature = "chaos-off"))]
+fn assert_well_formed(t: &obs::Trace) {
+    assert_eq!(t.dropped_spans, 0, "trace {} dropped spans", t.trace_id);
+    let roots: Vec<_> = t.spans.iter().filter(|s| s.parent == 0).collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "trace {} must have exactly one root, got {:?}",
+        t.trace_id,
+        roots.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    assert_eq!(roots[0].name, "svc.request");
+    let by_id: std::collections::BTreeMap<u64, &obs::SpanRecord> =
+        t.spans.iter().map(|s| (s.id, s)).collect();
+    assert_eq!(by_id.len(), t.spans.len(), "duplicate span ids");
+    for s in &t.spans {
+        if s.parent == 0 {
+            continue;
+        }
+        let p = by_id.get(&s.parent).unwrap_or_else(|| {
+            panic!(
+                "span {} ({}) orphaned in trace {}",
+                s.id, s.name, t.trace_id
+            )
+        });
+        assert!(
+            s.start_us >= p.start_us && s.end_us <= p.end_us,
+            "span {} [{}, {}] escapes parent {} [{}, {}] in trace {}",
+            s.name,
+            s.start_us,
+            s.end_us,
+            p.name,
+            p.start_us,
+            p.end_us,
+            t.trace_id
+        );
+    }
+}
+
+#[test]
+#[cfg(not(feature = "chaos-off"))]
+fn one_complete_span_tree_per_request_across_threads_with_chaos() {
+    // Shard 3 panics once: that request must still produce a complete
+    // trace with the panicked shard job annotated and the request
+    // degraded.
+    let plan = Arc::new(
+        FaultPlan::new(42).with_rule(
+            FaultRule::new(points::SHARD_QUERY, Fault::Panic)
+                .on_shard(3)
+                .max_fires(1),
+        ),
+    );
+    let svc = Service::build(
+        &table(),
+        &AbConfig::new(Level::PerAttribute).with_alpha(16),
+        &config(),
+    )
+    .with_fault_plan(plan);
+
+    obs::recorder().clear();
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 4;
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let svc = &svc;
+            s.spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let lo = (c * 131 + i * 17) % (ROWS / 2);
+                    svc.try_query_rect(&rect(lo, ROWS - 1)).unwrap();
+                }
+            });
+        }
+    });
+
+    let traces = obs::recorder().traces();
+    assert_eq!(
+        obs::recorder().recorded(),
+        (CLIENTS * PER_CLIENT) as u64,
+        "every request records exactly one trace"
+    );
+    assert_eq!(traces.len(), CLIENTS * PER_CLIENT);
+    let mut saw_panicked = false;
+    let mut saw_degraded_merge = false;
+    for t in &traces {
+        assert_well_formed(t);
+        assert_eq!(t.kind, "rect");
+        // Cross-thread handoff: shard jobs ran on pool threads yet
+        // hang off this trace's root; kernel stages hang off shards.
+        let shard_spans: Vec<_> = t.spans.iter().filter(|s| s.name == "svc.shard").collect();
+        assert!(
+            !shard_spans.is_empty(),
+            "trace {} has no shard spans",
+            t.trace_id
+        );
+        let kernel_spans = t
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("ab.kernel."))
+            .count();
+        assert!(kernel_spans > 0, "trace {} has no kernel spans", t.trace_id);
+        assert!(t.spans.iter().any(|s| s.name == "svc.admit"));
+        assert!(t.spans.iter().any(|s| s.name == "svc.merge"));
+        for sp in &shard_spans {
+            let outcome = sp
+                .annotations
+                .iter()
+                .find(|(k, _)| k == "outcome")
+                .unwrap_or_else(|| panic!("shard span without outcome in {}", t.trace_id));
+            if outcome.1 == obs::AnnValue::Str("panicked".into()) {
+                saw_panicked = true;
+            }
+        }
+        if t.spans.iter().any(|s| {
+            s.name == "svc.merge" && s.annotations.iter().any(|(k, _)| k == "degraded_shards")
+        }) {
+            saw_degraded_merge = true;
+        }
+    }
+    assert!(saw_panicked, "the injected panic never showed in a trace");
+    assert!(
+        saw_degraded_merge,
+        "no trace recorded a degraded merge despite the quarantine"
+    );
+}
+
+#[test]
+#[cfg(not(feature = "chaos-off"))]
+fn caller_owned_trace_collects_all_retry_attempts() {
+    // With a caller-owned trace, the service records request spans but
+    // leaves finishing to the caller — so several attempts (here via
+    // retry_traced against an always-overloaded pool) share one trace.
+    let svc = Service::build(
+        &table(),
+        &AbConfig::new(Level::PerAttribute).with_alpha(16),
+        &config(),
+    )
+    .with_fault_plan(Arc::new(
+        FaultPlan::new(7).with_rule(FaultRule::new(points::POOL_SUBMIT, Fault::Overloaded)),
+    ));
+    let trace = obs::TraceCtx::start("rect");
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        ..RetryPolicy::default()
+    };
+    let out = svc::retry_traced(&policy, 99, &trace, |_attempt| {
+        // A failed attempt cancels its RequestCtx, so each attempt
+        // gets a fresh ctx carrying the same trace.
+        let ctx = RequestCtx::traced(Deadline::none(), trace.clone());
+        svc.query_rect_ctx(&rect(0, ROWS - 1), &ctx)
+    });
+    assert!(out.is_err(), "submission is always shed");
+    let t = trace.finish().expect("caller finishes the trace");
+    let attempts = t.spans.iter().filter(|s| s.name == "svc.request").count();
+    assert_eq!(
+        attempts, 3,
+        "each retry attempt is a root-level request span"
+    );
+    let backoffs = t
+        .spans
+        .iter()
+        .filter(|s| s.name == "svc.retry.backoff")
+        .count();
+    assert_eq!(backoffs, 2, "a backoff event between each pair of attempts");
+    for s in t.spans.iter().filter(|s| s.name == "svc.request") {
+        assert!(s
+            .annotations
+            .contains(&("error".to_string(), obs::AnnValue::Str("overloaded".into()))));
+    }
+}
+
+#[test]
+fn service_owned_traces_can_be_disabled() {
+    let svc = Service::build(
+        &table(),
+        &AbConfig::new(Level::PerAttribute).with_alpha(16),
+        &SvcConfig {
+            trace_requests: false,
+            ..config()
+        },
+    );
+    // Caller-owned traces still work even when automatic ones are off.
+    let trace = obs::TraceCtx::start("rect");
+    let ctx = RequestCtx::traced(Deadline::none(), trace.clone());
+    svc.query_rect_ctx(&rect(0, ROWS - 1), &ctx).unwrap();
+    let t = trace.finish().unwrap();
+    assert!(t.spans.iter().any(|s| s.name == "svc.shard"));
+}

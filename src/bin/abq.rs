@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("bench-svc") => cmd_bench_svc(&args[1..]),
         Some("bench-report") => cmd_bench_report(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -77,7 +78,8 @@ fn print_usage() {
          abq query --index FILE [--where ATTR=LO..HI]... [--rows LO..HI] [--limit N]\n  \
          abq serve --csv FILE [--threads N] [--shards N] [--bins N] [--alpha N] \
          [--deadline-ms N] [--wah] [--retries N] [--kernel scalar|batched|simd] \
-         [--batch-rows adaptive|N]\n  \
+         [--batch-rows adaptive|N] [--telemetry-addr HOST:PORT] [--slow-ms N]\n  \
+         abq trace (--addr HOST:PORT | --file DUMP.json)\n  \
          abq bench-svc --csv FILE [--threads N] [--shards N] [--queries N] \
          [--bins N] [--alpha N] [--retries N] [--kernel scalar|batched|simd] \
          [--batch-rows adaptive|N]\n  \
@@ -426,6 +428,12 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
 
     let kernel = parse_kernel(args)?;
     let batch_rows = parse_batch_rows(args)?;
+    let slow_query = match flag_value(args, "--slow-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse().map_err(|_| "--slow-ms must be an integer")?,
+        )),
+        None => None,
+    };
 
     let table = read_csv(csv)?;
     let binned = BinnedTable::from_table(&table, &EquiDepth::new(bins));
@@ -436,6 +444,7 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         with_wah,
         kernel,
         batch_rows,
+        slow_query,
         ..SvcConfig::default()
     };
     let svc = Service::build(&binned, &AbConfig::new(level).with_alpha(alpha), &cfg);
@@ -493,12 +502,37 @@ fn parse_repl_query(line: &str, svc: &Service) -> Result<RectQuery, String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let svc = build_service(args, has_flag(args, "--wah"))?;
+    let wah = has_flag(args, "--wah");
+    let svc = build_service(args, wah)?;
     let policy = parse_retry_policy(args)?;
     let limit: usize = flag_value(args, "--limit")
         .unwrap_or("20")
         .parse()
         .map_err(|_| "--limit must be an integer")?;
+    let deadline_ms: Option<u64> = match flag_value(args, "--deadline-ms") {
+        Some(ms) => Some(ms.parse().map_err(|_| "--deadline-ms must be an integer")?),
+        None => None,
+    };
+    // Caller-owned RequestCtx bypasses the service's default deadline,
+    // so the REPL re-applies --deadline-ms per attempt itself.
+    let mk_deadline = || match deadline_ms {
+        Some(ms) => svc::Deadline::within(std::time::Duration::from_millis(ms)),
+        None => svc::Deadline::none(),
+    };
+    // Keep the handle alive for the whole REPL; dropping it stops the
+    // endpoint.
+    let _telemetry = match flag_value(args, "--telemetry-addr") {
+        Some(addr) => {
+            let srv = svc::TelemetryServer::bind(addr, svc.health_arc())
+                .map_err(|e| format!("telemetry bind {addr}: {e}"))?;
+            println!(
+                "telemetry: http://{}/metrics /healthz /debug/traces",
+                srv.local_addr()
+            );
+            Some(srv)
+        }
+        None => None,
+    };
     println!("query syntax: ATTR=LO..HI [ATTR=LO..HI ...] [rows LO..HI]; `quit` to exit");
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -519,13 +553,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         served += 1;
         match parse_repl_query(trimmed, &svc).map(|q| {
-            svc::retry(&policy, served, |_| {
-                if has_flag(args, "--wah") {
-                    svc.query_rect_wah(&q)
+            // One caller-owned trace per REPL query: every retry
+            // attempt lands in the same span tree (a failed attempt
+            // cancels its RequestCtx, so each attempt gets a fresh
+            // ctx carrying the same trace).
+            let trace = obs::TraceCtx::start(if wah { "rect_wah" } else { "rect" });
+            let out = svc::retry_traced(&policy, served, &trace, |_| {
+                let ctx = svc::RequestCtx::traced(mk_deadline(), trace.clone());
+                if wah {
+                    svc.query_rect_wah_ctx(&q, &ctx)
                 } else {
-                    svc.query_rect(&q)
+                    svc.query_rect_ctx(&q, &ctx)
                 }
-            })
+            });
+            svc.finish_trace(&trace);
+            out
         }) {
             Ok(Ok(matches)) => {
                 println!("{} rows", matches.len());
@@ -541,6 +583,49 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `abq trace` — fetch (or read from a file) a `/debug/traces` dump
+/// and pretty-print each trace's span tree.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let dump = match (flag_value(args, "--addr"), flag_value(args, "--file")) {
+        (Some(addr), None) => http_get(addr, "/debug/traces")?,
+        (None, Some(path)) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        _ => return Err("pass exactly one of --addr HOST:PORT or --file DUMP.json".into()),
+    };
+    let traces = obs::parse_dump(&dump)?;
+    if traces.is_empty() {
+        println!("no traces recorded yet");
+        return Ok(());
+    }
+    for t in &traces {
+        print!("{}", t.render_tree());
+    }
+    println!("{} trace(s)", traces.len());
+    Ok(())
+}
+
+/// Minimal HTTP/1.0 GET against the telemetry endpoint; returns the
+/// response body.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    Ok(body.to_string())
 }
 
 fn cmd_bench_svc(args: &[String]) -> Result<(), String> {

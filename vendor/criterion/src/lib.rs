@@ -1,0 +1,147 @@
+//! Offline stub for `criterion` (see `vendor/README.md`).
+//!
+//! Compile-compatible with the subset the workspace's benches use
+//! (`benchmark_group`, `sample_size`, `measurement_time`,
+//! `bench_function`, `Bencher::iter`, `black_box`, the `criterion_group!`
+//! / `criterion_main!` macros) and functional enough to run: each
+//! bench is timed with plain `Instant` and the mean per-iteration cost
+//! is printed. No statistics, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, one per `criterion_group!` function.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.as_ref(), self.measurement_time, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            measurement_time: self.measurement_time,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stub has no sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's only warm-up is the
+    /// single priming call inside [`Bencher::iter`].
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps how long each benchmark in the group is measured.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.as_ref()),
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    measurement_time: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and a floor so even slow bodies get measured.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measurement_time || iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, measurement_time: Duration, mut f: F) {
+    let mut b = Bencher {
+        measurement_time,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let per = b.total.as_nanos() as f64 / b.iters as f64;
+        println!("{id}: {per:.1} ns/iter ({} iters)", b.iters);
+    } else {
+        println!("{id}: no measurement (Bencher::iter never called)");
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,118 @@
+//! The case runner: seeded RNG, per-test configuration, and the
+//! accept/reject/fail loop behind the `proptest!` macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Deterministic splitmix64 stream feeding every strategy draw.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream fully determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property is false for the drawn inputs.
+    Fail(String),
+    /// `prop_assume!` discarded the inputs; draw a replacement.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs one property until `cfg.cases` cases are accepted. Panics (= fails
+/// the surrounding `#[test]`) on the first failing case, reporting the
+/// case seed; a case that itself panics is annotated the same way before
+/// the panic is propagated.
+pub fn run<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    let max_attempts = (cfg.cases as u64).saturating_mul(20).max(100);
+    while accepted < cfg.cases {
+        attempt += 1;
+        assert!(
+            attempt <= max_attempts,
+            "proptest '{name}': too many rejected cases \
+             ({accepted}/{} accepted after {attempt} attempts)",
+            cfg.cases
+        );
+        let seed = base ^ attempt.wrapping_mul(0xa076_1d64_78bd_642f);
+        let mut rng = TestRng::new(seed);
+        match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject)) => continue,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest '{name}' failed at case {attempt} (seed {seed:#x}): {msg}")
+            }
+            Err(payload) => {
+                eprintln!("proptest '{name}': panic at case {attempt} (seed {seed:#x})");
+                resume_unwind(payload);
+            }
+        }
+    }
+}

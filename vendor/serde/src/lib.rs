@@ -1,0 +1,18 @@
+//! Offline stub for `serde` (see `vendor/README.md`).
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to keep
+//! its snapshot types consumable by downstream tooling; every byte of
+//! JSON the repo emits or parses is hand-rolled. So the traits here are
+//! empty markers with blanket impls, and the derives are no-ops that
+//! accept the `#[serde(...)]` helper-attribute surface.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

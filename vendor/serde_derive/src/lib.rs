@@ -1,0 +1,20 @@
+//! Offline stub for `serde_derive` (see `vendor/README.md`).
+//!
+//! The companion `serde` stub blanket-implements its marker traits, so
+//! the derives have nothing to generate — they only need to exist and
+//! to register `serde` as a helper attribute so `#[serde(default)]`
+//! and friends keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
