@@ -222,6 +222,18 @@ struct LatRow {
     p99: Option<f64>,
 }
 
+/// One row of the folded socket (network front end) report.
+struct NetRow {
+    source: String,
+    kind: String,
+    conns: String,
+    rps: Option<f64>,
+    p50: Option<f64>,
+    p95: Option<f64>,
+    p99: Option<f64>,
+    p999: Option<f64>,
+}
+
 /// Folds `BENCH_kernel.json`-style snapshots into one report:
 /// a throughput table over every `kernel.rows_per_sec.<kernel>.<k>.<size>`
 /// entry (with per-config speedup vs that file's scalar baseline),
@@ -300,8 +312,69 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
             }
         }
     }
-    if rows.is_empty() && lat.is_empty() {
-        out.push_str("no kernel.rows_per_sec or svc.latency_us entries found\n");
+    // Socket points from the net front end:
+    // extra.net.latency_us.<kind>.conns<N>.<p> and
+    // extra.net.rps.<kind>.conns<N>.
+    let mut net: Vec<NetRow> = Vec::new();
+    for (source, snap) in &loaded {
+        let entries: Vec<(String, f64)> = snap
+            .with_prefix("extra.net.")
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        for (suffix, v) in entries {
+            // "latency_us.<kind>.conns<N>.<p>" or "rps.<kind>.conns<N>"
+            let (kind, conns, field) = if let Some(rest) = suffix.strip_prefix("latency_us.") {
+                let parts: Vec<&str> = rest.splitn(3, '.').collect();
+                match parts[..] {
+                    [kind, c, p] => match c.strip_prefix("conns") {
+                        Some(n) => (kind.to_string(), n.to_string(), p.to_string()),
+                        None => continue,
+                    },
+                    _ => continue,
+                }
+            } else if let Some(rest) = suffix.strip_prefix("rps.") {
+                let parts: Vec<&str> = rest.splitn(2, '.').collect();
+                match parts[..] {
+                    [kind, c] => match c.strip_prefix("conns") {
+                        Some(n) => (kind.to_string(), n.to_string(), "rps".to_string()),
+                        None => continue,
+                    },
+                    _ => continue,
+                }
+            } else {
+                continue;
+            };
+            let row = match net
+                .iter_mut()
+                .find(|r| r.source == *source && r.kind == kind && r.conns == conns)
+            {
+                Some(r) => r,
+                None => {
+                    net.push(NetRow {
+                        source: source.clone(),
+                        kind,
+                        conns,
+                        rps: None,
+                        p50: None,
+                        p95: None,
+                        p99: None,
+                        p999: None,
+                    });
+                    net.last_mut().expect("just pushed")
+                }
+            };
+            match field.as_str() {
+                "rps" => row.rps = Some(v),
+                "p50" => row.p50 = Some(v),
+                "p95" => row.p95 = Some(v),
+                "p99" => row.p99 = Some(v),
+                "p999" => row.p999 = Some(v),
+                _ => {}
+            }
+        }
+    }
+    if rows.is_empty() && lat.is_empty() && net.is_empty() {
+        out.push_str("no kernel.rows_per_sec, svc.latency_us, or net.* entries found\n");
         return out;
     }
     if !rows.is_empty() {
@@ -338,7 +411,7 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
     }
     if !lat.is_empty() {
         out.push_str(
-            "\n## Service latency (µs, client-observed)\n\n\
+            "\n## Service latency (µs, client-observed, in-process)\n\n\
              source  kind   threads   p50 µs   p95 µs   p99 µs\n\
              ------  -----  -------  -------  -------  -------\n",
         );
@@ -361,6 +434,36 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
                 fmt(r.p50),
                 fmt(r.p95),
                 fmt(r.p99)
+            );
+        }
+    }
+    if !net.is_empty() {
+        out.push_str(
+            "\n## Socket latency (µs, client-observed over loopback TCP)\n\n\
+             source  kind       conns     req/s   p50 µs   p95 µs   p99 µs  p999 µs\n\
+             ------  ---------  -----  --------  -------  -------  -------  -------\n",
+        );
+        net.sort_by(|a, b| {
+            let ca = a.conns.parse::<u64>().unwrap_or(0);
+            let cb = b.conns.parse::<u64>().unwrap_or(0);
+            (&a.source, &a.kind, ca).cmp(&(&b.source, &b.kind, cb))
+        });
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.0}"),
+            None => "-".to_string(),
+        };
+        for r in &net {
+            let _ = writeln!(
+                out,
+                "{:<6}  {:<9}  {:>5}  {:>8}  {:>7}  {:>7}  {:>7}  {:>7}",
+                r.source,
+                r.kind,
+                r.conns,
+                fmt(r.rps),
+                fmt(r.p50),
+                fmt(r.p95),
+                fmt(r.p99),
+                fmt(r.p999)
             );
         }
     }
@@ -457,6 +560,51 @@ mod tests {
         assert!(report.contains("4.00x"), "{report}");
         assert!(report.contains("skipped"), "{report}");
         assert!(report.contains("kernel.simd_waves = 900"), "{report}");
+    }
+
+    #[test]
+    fn report_folds_net_socket_points() {
+        let dir = std::env::temp_dir().join("bench_report_net_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("BENCH_net.json");
+        std::fs::write(
+            &p,
+            r#"{
+  "counters": {},
+  "extra": {
+    "net.total_rps.conns4": 9000.0,
+    "net.rps.rect.conns1": 2500.0,
+    "net.rps.rect.conns4": 9000.0,
+    "net.latency_us.rect.conns1.p50": 300.0,
+    "net.latency_us.rect.conns1.p95": 700.0,
+    "net.latency_us.rect.conns1.p99": 1500.0,
+    "net.latency_us.rect.conns1.p999": 4000.0,
+    "net.latency_us.rect.conns4.p50": 350.0,
+    "net.latency_us.rect.conns4.p95": 800.0,
+    "net.latency_us.rect.conns4.p99": 1900.0,
+    "net.latency_us.rect.conns4.p999": 5200.0,
+    "net.rps.batch.conns4": 1100.0,
+    "net.latency_us.batch.conns4.p99": 2600.0
+  }
+}
+"#,
+        )
+        .unwrap();
+        let report = bench_report(&[p]);
+        assert!(report.contains("## Socket latency"), "{report}");
+        // Rps and all four quantiles of one point share a line; conns
+        // points sort numerically under each kind.
+        let rect4 = report
+            .lines()
+            .find(|l| l.contains("rect") && l.contains("9000"))
+            .unwrap_or_else(|| panic!("no rect/conns4 row in {report}"));
+        for v in ["350", "800", "1900", "5200"] {
+            assert!(rect4.contains(v), "{rect4}");
+        }
+        assert!(report.contains("batch"), "{report}");
+        let one = report.find(" 2500 ").expect("conns1 row");
+        let four = report.find(" 9000 ").expect("conns4 row");
+        assert!(one < four, "conns points out of order:\n{report}");
     }
 
     #[test]

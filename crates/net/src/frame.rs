@@ -1,0 +1,1019 @@
+//! The `ABQ/1` wire protocol: compact length-prefixed binary frames
+//! with a versioned header and a CRC-32 trailer (the same
+//! [`ab::crc32`] the on-disk formats use).
+//!
+//! ## Frame layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic        0xAB51
+//! 2       1     version      1
+//! 3       1     kind         see [`kind`]
+//! 4       8     request_id   caller-chosen; echoed on the response
+//! 12      4     payload_len  ≤ MAX_PAYLOAD
+//! 16      n     payload      kind-specific body
+//! 16+n    4     crc32        over bytes [0, 16+n)
+//! ```
+//!
+//! Requests and responses share the layout; response kinds have the
+//! high bit set. Because every byte of the header and payload is
+//! covered by the trailer CRC, any single corrupted byte is detected
+//! before the payload is interpreted.
+//!
+//! ## Error taxonomy
+//!
+//! Framing errors split into two classes with different recovery:
+//!
+//! * **fatal** ([`FrameError::is_fatal`] = true): bad magic, wrong
+//!   version, oversized length, CRC mismatch. Frame *boundaries* can
+//!   no longer be trusted, so the server answers one typed
+//!   [`Response::Error`] frame (request id 0) and closes the
+//!   connection;
+//! * **recoverable**: the frame parsed and checksummed but its payload
+//!   is malformed (unknown kind, truncated body, trailing bytes). The
+//!   stream is still in sync, so the server answers a typed error
+//!   frame carrying the offending request id and keeps the connection.
+
+use bitmap::{AttrRange, RectQuery};
+
+/// First two bytes of every frame.
+pub const MAGIC: u16 = 0xAB51;
+/// Protocol version this build speaks. A frame with a different
+/// version is answered with [`ErrorCode::BadVersion`] naming the
+/// supported version, so clients can negotiate down.
+pub const VERSION: u8 = 1;
+/// Fixed header bytes before the payload.
+pub const HEADER_LEN: usize = 16;
+/// CRC-32 trailer bytes after the payload.
+pub const TRAILER_LEN: usize = 4;
+/// Upper bound a frame may claim as payload length; anything larger
+/// is rejected before allocation ([`FrameError::Oversized`]).
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Sanity caps on repeated elements inside a payload, enforced at
+/// decode time so a malicious count cannot drive a huge allocation.
+pub const MAX_RANGES: usize = 4096;
+/// Max cells per cell-subset request.
+pub const MAX_CELLS: usize = 1 << 20;
+/// Max rect queries per batch request.
+pub const MAX_QUERIES: usize = 4096;
+
+/// Frame kind bytes. Responses set the high bit of their request.
+pub mod kind {
+    /// Rectangular AB query.
+    pub const RECT: u8 = 0x01;
+    /// Cell-subset retrieval.
+    pub const CELLS: u8 = 0x02;
+    /// Batch of rectangular queries.
+    pub const BATCH: u8 = 0x03;
+    /// Liveness probe.
+    pub const PING: u8 = 0x04;
+    /// Served-schema request (row count + per-attribute cardinality).
+    pub const SCHEMA: u8 = 0x05;
+    /// Response to [`RECT`].
+    pub const RECT_OK: u8 = 0x81;
+    /// Response to [`CELLS`].
+    pub const CELLS_OK: u8 = 0x82;
+    /// Response to [`BATCH`].
+    pub const BATCH_OK: u8 = 0x83;
+    /// Response to [`PING`].
+    pub const PONG: u8 = 0x84;
+    /// Response to [`SCHEMA`].
+    pub const SCHEMA_OK: u8 = 0x85;
+    /// Typed error response to any request.
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// Typed error codes carried by [`Response::Error`] frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Admission control shed the request (pool or dispatch queue
+    /// full). The only retryable service error.
+    Overloaded = 1,
+    /// The request's deadline expired before every shard finished.
+    DeadlineExceeded = 2,
+    /// The request was cancelled.
+    Cancelled = 3,
+    /// The query is invalid for the served index.
+    InvalidQuery = 4,
+    /// The service is shutting down (or draining).
+    Shutdown = 5,
+    /// Exact (WAH) answers are not available on this server.
+    WahUnavailable = 6,
+    /// A server-side retry loop gave up.
+    RetriesExhausted = 7,
+    /// An exact answer touched a quarantined shard.
+    ShardQuarantined = 8,
+    /// Frame bytes did not start with [`MAGIC`].
+    BadMagic = 16,
+    /// Frame version unsupported; message names the supported one.
+    BadVersion = 17,
+    /// Claimed payload length exceeds [`MAX_PAYLOAD`].
+    Oversized = 18,
+    /// Trailer CRC-32 did not match the received bytes.
+    BadCrc = 19,
+    /// The frame kind byte is not a known request.
+    UnknownKind = 20,
+    /// The payload was shorter than its counts claim, or had trailing
+    /// bytes.
+    Malformed = 21,
+}
+
+impl ErrorCode {
+    /// Decodes the wire value.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match v {
+            1 => Overloaded,
+            2 => DeadlineExceeded,
+            3 => Cancelled,
+            4 => InvalidQuery,
+            5 => Shutdown,
+            6 => WahUnavailable,
+            7 => RetriesExhausted,
+            8 => ShardQuarantined,
+            16 => BadMagic,
+            17 => BadVersion,
+            18 => Oversized,
+            19 => BadCrc,
+            20 => UnknownKind,
+            21 => Malformed,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::InvalidQuery => "invalid_query",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::WahUnavailable => "wah_unavailable",
+            ErrorCode::RetriesExhausted => "retries_exhausted",
+            ErrorCode::ShardQuarantined => "shard_quarantined",
+            ErrorCode::BadMagic => "bad_magic",
+            ErrorCode::BadVersion => "bad_version",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::BadCrc => "bad_crc",
+            ErrorCode::UnknownKind => "unknown_kind",
+            ErrorCode::Malformed => "malformed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a frame (or its payload) could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Leading two bytes were not [`MAGIC`].
+    BadMagic {
+        /// What arrived instead.
+        found: u16,
+    },
+    /// Version byte differs from [`VERSION`].
+    BadVersion(u8),
+    /// Claimed payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Trailer CRC mismatch.
+    BadCrc {
+        /// CRC carried by the frame.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// Kind byte is not a known request/response.
+    UnknownKind(u8),
+    /// Payload ended before a field it promised.
+    Truncated(&'static str),
+    /// Payload violated a structural rule (count cap, trailing bytes).
+    Malformed(&'static str),
+}
+
+impl FrameError {
+    /// Whether frame boundaries are lost (connection must close).
+    /// Payload-level trouble keeps the stream in sync.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            FrameError::BadMagic { .. }
+                | FrameError::BadVersion(_)
+                | FrameError::Oversized(_)
+                | FrameError::BadCrc { .. }
+        )
+    }
+
+    /// The typed wire code reported for this decode failure.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            FrameError::BadMagic { .. } => ErrorCode::BadMagic,
+            FrameError::BadVersion(_) => ErrorCode::BadVersion,
+            FrameError::Oversized(_) => ErrorCode::Oversized,
+            FrameError::BadCrc { .. } => ErrorCode::BadCrc,
+            FrameError::UnknownKind(_) => ErrorCode::UnknownKind,
+            FrameError::Truncated(_) | FrameError::Malformed(_) => ErrorCode::Malformed,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => {
+                write!(f, "bad magic {found:#06x} (expected {MAGIC:#06x})")
+            }
+            FrameError::BadVersion(v) => {
+                write!(f, "unsupported version {v} (this server speaks {VERSION})")
+            }
+            FrameError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds max {MAX_PAYLOAD}")
+            }
+            FrameError::BadCrc { stored, computed } => {
+                write!(
+                    f,
+                    "crc mismatch: stored {stored:#010x} computed {computed:#010x}"
+                )
+            }
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            FrameError::Truncated(what) => write!(f, "payload truncated reading {what}"),
+            FrameError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One decoded frame: header fields plus the raw (CRC-verified)
+/// payload. Interpret with [`decode_request`] / [`decode_response`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Echoed verbatim on the matching response.
+    pub request_id: u64,
+    /// One of the [`kind`] bytes.
+    pub kind: u8,
+    /// CRC-verified body bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A decoded request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Rectangular AB query. `deadline_ms == 0` means "use the
+    /// server's default deadline".
+    Rect {
+        /// Per-request deadline budget in milliseconds (0 = none).
+        deadline_ms: u32,
+        /// The query.
+        query: RectQuery,
+    },
+    /// Cell-subset retrieval.
+    Cells {
+        /// Per-request deadline budget in milliseconds (0 = none).
+        deadline_ms: u32,
+        /// The probed cells.
+        cells: Vec<ab::Cell>,
+    },
+    /// Batch of rectangular queries under one deadline.
+    Batch {
+        /// Per-request deadline budget in milliseconds (0 = none).
+        deadline_ms: u32,
+        /// The queries.
+        queries: Vec<RectQuery>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Served-schema request.
+    Schema,
+}
+
+impl Request {
+    /// The request's wire kind byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Request::Rect { .. } => kind::RECT,
+            Request::Cells { .. } => kind::CELLS,
+            Request::Batch { .. } => kind::BATCH,
+            Request::Ping => kind::PING,
+            Request::Schema => kind::SCHEMA,
+        }
+    }
+
+    /// Short label for metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Rect { .. } => "rect",
+            Request::Cells { .. } => "cells",
+            Request::Batch { .. } => "batch",
+            Request::Ping => "ping",
+            Request::Schema => "schema",
+        }
+    }
+}
+
+/// What the server knows about the index it serves — enough for a
+/// load generator to synthesize valid queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// Rows in the served index.
+    pub num_rows: u64,
+    /// Bin cardinality per attribute, in attribute order.
+    pub cardinalities: Vec<u32>,
+}
+
+/// A decoded response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Matching (approximate) global row ids, sorted.
+    Rect {
+        /// Shards answered conservatively (empty = healthy).
+        degraded: Vec<u32>,
+        /// Candidate rows.
+        rows: Vec<u64>,
+    },
+    /// One boolean per probed cell, request order.
+    Cells {
+        /// Shards answered conservatively (empty = healthy).
+        degraded: Vec<u32>,
+        /// Cell presence answers.
+        hits: Vec<bool>,
+    },
+    /// One row list per batched query.
+    Batch {
+        /// Shards answered conservatively (empty = healthy).
+        degraded: Vec<u32>,
+        /// Per-query candidate rows.
+        results: Vec<Vec<u64>>,
+    },
+    /// Liveness answer.
+    Pong,
+    /// Served-schema answer.
+    Schema(Schema),
+    /// Typed failure.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Whether a retry could plausibly succeed.
+        retryable: bool,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The response's wire kind byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Response::Rect { .. } => kind::RECT_OK,
+            Response::Cells { .. } => kind::CELLS_OK,
+            Response::Batch { .. } => kind::BATCH_OK,
+            Response::Pong => kind::PONG,
+            Response::Schema(_) => kind::SCHEMA_OK,
+            Response::Error { .. } => kind::ERROR,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- encode
+
+struct W(Vec<u8>);
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_rect(w: &mut W, q: &RectQuery) {
+    w.u64(q.row_lo as u64);
+    w.u64(q.row_hi as u64);
+    w.u16(q.ranges.len() as u16);
+    for r in &q.ranges {
+        w.u32(r.attribute as u32);
+        w.u32(r.lo);
+        w.u32(r.hi);
+    }
+}
+
+fn put_degraded(w: &mut W, degraded: &[u32]) {
+    w.u16(degraded.len() as u16);
+    for &s in degraded {
+        w.u32(s);
+    }
+}
+
+/// Wraps a payload in a sealed frame: header, payload, CRC trailer.
+pub fn seal(request_id: u64, kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = ab::crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Encodes a request into a sealed frame.
+pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+    let mut w = W(Vec::new());
+    match req {
+        Request::Rect { deadline_ms, query } => {
+            w.u32(*deadline_ms);
+            put_rect(&mut w, query);
+        }
+        Request::Cells { deadline_ms, cells } => {
+            w.u32(*deadline_ms);
+            w.u32(cells.len() as u32);
+            for c in cells {
+                w.u64(c.row as u64);
+                w.u32(c.attribute as u32);
+                w.u32(c.bin);
+            }
+        }
+        Request::Batch {
+            deadline_ms,
+            queries,
+        } => {
+            w.u32(*deadline_ms);
+            w.u16(queries.len() as u16);
+            for q in queries {
+                put_rect(&mut w, q);
+            }
+        }
+        Request::Ping | Request::Schema => {}
+    }
+    seal(request_id, req.kind(), &w.0)
+}
+
+/// Encodes a response into a sealed frame.
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let mut w = W(Vec::new());
+    match resp {
+        Response::Rect { degraded, rows } => {
+            put_degraded(&mut w, degraded);
+            w.u64(rows.len() as u64);
+            for &r in rows {
+                w.u64(r);
+            }
+        }
+        Response::Cells { degraded, hits } => {
+            put_degraded(&mut w, degraded);
+            w.u32(hits.len() as u32);
+            for &h in hits {
+                w.u8(h as u8);
+            }
+        }
+        Response::Batch { degraded, results } => {
+            put_degraded(&mut w, degraded);
+            w.u16(results.len() as u16);
+            for rows in results {
+                w.u64(rows.len() as u64);
+                for &r in rows {
+                    w.u64(r);
+                }
+            }
+        }
+        Response::Pong => {}
+        Response::Schema(s) => {
+            w.u64(s.num_rows);
+            w.u16(s.cardinalities.len() as u16);
+            for &c in &s.cardinalities {
+                w.u32(c);
+            }
+        }
+        Response::Error {
+            code,
+            retryable,
+            message,
+        } => {
+            w.u16(*code as u16);
+            w.u8(*retryable as u8);
+            let msg = message.as_bytes();
+            let n = msg.len().min(u16::MAX as usize);
+            w.u16(n as u16);
+            w.0.extend_from_slice(&msg[..n]);
+        }
+    }
+    seal(request_id, resp.kind(), &w.0)
+}
+
+// ---------------------------------------------------------------- decode
+
+struct R<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> R<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        R { b, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], FrameError> {
+        if self.b.len() - self.at < n {
+            return Err(FrameError::Truncated(what));
+        }
+        let s = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &'static str) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.b.len() - self.at
+    }
+
+    fn done(&self) -> Result<(), FrameError> {
+        if self.remaining() != 0 {
+            return Err(FrameError::Malformed("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+fn get_rect(r: &mut R) -> Result<RectQuery, FrameError> {
+    let row_lo = r.u64("row_lo")? as usize;
+    let row_hi = r.u64("row_hi")? as usize;
+    let n = r.u16("range count")? as usize;
+    if n > MAX_RANGES {
+        return Err(FrameError::Malformed("range count over cap"));
+    }
+    if r.remaining() < n * 12 {
+        return Err(FrameError::Truncated("attribute ranges"));
+    }
+    let mut ranges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let attr = r.u32("range attr")? as usize;
+        let lo = r.u32("range lo")?;
+        let hi = r.u32("range hi")?;
+        ranges.push(AttrRange::new(attr, lo, hi));
+    }
+    Ok(RectQuery::new(ranges, row_lo, row_hi))
+}
+
+fn get_degraded(r: &mut R) -> Result<Vec<u32>, FrameError> {
+    let n = r.u16("degraded count")? as usize;
+    if r.remaining() < n * 4 {
+        return Err(FrameError::Truncated("degraded shard ids"));
+    }
+    (0..n).map(|_| r.u32("degraded shard")).collect()
+}
+
+/// Interprets a frame's payload as a request.
+pub fn decode_request(frame: &Frame) -> Result<Request, FrameError> {
+    let mut r = R::new(&frame.payload);
+    let req = match frame.kind {
+        kind::RECT => Request::Rect {
+            deadline_ms: r.u32("deadline")?,
+            query: get_rect(&mut r)?,
+        },
+        kind::CELLS => {
+            let deadline_ms = r.u32("deadline")?;
+            let n = r.u32("cell count")? as usize;
+            if n > MAX_CELLS {
+                return Err(FrameError::Malformed("cell count over cap"));
+            }
+            if r.remaining() < n * 16 {
+                return Err(FrameError::Truncated("cells"));
+            }
+            let mut cells = Vec::with_capacity(n);
+            for _ in 0..n {
+                let row = r.u64("cell row")? as usize;
+                let attr = r.u32("cell attr")? as usize;
+                let bin = r.u32("cell bin")?;
+                cells.push(ab::Cell::new(row, attr, bin));
+            }
+            Request::Cells { deadline_ms, cells }
+        }
+        kind::BATCH => {
+            let deadline_ms = r.u32("deadline")?;
+            let n = r.u16("query count")? as usize;
+            if n > MAX_QUERIES {
+                return Err(FrameError::Malformed("query count over cap"));
+            }
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                queries.push(get_rect(&mut r)?);
+            }
+            Request::Batch {
+                deadline_ms,
+                queries,
+            }
+        }
+        kind::PING => Request::Ping,
+        kind::SCHEMA => Request::Schema,
+        other => return Err(FrameError::UnknownKind(other)),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+/// Interprets a frame's payload as a response.
+pub fn decode_response(frame: &Frame) -> Result<Response, FrameError> {
+    let mut r = R::new(&frame.payload);
+    let resp = match frame.kind {
+        kind::RECT_OK => {
+            let degraded = get_degraded(&mut r)?;
+            let n = r.u64("row count")? as usize;
+            if r.remaining() < n * 8 {
+                return Err(FrameError::Truncated("rows"));
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(r.u64("row")?);
+            }
+            Response::Rect { degraded, rows }
+        }
+        kind::CELLS_OK => {
+            let degraded = get_degraded(&mut r)?;
+            let n = r.u32("hit count")? as usize;
+            if r.remaining() < n {
+                return Err(FrameError::Truncated("hits"));
+            }
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                hits.push(r.u8("hit")? != 0);
+            }
+            Response::Cells { degraded, hits }
+        }
+        kind::BATCH_OK => {
+            let degraded = get_degraded(&mut r)?;
+            let n = r.u16("result count")? as usize;
+            if n > MAX_QUERIES {
+                return Err(FrameError::Malformed("result count over cap"));
+            }
+            let mut results = Vec::with_capacity(n);
+            for _ in 0..n {
+                let m = r.u64("row count")? as usize;
+                if r.remaining() < m * 8 {
+                    return Err(FrameError::Truncated("rows"));
+                }
+                let mut rows = Vec::with_capacity(m);
+                for _ in 0..m {
+                    rows.push(r.u64("row")?);
+                }
+                results.push(rows);
+            }
+            Response::Batch { degraded, results }
+        }
+        kind::PONG => Response::Pong,
+        kind::SCHEMA_OK => {
+            let num_rows = r.u64("num_rows")?;
+            let n = r.u16("attribute count")? as usize;
+            if r.remaining() < n * 4 {
+                return Err(FrameError::Truncated("cardinalities"));
+            }
+            let cardinalities = (0..n)
+                .map(|_| r.u32("cardinality"))
+                .collect::<Result<_, _>>()?;
+            Response::Schema(Schema {
+                num_rows,
+                cardinalities,
+            })
+        }
+        kind::ERROR => {
+            let raw = r.u16("error code")?;
+            let code = ErrorCode::from_u16(raw).ok_or(FrameError::Malformed("error code"))?;
+            let retryable = r.u8("retryable")? != 0;
+            let n = r.u16("message length")? as usize;
+            let message = String::from_utf8_lossy(r.take(n, "message")?).into_owned();
+            Response::Error {
+                code,
+                retryable,
+                message,
+            }
+        }
+        other => return Err(FrameError::UnknownKind(other)),
+    };
+    r.done()?;
+    Ok(resp)
+}
+
+// ------------------------------------------------------------- streaming
+
+/// Incremental frame extractor over a byte stream. Push raw reads in,
+/// pop whole CRC-verified frames out; partial frames wait for more
+/// bytes. A fatal [`FrameError`] poisons the reader — the stream's
+/// frame boundaries are gone, so the connection must close.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so long-lived connections don't grow forever.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 64 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` when more bytes
+    /// are needed, or a fatal [`FrameError`] when the stream is
+    /// corrupt.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u16::from_le_bytes([avail[0], avail[1]]);
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic { found: magic });
+        }
+        let version = avail[2];
+        if version != VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let kind = avail[3];
+        let request_id = u64::from_le_bytes(avail[4..12].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(avail[12..16].try_into().unwrap());
+        if payload_len > MAX_PAYLOAD {
+            return Err(FrameError::Oversized(payload_len));
+        }
+        let total = HEADER_LEN + payload_len as usize + TRAILER_LEN;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let body = &avail[..HEADER_LEN + payload_len as usize];
+        let stored = u32::from_le_bytes(
+            avail[HEADER_LEN + payload_len as usize..total]
+                .try_into()
+                .unwrap(),
+        );
+        let computed = ab::crc32(body);
+        if stored != computed {
+            return Err(FrameError::BadCrc { stored, computed });
+        }
+        let payload = body[HEADER_LEN..].to_vec();
+        self.start += total;
+        Ok(Some(Frame {
+            request_id,
+            kind,
+            payload,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(lo: usize, hi: usize) -> RectQuery {
+        RectQuery::new(
+            vec![AttrRange::new(0, 1, 3), AttrRange::new(2, 0, 0)],
+            lo,
+            hi,
+        )
+    }
+
+    fn roundtrip_request(req: Request) {
+        let bytes = encode_request(77, &req);
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        let frame = fr.next_frame().unwrap().unwrap();
+        assert_eq!(frame.request_id, 77);
+        assert_eq!(decode_request(&frame).unwrap(), req);
+        assert!(fr.next_frame().unwrap().is_none());
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = encode_response(99, &resp);
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        let frame = fr.next_frame().unwrap().unwrap();
+        assert_eq!(frame.request_id, 99);
+        assert_eq!(decode_response(&frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Rect {
+            deadline_ms: 250,
+            query: rect(10, 4_000_000_000),
+        });
+        roundtrip_request(Request::Cells {
+            deadline_ms: 0,
+            cells: vec![ab::Cell::new(5, 1, 3), ab::Cell::new(0, 0, 0)],
+        });
+        roundtrip_request(Request::Batch {
+            deadline_ms: 9,
+            queries: vec![rect(0, 7), RectQuery::new(vec![], 3, 3)],
+        });
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Schema);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Rect {
+            degraded: vec![1, 3],
+            rows: vec![0, 9, u64::MAX],
+        });
+        roundtrip_response(Response::Cells {
+            degraded: vec![],
+            hits: vec![true, false, true],
+        });
+        roundtrip_response(Response::Batch {
+            degraded: vec![0],
+            results: vec![vec![1, 2], vec![], vec![7]],
+        });
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Schema(Schema {
+            num_rows: 1 << 40,
+            cardinalities: vec![10, 4, 255],
+        }));
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            retryable: true,
+            message: "queue 256/256 full".into(),
+        });
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly() {
+        let req = Request::Rect {
+            deadline_ms: 1,
+            query: rect(0, 99),
+        };
+        let bytes = [encode_request(1, &req), encode_request(2, &Request::Ping)].concat();
+        let mut fr = FrameReader::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            fr.push(std::slice::from_ref(b));
+            while let Some(f) = fr.next_frame().unwrap() {
+                got.push(f.request_id);
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(fr.pending(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut bytes = encode_request(1, &Request::Ping);
+        bytes[0] ^= 0xFF;
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        let e = fr.next_frame().unwrap_err();
+        assert!(matches!(e, FrameError::BadMagic { .. }) && e.is_fatal());
+        assert_eq!(e.code(), ErrorCode::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_is_fatal() {
+        let mut bytes = encode_request(1, &Request::Ping);
+        bytes[2] = 9;
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        let e = fr.next_frame().unwrap_err();
+        assert_eq!(e, FrameError::BadVersion(9));
+        assert!(e.is_fatal());
+    }
+
+    #[test]
+    fn oversized_length_is_fatal_before_allocation() {
+        let mut bytes = encode_request(1, &Request::Ping);
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        let e = fr.next_frame().unwrap_err();
+        assert!(matches!(e, FrameError::Oversized(_)) && e.is_fatal());
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_caught_by_crc() {
+        let bytes = encode_request(
+            42,
+            &Request::Rect {
+                deadline_ms: 7,
+                query: rect(3, 9),
+            },
+        );
+        // Flipping any byte after the version/length fields must
+        // surface as *some* framing error (usually BadCrc); never a
+        // silently different frame.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            let mut fr = FrameReader::new();
+            fr.push(&bad);
+            match fr.next_frame() {
+                Err(_) => {}
+                Ok(Some(f)) => panic!("flip at {i} yielded frame {f:?}"),
+                // A flipped length byte can make the frame look
+                // incomplete — that's a stall, not an accepted frame.
+                Ok(None) => assert!((12..16).contains(&i), "flip at {i} stalled"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payload_decodes_to_typed_error() {
+        // Claim 3 ranges but supply only 1: header/CRC are valid, so
+        // the frame parses; the payload decode must fail recoverably.
+        let mut w = W(Vec::new());
+        w.u32(0); // deadline
+        w.u64(0);
+        w.u64(10);
+        w.u16(3); // lies: only one range follows
+        w.u32(0);
+        w.u32(1);
+        w.u32(2);
+        let bytes = seal(5, kind::RECT, &w.0);
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        let frame = fr.next_frame().unwrap().unwrap();
+        let e = decode_request(&frame).unwrap_err();
+        assert!(!e.is_fatal());
+        assert_eq!(e.code(), ErrorCode::Malformed);
+    }
+
+    #[test]
+    fn unknown_kind_is_recoverable() {
+        let bytes = seal(6, 0x5F, &[]);
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        let frame = fr.next_frame().unwrap().unwrap();
+        let e = decode_request(&frame).unwrap_err();
+        assert_eq!(e, FrameError::UnknownKind(0x5F));
+        assert!(!e.is_fatal());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&seal(0, kind::PING, &[])[16..16]); // none
+        payload.push(0xAA);
+        let bytes = seal(7, kind::PING, &payload);
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        let frame = fr.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            decode_request(&frame),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Cancelled,
+            ErrorCode::InvalidQuery,
+            ErrorCode::Shutdown,
+            ErrorCode::WahUnavailable,
+            ErrorCode::RetriesExhausted,
+            ErrorCode::ShardQuarantined,
+            ErrorCode::BadMagic,
+            ErrorCode::BadVersion,
+            ErrorCode::Oversized,
+            ErrorCode::BadCrc,
+            ErrorCode::UnknownKind,
+            ErrorCode::Malformed,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u16(999), None);
+    }
+}

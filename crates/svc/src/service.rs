@@ -273,6 +273,14 @@ impl Service {
         self.pool.threads()
     }
 
+    /// Whether this service starts a request-scoped trace for
+    /// requests that don't carry their own (see
+    /// [`SvcConfig::trace_requests`]). Front ends that open
+    /// caller-owned traces check this so tracing stays a single knob.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace_requests
+    }
+
     /// Jobs currently queued for admission.
     pub fn queue_depth(&self) -> usize {
         self.pool.queue_depth()
@@ -608,9 +616,19 @@ impl Service {
     /// present*, the conservative AB answer — and the response's
     /// `degraded` marker names those shards.
     pub fn try_retrieve_cells(&self, cells: &[Cell]) -> Result<Response<Vec<bool>>, SvcError> {
-        let ctx = self.ctx_with_default();
-        self.traced_request("cells", &ctx, |trace, root_id| {
-            self.retrieve_cells_traced(cells, &ctx, trace, root_id)
+        self.try_retrieve_cells_ctx(cells, &self.ctx_with_default())
+    }
+
+    /// [`Self::try_retrieve_cells`] under a caller-owned
+    /// [`RequestCtx`] (deadline, cancellation, and optionally a
+    /// caller-owned trace — see [`RequestCtx::traced`]).
+    pub fn try_retrieve_cells_ctx(
+        &self,
+        cells: &[Cell],
+        ctx: &RequestCtx,
+    ) -> Result<Response<Vec<bool>>, SvcError> {
+        self.traced_request("cells", ctx, |trace, root_id| {
+            self.retrieve_cells_traced(cells, ctx, trace, root_id)
         })
     }
 
@@ -741,9 +759,19 @@ impl Service {
         &self,
         queries: &[RectQuery],
     ) -> Result<Response<Vec<Vec<usize>>>, SvcError> {
-        let ctx = self.ctx_with_default();
-        self.traced_request("batch", &ctx, |trace, root_id| {
-            self.query_batch_traced(queries, &ctx, trace, root_id)
+        self.try_query_batch_ctx(queries, &self.ctx_with_default())
+    }
+
+    /// [`Self::try_query_batch`] under a caller-owned [`RequestCtx`]
+    /// (deadline, cancellation, and optionally a caller-owned trace —
+    /// see [`RequestCtx::traced`]).
+    pub fn try_query_batch_ctx(
+        &self,
+        queries: &[RectQuery],
+        ctx: &RequestCtx,
+    ) -> Result<Response<Vec<Vec<usize>>>, SvcError> {
+        self.traced_request("batch", ctx, |trace, root_id| {
+            self.query_batch_traced(queries, ctx, trace, root_id)
         })
     }
 

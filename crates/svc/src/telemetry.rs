@@ -148,16 +148,24 @@ fn handle_connection(mut stream: TcpStream, health: &ShardHealth) -> std::io::Re
                     "degraded"
                 };
                 let ids: Vec<String> = quarantined.iter().map(|s| s.to_string()).collect();
+                // Listener stats from the TCP front end's counters
+                // (all zero when no `net` server runs in-process).
+                let accepted = obs::global().counter("net.accepted").get();
+                let closed = obs::global().counter("net.conn_closed").get();
+                let shed = obs::global().counter("net.shed_at_accept").get();
                 (
                     "200 OK",
                     "application/json",
                     format!(
                         "{{\"status\":\"{status}\",\"shards\":{},\"quarantined\":[{}],\
-                         \"traces_recorded\":{},\"traces_dropped\":{}}}\n",
+                         \"traces_recorded\":{},\"traces_dropped\":{},\
+                         \"listener\":{{\"open\":{},\"accepted\":{accepted},\
+                         \"shed_at_accept\":{shed}}}}}\n",
                         health.len(),
                         ids.join(","),
                         obs::recorder().recorded(),
                         obs::recorder().dropped(),
+                        accepted.saturating_sub(closed),
                     ),
                 )
             }
@@ -236,6 +244,18 @@ mod tests {
         let srv = server_with(ShardHealth::new(4));
         let (_, body) = get(srv.local_addr(), "/healthz");
         assert!(body.contains("\"status\":\"ok\""), "body: {body}");
+        srv.stop();
+    }
+
+    #[test]
+    fn healthz_reports_listener_stats() {
+        let srv = server_with(ShardHealth::new(2));
+        let (_, body) = get(srv.local_addr(), "/healthz");
+        // The listener block is always present; open is derived as
+        // accepted - closed so it cannot go negative.
+        assert!(body.contains("\"listener\":{\"open\":"), "body: {body}");
+        assert!(body.contains("\"accepted\":"), "body: {body}");
+        assert!(body.contains("\"shed_at_accept\":"), "body: {body}");
         srv.stop();
     }
 

@@ -11,6 +11,11 @@
 //! abq serve --csv data.csv [--threads N] [--shards N] [--bins N]
 //!           [--alpha N] [--deadline-ms N] [--wah] [--retries N]
 //!           [--kernel scalar|batched|simd] [--batch-rows adaptive|N]
+//!           [--listen HOST:PORT [--max-conns N] [--drain-ms N]
+//!            [--trace-dump FILE]]
+//! abq loadgen --addr HOST:PORT [--conns N] [--secs S]
+//!           [--pipeline N | --rps R] [--mix rect,cells,batch]
+//!           [--seed N] [--batch-size N] [--deadline-ms N] [--out FILE]
 //! abq bench-svc --csv data.csv [--threads N] [--shards N]
 //!           [--queries N] [--bins N] [--alpha N] [--retries N]
 //!           [--kernel scalar|batched|simd] [--batch-rows adaptive|N]
@@ -25,7 +30,13 @@
 //! prints the matching row ids (approximate: 100% recall, small
 //! controlled false-positive rate).
 //! `serve` builds a sharded concurrent [`svc::Service`] over the CSV
-//! and answers queries read line by line from stdin.
+//! and answers queries read line by line from stdin — or, with
+//! `--listen`, over TCP through the [`net`] front end (ABQ/1 binary
+//! framing, pipelined requests, graceful drain on SIGINT/SIGTERM).
+//! `loadgen` drives a live `--listen` server over real sockets in
+//! closed-loop (`--pipeline`) or open-loop (`--rps`) mode and writes
+//! client-observed throughput and latency quantiles to a
+//! `BENCH_*.json` snapshot.
 //! `bench-svc` measures the service's query throughput.
 //! `bench-report` folds `BENCH_*.json` snapshots from the repro
 //! binaries into one throughput summary (speedups vs scalar), so perf
@@ -51,6 +62,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench-svc") => cmd_bench_svc(&args[1..]),
         Some("bench-report") => cmd_bench_report(&args[1..]),
@@ -78,7 +90,11 @@ fn print_usage() {
          abq query --index FILE [--where ATTR=LO..HI]... [--rows LO..HI] [--limit N]\n  \
          abq serve --csv FILE [--threads N] [--shards N] [--bins N] [--alpha N] \
          [--deadline-ms N] [--wah] [--retries N] [--kernel scalar|batched|simd] \
-         [--batch-rows adaptive|N] [--telemetry-addr HOST:PORT] [--slow-ms N]\n  \
+         [--batch-rows adaptive|N] [--telemetry-addr HOST:PORT] [--slow-ms N] \
+         [--listen HOST:PORT [--max-conns N] [--drain-ms N] [--trace-dump FILE]]\n  \
+         abq loadgen --addr HOST:PORT [--conns N] [--secs S] [--pipeline N | --rps R] \
+         [--mix rect,cells,batch] [--seed N] [--batch-size N] [--deadline-ms N] \
+         [--out FILE]\n  \
          abq trace (--addr HOST:PORT | --file DUMP.json)\n  \
          abq bench-svc --csv FILE [--threads N] [--shards N] [--queries N] \
          [--bins N] [--alpha N] [--retries N] [--kernel scalar|batched|simd] \
@@ -533,6 +549,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
+    // `--listen` swaps the stdin REPL for the TCP front end; the
+    // telemetry handle (if any) stays alive for the server's lifetime.
+    if let Some(listen) = flag_value(args, "--listen") {
+        return serve_listen(args, svc, listen);
+    }
     println!("query syntax: ATTR=LO..HI [ATTR=LO..HI ...] [rows LO..HI]; `quit` to exit");
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -582,6 +603,178 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             Err(e) => println!("error: {e}"),
         }
     }
+    Ok(())
+}
+
+/// `abq serve --listen` — the TCP front end: binds the [`net`] event
+/// loop over the freshly built service and parks until SIGINT/SIGTERM,
+/// then drains gracefully (stop accepting, answer everything already
+/// admitted, bounded by `--drain-ms`) and exits 0.
+fn serve_listen(args: &[String], svc: Service, listen: &str) -> Result<(), String> {
+    let drain_ms: u64 = flag_value(args, "--drain-ms")
+        .unwrap_or("2000")
+        .parse()
+        .map_err(|_| "--drain-ms must be an integer")?;
+    let mut cfg = net::NetConfig::default();
+    if let Some(n) = flag_value(args, "--max-conns") {
+        cfg.max_connections = n.parse().map_err(|_| "--max-conns must be an integer")?;
+    }
+    if let Some(ms) = flag_value(args, "--deadline-ms") {
+        cfg.default_deadline_ms = ms.parse().map_err(|_| "--deadline-ms must be an integer")?;
+    }
+    let server = net::NetServer::bind(listen, std::sync::Arc::new(svc), cfg)
+        .map_err(|e| format!("listen {listen}: {e}"))?;
+    println!(
+        "listening on {} ({} backend); SIGINT/SIGTERM drains and exits",
+        server.local_addr(),
+        server.backend()
+    );
+    net::sys::signal::install_shutdown_handler();
+    while !net::sys::signal::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutdown requested; draining (up to {drain_ms} ms)");
+    server.shutdown(std::time::Duration::from_millis(drain_ms));
+    // The flight recorder still holds the last traces after the
+    // listener is gone; --trace-dump persists them for `abq trace`.
+    if let Some(path) = flag_value(args, "--trace-dump") {
+        std::fs::write(path, obs::recorder().to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote trace dump to {path}");
+    }
+    println!("drained; exiting");
+    Ok(())
+}
+
+/// Parses `--mix`: comma-separated kinds with optional `:weight`
+/// (`rect`, `rect,batch`, `rect:3,cells:1`).
+fn parse_mix(s: &str) -> Result<net::loadgen::Mix, String> {
+    let mut mix = net::loadgen::Mix {
+        rect: 0,
+        cells: 0,
+        batch: 0,
+    };
+    for part in s.split(',') {
+        let (kind, weight) = match part.split_once(':') {
+            Some((k, w)) => (
+                k.trim(),
+                w.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad weight in `{part}`"))?,
+            ),
+            None => (part.trim(), 1),
+        };
+        match kind {
+            "rect" => mix.rect += weight,
+            "cells" => mix.cells += weight,
+            "batch" => mix.batch += weight,
+            other => return Err(format!("unknown kind `{other}` (rect | cells | batch)")),
+        }
+    }
+    if mix.rect + mix.cells + mix.batch == 0 {
+        return Err("--mix needs at least one nonzero weight".into());
+    }
+    Ok(mix)
+}
+
+/// `abq loadgen` — drives a live `--listen` server over real sockets
+/// and writes client-observed rps + latency quantiles to a
+/// `BENCH_*.json` snapshot for `abq bench-report`.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").ok_or("--addr is required")?;
+    let conns: usize = flag_value(args, "--conns")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "--conns must be an integer")?;
+    let secs: f64 = flag_value(args, "--secs")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| "--secs must be a number")?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err("--secs must be positive".into());
+    }
+    // `--rps` selects the open loop (fixed arrival rate, coordinated-
+    // omission-corrected latency); otherwise closed loop with a
+    // per-connection pipeline window.
+    let mode = match (flag_value(args, "--rps"), flag_value(args, "--pipeline")) {
+        (Some(_), Some(_)) => return Err("pass --rps or --pipeline, not both".into()),
+        (Some(r), None) => net::loadgen::Mode::Open {
+            rps: r.parse().map_err(|_| "--rps must be a number")?,
+        },
+        (None, p) => net::loadgen::Mode::Closed {
+            pipeline: p
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| "--pipeline must be an integer")?,
+        },
+    };
+    let cfg = net::loadgen::LoadgenConfig {
+        addr: addr.to_string(),
+        conns: conns.max(1),
+        duration: std::time::Duration::from_secs_f64(secs),
+        mode,
+        mix: parse_mix(flag_value(args, "--mix").unwrap_or("rect"))?,
+        seed: flag_value(args, "--seed")
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| "--seed must be an integer")?,
+        batch_size: flag_value(args, "--batch-size")
+            .unwrap_or("8")
+            .parse()
+            .map_err(|_| "--batch-size must be an integer")?,
+        deadline_ms: flag_value(args, "--deadline-ms")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| "--deadline-ms must be an integer")?,
+    };
+    let report = net::loadgen::run(&cfg).map_err(|e| format!("loadgen against {addr}: {e}"))?;
+
+    println!(
+        "{} ok, {} error frame(s), {} transport error(s) in {:.3}s -> {:.0} req/s \
+         ({} conns, {})",
+        report.total_ok,
+        report.total_errors,
+        report.transport_errors,
+        report.elapsed.as_secs_f64(),
+        report.rps,
+        cfg.conns,
+        match cfg.mode {
+            net::loadgen::Mode::Closed { pipeline } => format!("closed loop, pipeline {pipeline}"),
+            net::loadgen::Mode::Open { rps } => format!("open loop, {rps:.0} req/s target"),
+        },
+    );
+    println!("kind    ok        err       p50 µs    p95 µs    p99 µs    p999 µs");
+    for k in &report.kinds {
+        println!(
+            "{:<6}  {:<8}  {:<8}  {:<8}  {:<8}  {:<8}  {:<8}",
+            k.kind, k.ok, k.errors, k.p50, k.p95, k.p99, k.p999
+        );
+    }
+
+    // Snapshot keys follow the grammar `bench-report` folds:
+    // net.rps.<kind>.conns<N> and net.latency_us.<kind>.conns<N>.<p>.
+    let out = flag_value(args, "--out").unwrap_or("BENCH_net.json");
+    let mut snap = obs::global()
+        .snapshot()
+        .with_extra(&format!("net.total_rps.conns{conns}"), report.rps)
+        .with_extra(
+            &format!("net.transport_errors.conns{conns}"),
+            report.transport_errors as f64,
+        );
+    for k in &report.kinds {
+        let secs = report.elapsed.as_secs_f64().max(1e-9);
+        snap = snap.with_extra(
+            &format!("net.rps.{}.conns{conns}", k.kind),
+            k.ok as f64 / secs,
+        );
+        let base = format!("net.latency_us.{}.conns{conns}", k.kind);
+        snap = snap
+            .with_extra(&format!("{base}.p50"), k.p50 as f64)
+            .with_extra(&format!("{base}.p95"), k.p95 as f64)
+            .with_extra(&format!("{base}.p99"), k.p99 as f64)
+            .with_extra(&format!("{base}.p999"), k.p999 as f64);
+    }
+    std::fs::write(out, snap.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }
 
@@ -883,6 +1076,61 @@ mod tests {
             ]))
             .unwrap();
         }
+    }
+
+    #[test]
+    fn mix_flag_parses_kinds_and_weights() {
+        assert_eq!(parse_mix("rect").unwrap(), net::loadgen::Mix::RECT);
+        let m = parse_mix("rect:3,cells:1,batch:2").unwrap();
+        assert_eq!((m.rect, m.cells, m.batch), (3, 1, 2));
+        let m = parse_mix("rect,batch").unwrap();
+        assert_eq!((m.rect, m.cells, m.batch), (1, 0, 1));
+        assert!(parse_mix("turbo").is_err());
+        assert!(parse_mix("rect:x").is_err());
+        assert!(parse_mix("rect:0").is_err());
+    }
+
+    #[test]
+    fn loadgen_end_to_end_over_loopback() {
+        let svc = tiny_service();
+        let server = net::NetServer::bind(
+            "127.0.0.1:0",
+            std::sync::Arc::new(svc),
+            net::NetConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let dir = std::env::temp_dir().join("abq_test_loadgen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_net.json");
+        cmd_loadgen(&strings(&[
+            "--addr",
+            &addr,
+            "--conns",
+            "2",
+            "--secs",
+            "0.3",
+            "--mix",
+            "rect,batch",
+            "--batch-size",
+            "3",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("net.rps.rect.conns2"), "{text}");
+        assert!(text.contains("net.latency_us.batch.conns2.p99"), "{text}");
+        server.shutdown(std::time::Duration::from_secs(2));
+        // The written snapshot folds straight into bench-report.
+        cmd_bench_report(&strings(&[out.to_str().unwrap()])).unwrap();
+    }
+
+    #[test]
+    fn loadgen_flag_validation() {
+        assert!(cmd_loadgen(&strings(&[])).is_err()); // --addr required
+        assert!(cmd_loadgen(&strings(&["--addr", "x", "--rps", "10", "--pipeline", "2"])).is_err());
+        assert!(cmd_loadgen(&strings(&["--addr", "x", "--secs", "0"])).is_err());
     }
 
     #[test]
