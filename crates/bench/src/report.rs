@@ -228,6 +228,8 @@ struct NetRow {
     kind: String,
     conns: String,
     rps: Option<f64>,
+    errors: Option<f64>,
+    shed: Option<f64>,
     p50: Option<f64>,
     p95: Option<f64>,
     p99: Option<f64>,
@@ -332,11 +334,14 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
                     },
                     _ => continue,
                 }
-            } else if let Some(rest) = suffix.strip_prefix("rps.") {
+            } else if let Some((field, rest)) = ["rps.", "errors.", "shed."]
+                .iter()
+                .find_map(|p| suffix.strip_prefix(p).map(|rest| (&p[..p.len() - 1], rest)))
+            {
                 let parts: Vec<&str> = rest.splitn(2, '.').collect();
                 match parts[..] {
                     [kind, c] => match c.strip_prefix("conns") {
-                        Some(n) => (kind.to_string(), n.to_string(), "rps".to_string()),
+                        Some(n) => (kind.to_string(), n.to_string(), field.to_string()),
                         None => continue,
                     },
                     _ => continue,
@@ -355,6 +360,8 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
                         kind,
                         conns,
                         rps: None,
+                        errors: None,
+                        shed: None,
                         p50: None,
                         p95: None,
                         p99: None,
@@ -365,6 +372,8 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
             };
             match field.as_str() {
                 "rps" => row.rps = Some(v),
+                "errors" => row.errors = Some(v),
+                "shed" => row.shed = Some(v),
                 "p50" => row.p50 = Some(v),
                 "p95" => row.p95 = Some(v),
                 "p99" => row.p99 = Some(v),
@@ -440,8 +449,8 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
     if !net.is_empty() {
         out.push_str(
             "\n## Socket latency (µs, client-observed over loopback TCP)\n\n\
-             source  kind       conns     req/s   p50 µs   p95 µs   p99 µs  p999 µs\n\
-             ------  ---------  -----  --------  -------  -------  -------  -------\n",
+             source  kind       conns     req/s      err     shed   p50 µs   p95 µs   p99 µs  p999 µs\n\
+             ------  ---------  -----  --------  -------  -------  -------  -------  -------  -------\n",
         );
         net.sort_by(|a, b| {
             let ca = a.conns.parse::<u64>().unwrap_or(0);
@@ -455,11 +464,13 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
         for r in &net {
             let _ = writeln!(
                 out,
-                "{:<6}  {:<9}  {:>5}  {:>8}  {:>7}  {:>7}  {:>7}  {:>7}",
+                "{:<6}  {:<9}  {:>5}  {:>8}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}",
                 r.source,
                 r.kind,
                 r.conns,
                 fmt(r.rps),
+                fmt(r.errors),
+                fmt(r.shed),
                 fmt(r.p50),
                 fmt(r.p95),
                 fmt(r.p99),
@@ -483,6 +494,12 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
         for key in ["counters.kernel.simd_waves", "counters.kernel.scalar_waves"] {
             if let Some(v) = snap.get(key) {
                 let _ = writeln!(out, "{source}: {} = {v}", &key["counters.".len()..]);
+            }
+        }
+        // Socket reliability: connection-level failures and heals.
+        for prefix in ["net.transport_errors.", "net.reconnects."] {
+            for (suffix, v) in snap.with_prefix(&format!("extra.{prefix}")) {
+                let _ = writeln!(out, "{source}: {prefix}{suffix} = {v}");
             }
         }
     }
@@ -584,7 +601,11 @@ mod tests {
     "net.latency_us.rect.conns4.p99": 1900.0,
     "net.latency_us.rect.conns4.p999": 5200.0,
     "net.rps.batch.conns4": 1100.0,
-    "net.latency_us.batch.conns4.p99": 2600.0
+    "net.latency_us.batch.conns4.p99": 2600.0,
+    "net.errors.rect.conns4": 17.0,
+    "net.shed.rect.conns4": 12.0,
+    "net.transport_errors.conns4": 1.0,
+    "net.reconnects.conns4": 3.0
   }
 }
 "#,
@@ -592,15 +613,21 @@ mod tests {
         .unwrap();
         let report = bench_report(&[p]);
         assert!(report.contains("## Socket latency"), "{report}");
-        // Rps and all four quantiles of one point share a line; conns
-        // points sort numerically under each kind.
+        // Rps, error/shed counts, and all four quantiles of one point
+        // share a line; conns points sort numerically under each kind.
         let rect4 = report
             .lines()
             .find(|l| l.contains("rect") && l.contains("9000"))
             .unwrap_or_else(|| panic!("no rect/conns4 row in {report}"));
-        for v in ["350", "800", "1900", "5200"] {
+        for v in ["350", "800", "1900", "5200", "17", "12"] {
             assert!(rect4.contains(v), "{rect4}");
         }
+        // Connection-level reliability lands in the environment block.
+        assert!(
+            report.contains("net.transport_errors.conns4 = 1"),
+            "{report}"
+        );
+        assert!(report.contains("net.reconnects.conns4 = 3"), "{report}");
         assert!(report.contains("batch"), "{report}");
         let one = report.find(" 2500 ").expect("conns1 row");
         let four = report.find(" 9000 ").expect("conns4 row");

@@ -366,6 +366,76 @@ pub fn shards_from_bytes_checked(data: &[u8]) -> Result<CheckedSegments, IoError
     Ok(segments)
 }
 
+/// Byte extent of one `ABSH` segment within the envelope — the
+/// substrate for page-granular storage (the `store` crate maps damaged
+/// file pages back to the shards whose bytes they cover, and a direct
+/// reader can slice one shard out of a file without decoding the
+/// others).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentExtent {
+    /// Segment position in the envelope.
+    pub shard: usize,
+    /// First global row the segment covers.
+    pub start_row: u64,
+    /// Byte offset of the segment (including its per-segment header)
+    /// from the start of the envelope.
+    pub offset: usize,
+    /// Byte length of the segment including its header.
+    pub len: usize,
+}
+
+/// Walks an `ABSH` envelope and returns each segment's byte extent
+/// without decoding (or even checksum-verifying) any segment body —
+/// only the envelope header and the fixed per-segment headers are
+/// read, so this stays O(shards) on a multi-gigabyte file.
+pub fn segment_extents(data: &[u8]) -> Result<Vec<SegmentExtent>, IoError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != SHARD_MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = r.u16()?;
+    if !(SHARD_MIN_VERSION..=SHARD_VERSION).contains(&version) {
+        return Err(IoError::UnsupportedVersion(version));
+    }
+    let count = r.u32()? as usize;
+    if count == 0 {
+        return Err(IoError::BadShardLayout);
+    }
+    let min_segment = if version >= 2 { 21 } else { 17 };
+    if count > r.remaining() / min_segment {
+        return Err(IoError::Truncated);
+    }
+    let mut extents = Vec::with_capacity(count);
+    let mut prev_start: Option<u64> = None;
+    for shard in 0..count {
+        let offset = r.pos;
+        let start_row = r.u64()?;
+        let ordered = match prev_start {
+            None => start_row == 0,
+            Some(p) => start_row > p,
+        };
+        if !ordered {
+            return Err(IoError::BadShardLayout);
+        }
+        prev_start = Some(start_row);
+        let len = r.u64()?;
+        if version >= 2 {
+            r.u32()?; // per-segment CRC; extents don't verify it
+        }
+        if len as usize > r.remaining() {
+            return Err(IoError::Truncated);
+        }
+        r.take(len as usize)?;
+        extents.push(SegmentExtent {
+            shard,
+            start_row,
+            offset,
+            len: r.pos - offset,
+        });
+    }
+    Ok(extents)
+}
+
 /// Checksum state of one stored segment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChecksumStatus {
@@ -1134,5 +1204,44 @@ mod tests {
         );
 
         assert!(matches!(verify(b"JUNKjunk"), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn segment_extents_tile_the_envelope_exactly() {
+        let shards = sample_shards();
+        let bytes = encode_shards(&shards);
+        let extents = segment_extents(&bytes).unwrap();
+        assert_eq!(extents.len(), shards.len());
+        // Extents start right after the 10-byte envelope header, are
+        // contiguous, and end exactly at the end of the buffer.
+        let mut expected_off = 10;
+        for (e, (start, index)) in extents.iter().zip(&shards) {
+            assert_eq!(e.offset, expected_off);
+            assert_eq!(e.start_row, *start);
+            // Slicing the extent and skipping its 20-byte header gives
+            // back a decodable ABIX blob.
+            let blob = &bytes[e.offset + 20..e.offset + e.len];
+            let back = from_bytes(blob).unwrap();
+            assert_eq!(back.num_rows(), index.num_rows());
+            expected_off += e.len;
+        }
+        assert_eq!(expected_off, bytes.len());
+
+        // Extents never verify checksums: a payload flip inside a
+        // segment body leaves the walk intact.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 3;
+        corrupt[last] ^= 0xFF;
+        assert_eq!(segment_extents(&corrupt).unwrap(), extents);
+
+        // Envelope damage is still typed.
+        assert!(matches!(
+            segment_extents(b"JUNKjunkjunk"),
+            Err(IoError::BadMagic)
+        ));
+        assert!(matches!(
+            segment_extents(&bytes[..bytes.len() - 1]),
+            Err(IoError::Truncated)
+        ));
     }
 }

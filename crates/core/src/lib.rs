@@ -92,8 +92,9 @@ pub use kernel::{
 };
 
 pub use io::{
-    crc32, from_bytes, shards_from_bytes, shards_from_bytes_checked, shards_to_bytes, to_bytes,
-    verify, CheckedSegments, ChecksumStatus, IoError, SegmentHeader, SegmentReport, VerifyReport,
+    crc32, from_bytes, segment_extents, shards_from_bytes, shards_from_bytes_checked,
+    shards_to_bytes, to_bytes, verify, CheckedSegments, ChecksumStatus, IoError, SegmentExtent,
+    SegmentHeader, SegmentReport, VerifyReport,
 };
 pub use level::{shard_ranges, AbIndex, AttributeMeta};
 pub use planner::{calibrate, plan, CostModel, Engine};

@@ -29,6 +29,12 @@ pub enum NetError {
     },
     /// The response decoded but wasn't the kind the call expected.
     UnexpectedResponse(&'static str),
+    /// The connection dropped and [`crate::ReconnectClient`] could not
+    /// re-establish it within its retry budget.
+    ReconnectFailed {
+        /// Connection attempts made before giving up.
+        attempts: usize,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -46,6 +52,9 @@ impl std::fmt::Display for NetError {
                 if *retryable { " (retryable)" } else { "" }
             ),
             NetError::UnexpectedResponse(what) => write!(f, "unexpected response: {what}"),
+            NetError::ReconnectFailed { attempts } => {
+                write!(f, "reconnect failed after {attempts} attempts")
+            }
         }
     }
 }
@@ -128,6 +137,18 @@ impl Client {
         let bytes = encode_request(id, req);
         self.stream.write_all(&bytes)?;
         Ok(id)
+    }
+
+    /// Queues a request under a caller-chosen id — the substrate of
+    /// [`crate::ReconnectClient`]'s replay, which must resend
+    /// unanswered requests under their **original** ids after a
+    /// reconnect. Also bumps the internal counter past `id` so mixed
+    /// use with [`Client::send`] cannot collide.
+    pub fn send_with_id(&mut self, id: u64, req: &Request) -> Result<(), NetError> {
+        self.next_id = self.next_id.max(id + 1);
+        let bytes = encode_request(id, req);
+        self.stream.write_all(&bytes)?;
+        Ok(())
     }
 
     /// Blocks for the next response frame, whichever request it

@@ -21,7 +21,8 @@
 //! are comparable with the in-process `BENCH_svc.json` ones.
 
 use crate::client::{Client, NetError};
-use crate::frame::{Request, Response, Schema};
+use crate::frame::{ErrorCode, Request, Response, Schema};
+use crate::reconnect::ReconnectClient;
 use bitmap::{AttrRange, RectQuery};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -125,8 +126,11 @@ pub struct KindStats {
     pub kind: &'static str,
     /// Successful responses.
     pub ok: u64,
-    /// Typed error frames received.
+    /// Typed error frames received (sheds included).
     pub errors: u64,
+    /// The subset of `errors` that were load sheds
+    /// ([`ErrorCode::Overloaded`]) — the retryable kind.
+    pub shed: u64,
     /// Client-observed latency quantiles in microseconds.
     pub p50: u64,
     /// 95th percentile (µs).
@@ -146,8 +150,14 @@ pub struct LoadgenReport {
     pub total_ok: u64,
     /// All typed error frames.
     pub total_errors: u64,
-    /// Transport/protocol failures (connection died mid-run).
+    /// All load sheds (subset of `total_errors`).
+    pub total_shed: u64,
+    /// Transport/protocol failures that ended a connection's run
+    /// (after its reconnect budget, if any, ran out).
     pub transport_errors: u64,
+    /// Successful client re-dials across all connections (dropped
+    /// connections healed by [`ReconnectClient`] mid-run).
+    pub reconnects: u64,
     /// Wall-clock duration of the measurement.
     pub elapsed: Duration,
     /// Successful responses per second.
@@ -158,12 +168,14 @@ struct KindTally {
     kind: &'static str,
     ok: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
     sketch: obs::QuantileSketch,
 }
 
 struct Tallies {
     kinds: [KindTally; 3],
     transport_errors: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl Tallies {
@@ -172,11 +184,13 @@ impl Tallies {
             kind,
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             sketch: obs::QuantileSketch::new(),
         };
         Tallies {
             kinds: [mk("rect"), mk("cells"), mk("batch")],
             transport_errors: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
         }
     }
 
@@ -331,6 +345,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
             kind: t.kind,
             ok: t.ok.load(Ordering::Relaxed),
             errors: t.errors.load(Ordering::Relaxed),
+            shed: t.shed.load(Ordering::Relaxed),
             p50: t.sketch.quantile(0.50),
             p95: t.sketch.quantile(0.95),
             p99: t.sketch.quantile(0.99),
@@ -339,11 +354,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
         .collect();
     let total_ok: u64 = kinds.iter().map(|k| k.ok).sum();
     let total_errors: u64 = kinds.iter().map(|k| k.errors).sum();
+    let total_shed: u64 = kinds.iter().map(|k| k.shed).sum();
     Ok(LoadgenReport {
         kinds,
         total_ok,
         total_errors,
+        total_shed,
         transport_errors: tallies.transport_errors.load(Ordering::Relaxed),
+        reconnects: tallies.reconnects.load(Ordering::Relaxed),
         elapsed,
         rps: total_ok as f64 / elapsed.as_secs_f64().max(1e-9),
     })
@@ -353,14 +371,25 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, NetError> {
 fn record(tallies: &Tallies, kind: &'static str, resp: &Response, latency: Duration) {
     let t = tallies.tally(kind);
     match resp {
-        Response::Error { .. } => {
+        Response::Error { code, .. } => {
             t.errors.fetch_add(1, Ordering::Relaxed);
+            if *code == ErrorCode::Overloaded {
+                t.shed.fetch_add(1, Ordering::Relaxed);
+            }
         }
         _ => {
             t.ok.fetch_add(1, Ordering::Relaxed);
             t.sketch.record(latency.as_micros() as u64);
         }
     }
+}
+
+/// Dials one load-driving connection: self-healing, so a server
+/// restart mid-run costs re-dial latency instead of the connection.
+fn dial(addr: &str, conn_id: u64) -> Result<ReconnectClient, NetError> {
+    let mut client = ReconnectClient::connect_with(addr, svc::RetryPolicy::default(), conn_id)?;
+    client.set_read_timeout(Some(Duration::from_secs(30)))?;
+    Ok(client)
 }
 
 /// Closed loop: keep `pipeline` requests outstanding until the
@@ -374,9 +403,32 @@ fn drive_closed(
     deadline: Instant,
     pipeline: usize,
 ) -> Result<(), NetError> {
+    let mut client = dial(addr, conn_id)?;
+    let outcome = drive_closed_on(
+        &mut client,
+        workload,
+        tallies,
+        conn_id,
+        conns,
+        deadline,
+        pipeline,
+    );
+    tallies
+        .reconnects
+        .fetch_add(client.reconnects(), Ordering::Relaxed);
+    outcome
+}
+
+fn drive_closed_on(
+    client: &mut ReconnectClient,
+    workload: &Workload,
+    tallies: &Tallies,
+    conn_id: u64,
+    conns: usize,
+    deadline: Instant,
+    pipeline: usize,
+) -> Result<(), NetError> {
     let pipeline = pipeline.max(1);
-    let mut client = Client::connect(addr)?;
-    client.set_read_timeout(Some(Duration::from_secs(30)))?;
     // Interleave the global sequence across connections so each
     // connection's sub-sequence is deterministic and disjoint.
     let mut seq = conn_id;
@@ -413,8 +465,31 @@ fn drive_open(
     deadline: Instant,
     rps: f64,
 ) -> Result<(), NetError> {
-    let mut client = Client::connect(addr)?;
-    client.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut client = dial(addr, conn_id)?;
+    let outcome = drive_open_on(
+        &mut client,
+        workload,
+        tallies,
+        conn_id,
+        conns,
+        deadline,
+        rps,
+    );
+    tallies
+        .reconnects
+        .fetch_add(client.reconnects(), Ordering::Relaxed);
+    outcome
+}
+
+fn drive_open_on(
+    client: &mut ReconnectClient,
+    workload: &Workload,
+    tallies: &Tallies,
+    conn_id: u64,
+    conns: usize,
+    deadline: Instant,
+    rps: f64,
+) -> Result<(), NetError> {
     let per_conn = (rps / conns as f64).max(0.001);
     let interval = Duration::from_secs_f64(1.0 / per_conn);
     let mut seq = conn_id;

@@ -1,0 +1,167 @@
+//! Auto-reconnect: kill the server under a live client, restart it on
+//! the same port, and prove the client heals — re-dials with backoff,
+//! replays only unanswered requests under their original ids, and
+//! returns the same answers a never-dropped connection would. When no
+//! server comes back, the failure is the typed
+//! [`NetError::ReconnectFailed`], not a raw I/O error.
+
+use ab::{AbConfig, Level};
+use bitmap::{AttrRange, BinnedColumn, BinnedTable, RectQuery};
+use net::{NetConfig, NetError, NetServer, ReconnectClient, Request, Response};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+use svc::{RetryPolicy, Service, SvcConfig};
+
+const ROWS: usize = 300;
+
+fn service() -> Arc<Service> {
+    let table = BinnedTable::new(vec![BinnedColumn::new(
+        "a",
+        (0..ROWS).map(|i| (i % 5) as u32).collect(),
+        5,
+    )]);
+    Arc::new(Service::build(
+        &table,
+        &AbConfig::new(Level::PerAttribute).with_alpha(8),
+        &SvcConfig {
+            threads: 2,
+            shards: 2,
+            ..SvcConfig::default()
+        },
+    ))
+}
+
+fn serve() -> NetServer {
+    NetServer::bind("127.0.0.1:0", service(), NetConfig::default()).unwrap()
+}
+
+/// Rebinds a server on `addr` — retrying briefly, since the kernel
+/// may take a moment to release the port after the old listener drops.
+fn serve_at(addr: SocketAddr) -> NetServer {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match NetServer::bind(addr, service(), NetConfig::default()) {
+            Ok(s) => return s,
+            Err(e) if std::time::Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("could not rebind {addr}: {e}"),
+        }
+    }
+}
+
+fn the_query() -> RectQuery {
+    RectQuery::new(vec![AttrRange::new(0, 1, 2)], 0, ROWS - 1)
+}
+
+fn patient_policy() -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(100),
+        max_attempts: 20,
+        max_elapsed: Duration::from_secs(10),
+    }
+}
+
+#[test]
+fn client_heals_across_a_server_restart() {
+    let server = serve();
+    let addr = server.local_addr();
+    let mut client = ReconnectClient::connect_with(addr, patient_policy(), 42).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    let before = client.query_rect(&the_query(), 0).unwrap();
+    assert!(!before.is_empty());
+    assert_eq!(client.reconnects(), 0);
+
+    // Kill and resurrect the server; the established connection is
+    // now dead and the next call must heal transparently.
+    server.shutdown(Duration::from_secs(1));
+    let server2 = serve_at(addr);
+    let after = client.query_rect(&the_query(), 0).unwrap();
+    assert_eq!(before, after, "same dataset, same answer after healing");
+    assert!(
+        client.reconnects() >= 1,
+        "healing must count as a reconnect"
+    );
+    // The healed connection is a normal connection.
+    client.ping().unwrap();
+    server2.shutdown(Duration::from_secs(1));
+}
+
+#[test]
+fn unanswered_pipelined_requests_replay_with_their_ids() {
+    let server = serve();
+    let addr = server.local_addr();
+    let mut client = ReconnectClient::connect_with(addr, patient_policy(), 7).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // Warm the connection so the drop is observed mid-stream.
+    client.ping().unwrap();
+
+    server.shutdown(Duration::from_secs(1));
+    let server2 = serve_at(addr);
+
+    // Pipeline three requests into (possibly) a dead socket, then
+    // collect: every one must be answered under the id send() issued.
+    let ids = [
+        client.send(&Request::Ping).unwrap(),
+        client
+            .send(&Request::Rect {
+                deadline_ms: 0,
+                query: the_query(),
+            })
+            .unwrap(),
+        client.send(&Request::Ping).unwrap(),
+    ];
+    let mut seen = Vec::new();
+    for _ in 0..ids.len() {
+        let (id, resp) = client.recv().unwrap();
+        assert!(
+            !matches!(resp, Response::Error { .. }),
+            "healthy server answered an error for id {id}"
+        );
+        seen.push(id);
+    }
+    seen.sort_unstable();
+    let mut want = ids.to_vec();
+    want.sort_unstable();
+    assert_eq!(seen, want, "all pipelined ids answered exactly once");
+    server2.shutdown(Duration::from_secs(1));
+}
+
+#[test]
+fn exhausted_redial_budget_is_a_typed_error() {
+    let server = serve();
+    let addr = server.local_addr();
+    let mut client = ReconnectClient::connect_with(
+        addr,
+        RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(5),
+            max_attempts: 3,
+            max_elapsed: Duration::from_millis(500),
+        },
+        1,
+    )
+    .unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    client.ping().unwrap();
+
+    // Take the server away for good: the client must give up with the
+    // typed reconnect error, not a panic or a bare io::Error.
+    server.shutdown(Duration::from_secs(1));
+    match client.ping() {
+        Err(NetError::ReconnectFailed { attempts }) => {
+            assert!(attempts >= 1, "attempts recorded: {attempts}");
+        }
+        other => panic!("expected ReconnectFailed, got {other:?}"),
+    }
+}

@@ -1,0 +1,451 @@
+//! Opening, verifying, and scrubbing segment stores.
+//!
+//! [`Store::open`] is strict: header, page-CRC table, every payload
+//! page, and the payload envelope must all verify before any caller
+//! sees a byte — a torn or rotted file is a typed [`StoreError`],
+//! never a wrong answer. Once open, the payload is served zero-copy
+//! from the mapping ([`Store::payload`]).
+//!
+//! [`Store::scrub`] is the online re-verification pass: it re-reads
+//! every page **from the file** (positioned reads, not the possibly
+//! page-cache-served mapping buffer) and reports pages whose CRC no
+//! longer matches the table captured at open, mapped back to the
+//! shards whose payload bytes they cover. [`Store::audit`] is the
+//! offline flavour for `abq store verify`: same sweep, but against a
+//! file nobody has open.
+
+use crate::format::{self, StoreHeader};
+use crate::sys::{read_exact_at, SegmentMap};
+use crate::StoreError;
+use ab::SegmentExtent;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+/// Rejects a meta page whose padding (bytes past the checksummed
+/// header) is nonzero — the one region no CRC covers, so it must hold
+/// its written-as-zero value exactly.
+fn check_meta_padding(meta: &[u8]) -> Result<(), StoreError> {
+    if meta[format::HEADER_LEN..].iter().any(|&b| b != 0) {
+        obs::counter!("store.page_crc_failures").inc();
+        return Err(StoreError::PageCrc {
+            page: 0,
+            stored: 0,
+            computed: ab::crc32(&meta[format::HEADER_LEN..]),
+        });
+    }
+    Ok(())
+}
+
+/// Outcome of one full page sweep ([`Store::scrub`] / [`Store::audit`]).
+#[derive(Clone, Debug)]
+pub struct ScrubReport {
+    /// Pages examined (meta + table + payload).
+    pub pages_scanned: u64,
+    /// Zero-based file page indexes that failed verification.
+    pub bad_pages: Vec<u64>,
+    /// Shards whose serialized bytes intersect a bad page. Damage to
+    /// the meta or table pages cannot be attributed, so it implicates
+    /// **every** shard (conservative, like the rest of the repo).
+    pub bad_shards: Vec<usize>,
+}
+
+impl ScrubReport {
+    /// Whether every page verified.
+    pub fn clean(&self) -> bool {
+        self.bad_pages.is_empty()
+    }
+}
+
+/// An open, fully-verified segment store.
+pub struct Store {
+    file: File,
+    map: SegmentMap,
+    header: StoreHeader,
+    /// Per-payload-page CRCs captured (and verified) at open.
+    crcs: Vec<u32>,
+    /// Meta + table pages as read at open — scrub compares against
+    /// this trusted copy, so rot in *any* page region is caught.
+    meta_image: Vec<u8>,
+    extents: Vec<SegmentExtent>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("path", &self.path)
+            .field("backend", &self.map.backend())
+            .field("header", &self.header)
+            .field("shards", &self.extents.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Store {
+    /// Opens and fully verifies the store, preferring mmap.
+    pub fn open(path: impl AsRef<Path>) -> Result<Store, StoreError> {
+        Store::open_with(path, false)
+    }
+
+    /// [`Store::open`] with backend selection: `force_pread` skips
+    /// mmap and reads the file into a heap buffer (the portable
+    /// fallback), mirroring `net`'s `force_poll`.
+    pub fn open_with(path: impl AsRef<Path>, force_pread: bool) -> Result<Store, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        let mut head = vec![0u8; format::HEADER_LEN.min(file_len as usize)];
+        read_exact_at(&file, &mut head, 0)?;
+        let header = format::decode_header(&head, Some(file_len))?;
+
+        let map = SegmentMap::map(&file, file_len as usize, force_pread)?;
+        let bytes = map.bytes();
+        let ps = header.page_size as usize;
+        let payload_off = header.payload_offset() as usize;
+        let payload_len = header.payload_len as usize;
+
+        // Nothing in a store file may rot silently: the meta page's
+        // padding (the only region no checksum covers) must stay zero.
+        check_meta_padding(&bytes[..ps])?;
+
+        // Verify the page-CRC table against the header, then every
+        // payload page against the table, then the whole payload.
+        let table = &bytes[ps..payload_off];
+        let computed = ab::crc32(table);
+        if computed != header.table_crc {
+            obs::counter!("store.page_crc_failures").inc();
+            return Err(StoreError::TableCrc {
+                stored: header.table_crc,
+                computed,
+            });
+        }
+        let crcs: Vec<u32> = (0..header.payload_pages() as usize)
+            .map(|i| u32::from_le_bytes(table[4 * i..4 * i + 4].try_into().unwrap()))
+            .collect();
+        for (i, page) in bytes[payload_off..].chunks(ps).enumerate() {
+            let computed = ab::crc32(page);
+            if computed != crcs[i] {
+                obs::counter!("store.page_crc_failures").inc();
+                return Err(StoreError::PageCrc {
+                    page: header.first_payload_page() + i as u64,
+                    stored: crcs[i],
+                    computed,
+                });
+            }
+        }
+        let payload = &bytes[payload_off..payload_off + payload_len];
+        let computed = ab::crc32(payload);
+        if computed != header.payload_crc {
+            obs::counter!("store.page_crc_failures").inc();
+            return Err(StoreError::PageCrc {
+                page: header.first_payload_page(),
+                stored: header.payload_crc,
+                computed,
+            });
+        }
+        let extents = ab::segment_extents(payload)?;
+        if extents.len() != header.shard_count as usize {
+            return Err(StoreError::Payload(ab::IoError::BadShardLayout));
+        }
+        let meta_image = bytes[..payload_off].to_vec();
+        obs::counter!("store.opens").inc();
+        Ok(Store {
+            file,
+            map,
+            header,
+            crcs,
+            meta_image,
+            extents,
+            path,
+        })
+    }
+
+    /// The verified `ABSH` payload, served from the mapping.
+    pub fn payload(&self) -> &[u8] {
+        let off = self.header.payload_offset() as usize;
+        &self.map.bytes()[off..off + self.header.payload_len as usize]
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &StoreHeader {
+        &self.header
+    }
+
+    /// Shard count recorded in the envelope.
+    pub fn num_shards(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Per-shard byte extents within the payload.
+    pub fn extents(&self) -> &[SegmentExtent] {
+        &self.extents
+    }
+
+    /// Which backend serves [`Store::payload`]: `"mmap"` or `"pread"`.
+    pub fn backend(&self) -> &'static str {
+        self.map.backend()
+    }
+
+    /// The path this store was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Re-verifies every page by re-reading the **file** (positioned
+    /// reads): meta and table pages must still equal the trusted copy
+    /// captured at open, payload pages must still hash to their table
+    /// entries. Runs under live traffic — the mapping and the query
+    /// path are untouched.
+    pub fn scrub(&self) -> std::io::Result<ScrubReport> {
+        let ps = self.header.page_size as usize;
+        let payload_first = self.header.first_payload_page();
+        let mut buf = vec![0u8; ps];
+        let mut bad_pages = Vec::new();
+        for page in 0..self.header.total_pages() {
+            if read_exact_at(&self.file, &mut buf, page * ps as u64).is_err() {
+                // Shrunk or unreadable page: damaged by definition.
+                bad_pages.push(page);
+                continue;
+            }
+            let ok = if page < payload_first {
+                let off = page as usize * ps;
+                buf[..] == self.meta_image[off..off + ps]
+            } else {
+                ab::crc32(&buf) == self.crcs[(page - payload_first) as usize]
+            };
+            if !ok {
+                bad_pages.push(page);
+            }
+        }
+        if !bad_pages.is_empty() {
+            obs::counter!("store.scrub.crc_errors").add(bad_pages.len() as u64);
+        }
+        obs::counter!("store.scrub.pages").add(self.header.total_pages());
+        Ok(self.report(bad_pages))
+    }
+
+    /// Maps bad file pages to implicated shards and packages a report.
+    fn report(&self, bad_pages: Vec<u64>) -> ScrubReport {
+        let ps = self.header.page_size as u64;
+        let payload_first = self.header.first_payload_page();
+        let mut bad_shards = Vec::new();
+        for &page in &bad_pages {
+            if page < payload_first {
+                // Meta/table damage implicates everything.
+                bad_shards = (0..self.extents.len()).collect();
+                break;
+            }
+            let lo = (page - payload_first) * ps;
+            let hi = lo + ps;
+            for e in &self.extents {
+                let (elo, ehi) = (e.offset as u64, (e.offset + e.len) as u64);
+                if elo < hi && lo < ehi && !bad_shards.contains(&e.shard) {
+                    bad_shards.push(e.shard);
+                }
+            }
+        }
+        bad_shards.sort_unstable();
+        ScrubReport {
+            pages_scanned: self.header.total_pages(),
+            bad_pages,
+            bad_shards,
+        }
+    }
+
+    /// Offline page sweep for `abq store verify`: like [`Store::scrub`]
+    /// but without requiring a clean open — only the header itself and
+    /// the page-CRC table must verify; every damaged payload page is
+    /// reported rather than failing fast.
+    pub fn audit(path: impl AsRef<Path>) -> Result<(StoreHeader, ScrubReport), StoreError> {
+        let file = File::open(path.as_ref())?;
+        let file_len = file.metadata()?.len();
+        let mut head = vec![0u8; format::HEADER_LEN.min(file_len as usize)];
+        read_exact_at(&file, &mut head, 0)?;
+        let header = format::decode_header(&head, Some(file_len))?;
+        let ps = header.page_size as usize;
+
+        let mut meta = vec![0u8; ps];
+        read_exact_at(&file, &mut meta, 0)?;
+        check_meta_padding(&meta)?;
+
+        let mut table = vec![0u8; header.table_pages() as usize * ps];
+        read_exact_at(&file, &mut table, ps as u64)?;
+        let computed = ab::crc32(&table);
+        if computed != header.table_crc {
+            return Err(StoreError::TableCrc {
+                stored: header.table_crc,
+                computed,
+            });
+        }
+        let crcs: Vec<u32> = (0..header.payload_pages() as usize)
+            .map(|i| u32::from_le_bytes(table[4 * i..4 * i + 4].try_into().unwrap()))
+            .collect();
+        let payload_first = header.first_payload_page();
+        let mut payload = vec![0u8; header.payload_pages() as usize * ps];
+        read_exact_at(&file, &mut payload, payload_first * ps as u64)?;
+        let mut bad_pages = Vec::new();
+        for (i, page) in payload.chunks(ps).enumerate() {
+            if ab::crc32(page) != crcs[i] {
+                bad_pages.push(payload_first + i as u64);
+            }
+        }
+        // Attribute damage to shards where the envelope still walks;
+        // implicate every shard when it doesn't.
+        let extents = ab::segment_extents(&payload[..header.payload_len as usize]).ok();
+        let mut bad_shards = Vec::new();
+        for &page in &bad_pages {
+            let lo = (page - payload_first) * ps as u64;
+            let hi = lo + ps as u64;
+            match &extents {
+                None => {
+                    bad_shards = (0..header.shard_count as usize).collect();
+                    break;
+                }
+                Some(extents) => {
+                    for e in extents {
+                        let (elo, ehi) = (e.offset as u64, (e.offset + e.len) as u64);
+                        if elo < hi && lo < ehi && !bad_shards.contains(&e.shard) {
+                            bad_shards.push(e.shard);
+                        }
+                    }
+                }
+            }
+        }
+        bad_shards.sort_unstable();
+        Ok((
+            header,
+            ScrubReport {
+                pages_scanned: header.total_pages(),
+                bad_pages,
+                bad_shards,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::RealIo;
+    use crate::tests::{sample_payload, tmpdir};
+    use crate::writer::write;
+    use std::io::{Seek, SeekFrom, Write};
+
+    fn flip_byte(path: &Path, offset: u64, xor: u8) {
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .unwrap();
+        let mut b = [0u8; 1];
+        crate::sys::read_exact_at(&f, &mut b, offset).unwrap();
+        f.seek(SeekFrom::Start(offset)).unwrap();
+        f.write_all(&[b[0] ^ xor]).unwrap();
+        f.sync_all().unwrap();
+    }
+
+    #[test]
+    fn open_verifies_and_serves_both_backends() {
+        let dir = tmpdir("reader");
+        let path = dir.join("idx.seg");
+        let payload = sample_payload(500, 4);
+        write(&path, &payload, 256, &RealIo).unwrap();
+        for force_pread in [false, true] {
+            let st = Store::open_with(&path, force_pread).unwrap();
+            assert_eq!(st.payload(), &payload[..]);
+            assert_eq!(st.num_shards(), 4);
+            assert_eq!(st.extents().len(), 4);
+            assert!(st.scrub().unwrap().clean());
+            if force_pread {
+                assert_eq!(st.backend(), "pread");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn payload_flip_fails_open_with_page_error() {
+        let dir = tmpdir("reader-flip");
+        let path = dir.join("idx.seg");
+        let payload = sample_payload(400, 3);
+        write(&path, &payload, 128, &RealIo).unwrap();
+        let st = Store::open(&path).unwrap();
+        let victim = st.header().payload_offset() + st.header().payload_len / 2;
+        drop(st);
+        flip_byte(&path, victim, 0x40);
+        match Store::open(&path) {
+            Err(StoreError::PageCrc { page, .. }) => {
+                assert!(page >= 2, "payload pages start after meta+table");
+            }
+            Err(other) => panic!("expected PageCrc, got {other:?}"),
+            Ok(_) => panic!("open must fail on a flipped payload byte"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_detects_rot_under_a_live_store_and_names_the_shard() {
+        let dir = tmpdir("reader-scrub");
+        let path = dir.join("idx.seg");
+        let payload = sample_payload(600, 4);
+        write(&path, &payload, 128, &RealIo).unwrap();
+        let st = Store::open(&path).unwrap();
+        assert!(st.scrub().unwrap().clean());
+
+        // Rot one byte in the middle of shard 2's extent.
+        let e = st.extents()[2];
+        let victim = st.header().payload_offset() + (e.offset + e.len / 2) as u64;
+        flip_byte(&path, victim, 0x01);
+        let report = st.scrub().unwrap();
+        assert_eq!(report.bad_pages.len(), 1);
+        assert!(report.bad_shards.contains(&2), "{report:?}");
+        assert!(report.bad_shards.len() <= 2, "one page spans ≤ 2 shards");
+
+        // Meta-page rot implicates every shard.
+        flip_byte(&path, victim, 0x01); // restore payload
+        assert!(st.scrub().unwrap().clean());
+        flip_byte(&path, 40, 0xFF); // inside meta page padding
+        let report = st.scrub().unwrap();
+        assert_eq!(report.bad_pages, vec![0]);
+        assert_eq!(report.bad_shards, vec![0, 1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn audit_reports_damage_without_a_clean_open() {
+        let dir = tmpdir("reader-audit");
+        let path = dir.join("idx.seg");
+        let payload = sample_payload(500, 4);
+        write(&path, &payload, 128, &RealIo).unwrap();
+        let (h, report) = Store::audit(&path).unwrap();
+        assert!(report.clean());
+        assert_eq!(h.shard_count, 4);
+
+        let victim = h.payload_offset() + h.payload_len - 2;
+        flip_byte(&path, victim, 0x80);
+        let (_, report) = Store::audit(&path).unwrap();
+        assert_eq!(report.bad_pages.len(), 1);
+        assert_eq!(report.bad_shards, vec![3], "last bytes = last shard");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let dir = tmpdir("reader-trunc");
+        let path = dir.join("idx.seg");
+        write(&path, &sample_payload(300, 2), 128, &RealIo).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 128).unwrap();
+        drop(f);
+        assert!(matches!(
+            Store::open(&path),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Store::audit(&path),
+            Err(StoreError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

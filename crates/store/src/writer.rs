@@ -1,0 +1,118 @@
+//! The crash-safe write protocol.
+//!
+//! A store file is never modified in place. [`write()`] builds the full
+//! page image in memory and then runs the classic atomic-replace
+//! sequence, every step through the caller's [`SegmentIo`]:
+//!
+//! 1. create `<name>.tmp` in the destination directory (same
+//!    filesystem, so the rename is atomic);
+//! 2. write the complete image;
+//! 3. `fsync` the temp file — its bytes are durable before any name
+//!    points at them;
+//! 4. `rename(2)` it over the destination — atomic: every observer
+//!    sees either the old complete file or the new complete file;
+//! 5. `fsync` the directory — makes the rename itself durable.
+//!
+//! A crash (real or injected) at any point leaves the destination
+//! either untouched (steps 1–4 incomplete) or fully replaced (rename
+//! landed); the only residue is a stale `.tmp`, which the next write
+//! clobbers. This is the invariant the crash-matrix test drives.
+
+use crate::format;
+use crate::io::SegmentIo;
+use crate::StoreError;
+use std::path::Path;
+
+/// Suffix of the scratch file used for atomic replacement.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+/// Atomically (re)writes the store at `path` with `payload` (a
+/// well-formed `ABSH` envelope) paged at `page_size`. On error the
+/// destination is untouched unless the rename already landed — in
+/// which case the new file is complete and valid.
+pub fn write(
+    path: &Path,
+    payload: &[u8],
+    page_size: u32,
+    io: &dyn SegmentIo,
+) -> Result<(), StoreError> {
+    let started = std::time::Instant::now();
+    let (image, header) = format::encode(payload, page_size)?;
+    let tmp = tmp_path(path);
+    // A stale temp from an earlier crashed write is dead weight;
+    // create() truncates, but remove it explicitly so a *failed*
+    // create can't be confused with older bytes.
+    let _ = std::fs::remove_file(&tmp);
+
+    let mut file = io.create(&tmp)?;
+    io.write_all(&mut file, &image)?;
+    io.sync_file(&file)?;
+    drop(file);
+    io.rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        io.sync_dir(dir)?;
+    }
+
+    obs::counter!("store.writes").inc();
+    obs::counter!("store.pages_written").add(header.total_pages());
+    obs::histogram!("store.write_us").record(started.elapsed().as_micros() as u64);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::RealIo;
+    use crate::tests::{sample_payload, tmpdir};
+    use crate::Store;
+
+    #[test]
+    fn write_then_open_roundtrips() {
+        let dir = tmpdir("writer");
+        let path = dir.join("idx.seg");
+        let payload = sample_payload(300, 4);
+        write(&path, &payload, 128, &RealIo).unwrap();
+        let st = Store::open(&path).unwrap();
+        assert_eq!(st.payload(), &payload[..]);
+        assert_eq!(st.num_shards(), 4);
+        // No temp residue after a clean write.
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically_and_clears_stale_tmp() {
+        let dir = tmpdir("writer-replace");
+        let path = dir.join("idx.seg");
+        let old = sample_payload(200, 2);
+        let new = sample_payload(400, 4);
+        write(&path, &old, 128, &RealIo).unwrap();
+        // Plant a stale temp as if a previous writer died post-create.
+        std::fs::write(tmp_path(&path), b"stale garbage").unwrap();
+        write(&path, &new, 128, &RealIo).unwrap();
+        let st = Store::open(&path).unwrap();
+        assert_eq!(st.payload(), &new[..]);
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_payload_never_touches_the_destination() {
+        let dir = tmpdir("writer-garbage");
+        let path = dir.join("idx.seg");
+        let good = sample_payload(100, 2);
+        write(&path, &good, 128, &RealIo).unwrap();
+        assert!(matches!(
+            write(&path, b"not an envelope", 128, &RealIo),
+            Err(StoreError::Payload(_))
+        ));
+        assert_eq!(Store::open(&path).unwrap().payload(), &good[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -45,6 +45,23 @@ pub mod points {
     /// Applied by [`super::corrupt`] to serialized index bytes before
     /// decode — simulates bit-rot on the persistence path.
     pub const IO_DECODE: &str = "io.decode";
+    /// Segment-store write path, step 1: creating the temp file
+    /// ([`store::SegmentIo::create`]).
+    pub const STORE_CREATE: &str = "store.create";
+    /// Segment-store write path, step 2: writing the page image
+    /// ([`store::SegmentIo::write_all`]). A [`super::Fault::ShortWrite`]
+    /// here leaves a torn temp file; a [`super::Fault::FlipByte`]
+    /// writes a silently-corrupted image that must fail CRC at open.
+    pub const STORE_WRITE: &str = "store.write";
+    /// Segment-store write path, step 3: fsync of the temp file
+    /// ([`store::SegmentIo::sync_file`]).
+    pub const STORE_SYNC_FILE: &str = "store.sync_file";
+    /// Segment-store write path, step 4: the atomic rename
+    /// ([`store::SegmentIo::rename`]).
+    pub const STORE_RENAME: &str = "store.rename";
+    /// Segment-store write path, step 5: fsync of the directory
+    /// ([`store::SegmentIo::sync_dir`]).
+    pub const STORE_SYNC_DIR: &str = "store.sync_dir";
 }
 
 /// What happens when a rule fires.
@@ -65,6 +82,15 @@ pub enum Fault {
         /// any effect).
         xor: u8,
     },
+    /// Fail the syscall with a simulated `EIO` (only meaningful at the
+    /// `store.*` points, where [`ChaosSegmentIo`] applies it — a
+    /// crashed writer is indistinguishable from one whose syscall
+    /// errored and aborted, which is exactly what the crash-matrix
+    /// test leans on).
+    Eio,
+    /// Write only the first half of the buffer, then fail — a torn
+    /// write (only meaningful at [`points::STORE_WRITE`]).
+    ShortWrite,
 }
 
 /// One injection rule: where, what, how often, and for how long.
@@ -232,7 +258,9 @@ pub fn inject(
 ) -> Result<(), SvcError> {
     let Some(plan) = plan else { return Ok(()) };
     match plan.decide(point, shard) {
-        None | Some(Fault::FlipByte { .. }) => Ok(()),
+        // Byte-stream and syscall faults are applied by `corrupt` and
+        // `ChaosSegmentIo` respectively, not here.
+        None | Some(Fault::FlipByte { .. } | Fault::Eio | Fault::ShortWrite) => Ok(()),
         Some(Fault::Panic) => panic!("chaos: injected panic at {point} (shard {shard:?})"),
         Some(Fault::Latency(d)) => {
             std::thread::sleep(d);
@@ -287,6 +315,108 @@ pub fn corrupt(
     _bytes: &mut [u8],
 ) -> Option<usize> {
     None
+}
+
+/// A fault-injecting [`store::SegmentIo`]: forwards every syscall to
+/// [`store::RealIo`] unless a rule at the matching `store.*` point
+/// fires first. [`Fault::Eio`] fails the call before it runs (after
+/// the rename for [`points::STORE_SYNC_DIR`] — by then the new file
+/// has already landed, which is the point: durability of the *name*
+/// is the last thing to become crash-safe). [`Fault::ShortWrite`]
+/// tears the image write half-way; [`Fault::FlipByte`] silently
+/// corrupts one byte of the written image, which must then fail CRC
+/// verification at open. [`Fault::Panic`] and [`Fault::Latency`] act
+/// as at any other point. Under `chaos-off` every method is a plain
+/// delegation.
+#[derive(Debug)]
+pub struct ChaosSegmentIo {
+    plan: std::sync::Arc<FaultPlan>,
+}
+
+impl ChaosSegmentIo {
+    /// Wraps the real syscalls with this plan's `store.*` rules.
+    pub fn new(plan: std::sync::Arc<FaultPlan>) -> Self {
+        ChaosSegmentIo { plan }
+    }
+
+    #[cfg(not(feature = "chaos-off"))]
+    fn decide(&self, point: &'static str) -> Option<Fault> {
+        match self.plan.decide(point, None) {
+            Some(Fault::Panic) => panic!("chaos: injected panic at {point}"),
+            Some(Fault::Latency(d)) => {
+                std::thread::sleep(d);
+                None
+            }
+            decision => decision,
+        }
+    }
+
+    #[cfg(feature = "chaos-off")]
+    #[inline(always)]
+    fn decide(&self, _point: &'static str) -> Option<Fault> {
+        None
+    }
+}
+
+/// The simulated-syscall-failure error every injected store fault
+/// surfaces as.
+fn injected_eio(point: &'static str) -> std::io::Error {
+    std::io::Error::other(format!("chaos: injected EIO at {point}"))
+}
+
+impl store::SegmentIo for ChaosSegmentIo {
+    fn create(&self, path: &std::path::Path) -> std::io::Result<std::fs::File> {
+        if self.decide(points::STORE_CREATE).is_some() {
+            return Err(injected_eio(points::STORE_CREATE));
+        }
+        store::RealIo.create(path)
+    }
+
+    fn write_all(&self, file: &mut std::fs::File, buf: &[u8]) -> std::io::Result<()> {
+        match self.decide(points::STORE_WRITE) {
+            Some(Fault::ShortWrite) => {
+                store::RealIo.write_all(file, &buf[..buf.len() / 2])?;
+                Err(injected_eio(points::STORE_WRITE))
+            }
+            Some(Fault::FlipByte { xor }) => {
+                let mut torn = buf.to_vec();
+                if !torn.is_empty() {
+                    let hit = self.plan.hits(points::STORE_WRITE);
+                    let off =
+                        hashkit::splitmix64(self.plan.seed ^ mix_str(points::STORE_WRITE) ^ hit)
+                            % torn.len() as u64;
+                    torn[off as usize] ^= xor;
+                }
+                store::RealIo.write_all(file, &torn)
+            }
+            Some(_) => Err(injected_eio(points::STORE_WRITE)),
+            None => store::RealIo.write_all(file, buf),
+        }
+    }
+
+    fn sync_file(&self, file: &std::fs::File) -> std::io::Result<()> {
+        if self.decide(points::STORE_SYNC_FILE).is_some() {
+            return Err(injected_eio(points::STORE_SYNC_FILE));
+        }
+        store::RealIo.sync_file(file)
+    }
+
+    fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> std::io::Result<()> {
+        if self.decide(points::STORE_RENAME).is_some() {
+            return Err(injected_eio(points::STORE_RENAME));
+        }
+        store::RealIo.rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        // Real syscall first: an injected failure here models a crash
+        // *after* the rename landed — new state, durability pending.
+        store::RealIo.sync_dir(dir)?;
+        if self.decide(points::STORE_SYNC_DIR).is_some() {
+            return Err(injected_eio(points::STORE_SYNC_DIR));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(all(test, not(feature = "chaos-off")))]

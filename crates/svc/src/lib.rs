@@ -26,6 +26,10 @@
 //!   marker for conservative (*maybe present*) answers;
 //! * [`mod@retry`] — bounded retry with decorrelated-jitter backoff for
 //!   transient [`SvcError::Overloaded`] rejections;
+//! * [`mod@scrub`] — the online segment-store scrubber: periodic page
+//!   re-verification over a [`store::Store`], quarantine of shards
+//!   whose durable bytes rotted, and bit-identical online repair
+//!   through the crash-safe write protocol;
 //! * [`telemetry`] — a zero-dependency HTTP endpoint serving
 //!   `/metrics` (Prometheus), `/healthz`, and `/debug/traces` (the
 //!   request-trace flight recorder).
@@ -70,18 +74,20 @@ pub mod degrade;
 pub mod error;
 pub mod pool;
 pub mod retry;
+pub mod scrub;
 pub mod service;
 pub mod shard;
 pub mod telemetry;
 
 pub use batch::{group_cells_by_shard, group_rects_by_shard, ShardCells, ShardRects};
-pub use chaos::{Fault, FaultPlan, FaultRule};
+pub use chaos::{ChaosSegmentIo, Fault, FaultPlan, FaultRule};
 pub use counting::CountingService;
 pub use deadline::{CancelToken, Deadline, RequestCtx};
 pub use degrade::{Degraded, Response, ShardHealth};
 pub use error::SvcError;
 pub use pool::WorkerPool;
 pub use retry::{retry, retry_traced, RetryPolicy};
+pub use scrub::{scrub_pass, PassOutcome, RepairSource, Scrubber, StoreState, StoreStatus};
 pub use service::{Service, SvcConfig, CHUNK_ROWS};
 pub use shard::{Shard, ShardedIndex};
 pub use telemetry::TelemetryServer;

@@ -26,6 +26,7 @@
 //! rather than wait).
 
 use crate::degrade::ShardHealth;
+use crate::scrub::StoreStatus;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,6 +46,18 @@ impl TelemetryServer {
     /// OS-assigned port in tests) and starts serving on a background
     /// thread. `health` drives `/healthz`.
     pub fn bind(addr: impl ToSocketAddrs, health: Arc<ShardHealth>) -> std::io::Result<Self> {
+        Self::bind_with_store(addr, health, None)
+    }
+
+    /// [`TelemetryServer::bind`] plus a segment-store status: when
+    /// `store` is given, `/healthz` carries a `"store"` object with
+    /// the scrubber's state (`healthy`/`degraded`/`repairing`), pass
+    /// and CRC-error counts, and the serving backend.
+    pub fn bind_with_store(
+        addr: impl ToSocketAddrs,
+        health: Arc<ShardHealth>,
+        store: Option<Arc<StoreStatus>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -61,7 +74,7 @@ impl TelemetryServer {
                         // accept loop.
                         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                        let _ = handle_connection(stream, &health);
+                        let _ = handle_connection(stream, &health, store.as_deref());
                     }
                 }
             })?;
@@ -104,7 +117,11 @@ impl Drop for TelemetryServer {
 
 /// Reads the request line, routes, writes one response. Any parse
 /// trouble gets a 400 rather than a hang.
-fn handle_connection(mut stream: TcpStream, health: &ShardHealth) -> std::io::Result<()> {
+fn handle_connection(
+    mut stream: TcpStream,
+    health: &ShardHealth,
+    store: Option<&StoreStatus>,
+) -> std::io::Result<()> {
     obs::counter!("telemetry.requests").inc();
     // Read until the end of the request head (or a sane cap — GETs
     // have no body we care about).
@@ -153,6 +170,11 @@ fn handle_connection(mut stream: TcpStream, health: &ShardHealth) -> std::io::Re
                 let accepted = obs::global().counter("net.accepted").get();
                 let closed = obs::global().counter("net.conn_closed").get();
                 let shed = obs::global().counter("net.shed_at_accept").get();
+                // The store block only appears when a segment store is
+                // actually being scrubbed.
+                let store_block = store
+                    .map(|s| format!(",\"store\":{}", s.healthz_fragment()))
+                    .unwrap_or_default();
                 (
                     "200 OK",
                     "application/json",
@@ -160,7 +182,7 @@ fn handle_connection(mut stream: TcpStream, health: &ShardHealth) -> std::io::Re
                         "{{\"status\":\"{status}\",\"shards\":{},\"quarantined\":[{}],\
                          \"traces_recorded\":{},\"traces_dropped\":{},\
                          \"listener\":{{\"open\":{},\"accepted\":{accepted},\
-                         \"shed_at_accept\":{shed}}}}}\n",
+                         \"shed_at_accept\":{shed}}}{store_block}}}\n",
                         health.len(),
                         ids.join(","),
                         obs::recorder().recorded(),
@@ -256,6 +278,28 @@ mod tests {
         assert!(body.contains("\"listener\":{\"open\":"), "body: {body}");
         assert!(body.contains("\"accepted\":"), "body: {body}");
         assert!(body.contains("\"shed_at_accept\":"), "body: {body}");
+        srv.stop();
+    }
+
+    #[test]
+    fn healthz_store_block_appears_only_with_a_store() {
+        let srv = server_with(ShardHealth::new(2));
+        let (_, body) = get(srv.local_addr(), "/healthz");
+        assert!(!body.contains("\"store\""), "body: {body}");
+        srv.stop();
+
+        let status = Arc::new(StoreStatus::new("mmap"));
+        let srv = TelemetryServer::bind_with_store(
+            "127.0.0.1:0",
+            Arc::new(ShardHealth::new(2)),
+            Some(status),
+        )
+        .expect("bind");
+        let (_, body) = get(srv.local_addr(), "/healthz");
+        assert!(
+            body.contains("\"store\":{\"state\":\"healthy\",\"backend\":\"mmap\""),
+            "body: {body}"
+        );
         srv.stop();
     }
 

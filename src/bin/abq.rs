@@ -13,6 +13,10 @@
 //!           [--kernel scalar|batched|simd] [--batch-rows adaptive|N]
 //!           [--listen HOST:PORT [--max-conns N] [--drain-ms N]
 //!            [--trace-dump FILE]]
+//! abq store build --csv data.csv --out index.abpg [--shards N]
+//!           [--page-size N] [--bins N] [--alpha N] [--level L]
+//! abq store verify --store index.abpg
+//! abq store scrub --store index.abpg [--pread] [--csv data.csv ...]
 //! abq loadgen --addr HOST:PORT [--conns N] [--secs S]
 //!           [--pipeline N | --rps R] [--mix rect,cells,batch]
 //!           [--seed N] [--batch-size N] [--deadline-ms N] [--out FILE]
@@ -33,6 +37,16 @@
 //! and answers queries read line by line from stdin — or, with
 //! `--listen`, over TCP through the [`net`] front end (ABQ/1 binary
 //! framing, pipelined requests, graceful drain on SIGINT/SIGTERM).
+//! With `--store FILE` it serves from a crash-safe `ABPG` segment
+//! store instead of rebuilding (mmap by default, `--store-pread` for
+//! the portable path), and a background scrubber re-verifies the file
+//! every `--scrub-ms` (0 disables; add `--csv` to enable online
+//! repair, otherwise damaged shards are quarantined into degraded
+//! superset answers).
+//! `store build|verify|scrub` manage those segment stores: `build`
+//! writes one atomically (tmp + fsync + rename), `verify` is the
+//! offline integrity audit, `scrub` runs one detect→quarantine→repair
+//! pass from the command line.
 //! `loadgen` drives a live `--listen` server over real sockets in
 //! closed-loop (`--pipeline`) or open-loop (`--rps`) mode and writes
 //! client-observed throughput and latency quantiles to a
@@ -62,6 +76,7 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench-svc") => cmd_bench_svc(&args[1..]),
@@ -91,7 +106,12 @@ fn print_usage() {
          abq serve --csv FILE [--threads N] [--shards N] [--bins N] [--alpha N] \
          [--deadline-ms N] [--wah] [--retries N] [--kernel scalar|batched|simd] \
          [--batch-rows adaptive|N] [--telemetry-addr HOST:PORT] [--slow-ms N] \
+         [--store FILE [--store-pread] [--scrub-ms N]] \
          [--listen HOST:PORT [--max-conns N] [--drain-ms N] [--trace-dump FILE]]\n  \
+         abq store build --csv FILE --out FILE [--shards N] [--page-size N] \
+         [--bins N] [--alpha N] [--level L]\n  \
+         abq store verify --store FILE\n  \
+         abq store scrub --store FILE [--pread] [--csv FILE [--bins N] [--alpha N] [--level L]]\n  \
          abq loadgen --addr HOST:PORT [--conns N] [--secs S] [--pipeline N | --rps R] \
          [--mix rect,cells,batch] [--seed N] [--batch-size N] [--deadline-ms N] \
          [--out FILE]\n  \
@@ -417,9 +437,9 @@ fn parse_retry_policy(args: &[String]) -> Result<svc::RetryPolicy, String> {
     })
 }
 
-/// Shared setup for `serve` and `bench-svc`: CSV → binned table →
-/// sharded service. Prints the chosen shard/thread split.
-fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
+/// Shared `--csv`/`--bins`/`--alpha`/`--level` parsing: CSV → binned
+/// table + AB build config (the inputs a store repair needs too).
+fn binned_and_config(args: &[String]) -> Result<(BinnedTable, AbConfig), String> {
     let csv = flag_value(args, "--csv").ok_or("--csv is required")?;
     let bins: u32 = flag_value(args, "--bins")
         .unwrap_or("10")
@@ -430,6 +450,17 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         .parse()
         .map_err(|_| "--alpha must be an integer")?;
     let level = parse_level(flag_value(args, "--level").unwrap_or("per-attribute"))?;
+    let table = read_csv(csv)?;
+    Ok((
+        BinnedTable::from_table(&table, &EquiDepth::new(bins)),
+        AbConfig::new(level).with_alpha(alpha),
+    ))
+}
+
+/// Shared setup for `serve` and `bench-svc`: CSV → binned table →
+/// sharded service. Prints the chosen shard/thread split.
+fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
+    let (binned, config) = binned_and_config(args)?;
     let threads = parse_threads(args)?;
     let shards: usize = match flag_value(args, "--shards") {
         Some(s) => s.parse().map_err(|_| "--shards must be an integer")?,
@@ -451,8 +482,6 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         None => None,
     };
 
-    let table = read_csv(csv)?;
-    let binned = BinnedTable::from_table(&table, &EquiDepth::new(bins));
     let cfg = SvcConfig {
         threads,
         shards,
@@ -463,7 +492,7 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         slow_query,
         ..SvcConfig::default()
     };
-    let svc = Service::build(&binned, &AbConfig::new(level).with_alpha(alpha), &cfg);
+    let svc = Service::build(&binned, &config, &cfg);
     println!(
         "ready: {} rows x {} attributes, {} shards on {} threads ({} AB bytes, {} kernel)",
         svc.index().num_rows(),
@@ -474,6 +503,86 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         svc.kernel(),
     );
     Ok(svc)
+}
+
+/// `serve --store`: ABPG file → sharded index → service, plus the
+/// background scrubber (interval `--scrub-ms`, default 5000; 0
+/// disables). With `--csv` the scrubber repairs damage in place;
+/// without it, damaged shards are quarantined into degraded answers.
+fn build_service_from_store(
+    args: &[String],
+    path: &str,
+) -> Result<(Service, Option<svc::Scrubber>), String> {
+    let st = store::Store::open_with(std::path::Path::new(path), has_flag(args, "--store-pread"))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let index = svc::ShardedIndex::from_bytes(st.payload()).map_err(|e| format!("{path}: {e}"))?;
+    let default_deadline = match flag_value(args, "--deadline-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse().map_err(|_| "--deadline-ms must be an integer")?,
+        )),
+        None => None,
+    };
+    let slow_query = match flag_value(args, "--slow-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse().map_err(|_| "--slow-ms must be an integer")?,
+        )),
+        None => None,
+    };
+    let cfg = SvcConfig {
+        threads: parse_threads(args)?,
+        shards: index.num_shards(),
+        default_deadline,
+        kernel: parse_kernel(args)?,
+        batch_rows: parse_batch_rows(args)?,
+        slow_query,
+        ..SvcConfig::default()
+    };
+    let svc = Service::from_index(index, &cfg);
+    println!(
+        "ready: {} rows x {} attributes, {} shards on {} threads \
+         ({} AB bytes, {} kernel, {} store {path})",
+        svc.index().num_rows(),
+        svc.index().attributes().len(),
+        svc.index().num_shards(),
+        svc.threads(),
+        svc.index().size_bytes(),
+        svc.kernel(),
+        st.backend(),
+    );
+    let scrub_ms: u64 = flag_value(args, "--scrub-ms")
+        .unwrap_or("5000")
+        .parse()
+        .map_err(|_| "--scrub-ms must be an integer")?;
+    let scrubber = if scrub_ms == 0 {
+        None
+    } else {
+        let repair = match flag_value(args, "--csv") {
+            Some(_) => {
+                let (table, config) = binned_and_config(args)?;
+                Some(svc::RepairSource { table, config })
+            }
+            None => None,
+        };
+        let with_repair = repair.is_some();
+        let s = svc::Scrubber::spawn(
+            st,
+            svc.health_arc(),
+            repair,
+            std::time::Duration::from_millis(scrub_ms),
+            std::sync::Arc::new(store::RealIo),
+        )
+        .map_err(|e| format!("scrubber: {e}"))?;
+        println!(
+            "scrubbing every {scrub_ms} ms ({})",
+            if with_repair {
+                "online repair enabled"
+            } else {
+                "quarantine only; pass --csv to enable repair"
+            }
+        );
+        Some(s)
+    };
+    Ok((svc, scrubber))
 }
 
 /// Parses one REPL line into a query: whitespace-separated
@@ -519,7 +628,19 @@ fn parse_repl_query(line: &str, svc: &Service) -> Result<RectQuery, String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let wah = has_flag(args, "--wah");
-    let svc = build_service(args, wah)?;
+    // `--store` serves from a crash-safe ABPG file instead of
+    // rebuilding from CSV; the scrubber handle must stay alive for
+    // the whole serve (dropping it stops the background verification).
+    let (svc, scrubber) = match flag_value(args, "--store") {
+        Some(path) => {
+            if wah {
+                return Err("--wah needs an in-memory build (drop --store)".into());
+            }
+            build_service_from_store(args, path)?
+        }
+        None => (build_service(args, wah)?, None),
+    };
+    let store_status = scrubber.as_ref().map(|s| s.status());
     let policy = parse_retry_policy(args)?;
     let limit: usize = flag_value(args, "--limit")
         .unwrap_or("20")
@@ -539,8 +660,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // endpoint.
     let _telemetry = match flag_value(args, "--telemetry-addr") {
         Some(addr) => {
-            let srv = svc::TelemetryServer::bind(addr, svc.health_arc())
-                .map_err(|e| format!("telemetry bind {addr}: {e}"))?;
+            let srv =
+                svc::TelemetryServer::bind_with_store(addr, svc.health_arc(), store_status.clone())
+                    .map_err(|e| format!("telemetry bind {addr}: {e}"))?;
             println!(
                 "telemetry: http://{}/metrics /healthz /debug/traces",
                 srv.local_addr()
@@ -645,6 +767,176 @@ fn serve_listen(args: &[String], svc: Service, listen: &str) -> Result<(), Strin
     Ok(())
 }
 
+/// `abq store` — manage crash-safe `ABPG` segment stores.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_store_build(&args[1..]),
+        Some("verify") => cmd_store_verify(&args[1..]),
+        Some("scrub") => cmd_store_scrub(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown store subcommand `{other}` (build | verify | scrub)"
+        )),
+        None => Err("store needs a subcommand: build | verify | scrub".into()),
+    }
+}
+
+/// `abq store build` — CSV → sharded index → atomically written
+/// `ABPG` store (tmp + fsync + rename, page CRCs throughout).
+fn cmd_store_build(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").ok_or("--out is required")?;
+    let (binned, config) = binned_and_config(args)?;
+    let shards: usize = match flag_value(args, "--shards") {
+        Some(s) => {
+            let n = s.parse().map_err(|_| "--shards must be an integer")?;
+            if n == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            n
+        }
+        None => SvcConfig::default().resolved_shards(binned.num_rows()),
+    };
+    let page_size: u32 = match flag_value(args, "--page-size") {
+        Some(p) => p.parse().map_err(|_| "--page-size must be an integer")?,
+        None => store::DEFAULT_PAGE_SIZE,
+    };
+    let index = svc::ShardedIndex::build(&binned, &config, shards, false);
+    let payload = index.to_bytes();
+    store::write(
+        std::path::Path::new(out),
+        &payload,
+        page_size,
+        &store::RealIo,
+    )
+    .map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "stored {} rows x {} attributes as {} shard(s), {} payload bytes \
+         ({}-byte pages) -> {out}",
+        index.num_rows(),
+        index.attributes().len(),
+        index.num_shards(),
+        payload.len(),
+        page_size,
+    );
+    Ok(())
+}
+
+/// `abq store verify` — offline integrity audit: header, meta-page
+/// padding, CRC table, and every payload page, without deserializing
+/// the index. Exits non-zero on any damage.
+fn cmd_store_verify(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--store").ok_or("--store is required")?;
+    let (header, report) =
+        store::Store::audit(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: ABPG v{}, {} payload bytes in {} page(s) of {} bytes, {} shard(s)",
+        header.version,
+        header.payload_len,
+        header.payload_pages(),
+        header.page_size,
+        header.shard_count,
+    );
+    println!("scanned {} page(s)", report.pages_scanned);
+    if report.clean() {
+        println!("healthy");
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: {} damaged page(s) {:?} implicating shard(s) {:?} — \
+             run `abq store scrub --csv ...` to repair, or rebuild",
+            report.bad_pages.len(),
+            report.bad_pages,
+            report.bad_shards,
+        ))
+    }
+}
+
+/// `abq store scrub` — one online scrub pass from the CLI: open the
+/// store (mmap, or `--pread`), verify every page, and — when the
+/// original CSV and build flags are supplied — rewrite the file
+/// bit-identically through the same atomic protocol `build` uses.
+fn cmd_store_scrub(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--store").ok_or("--store is required")?;
+    let p = std::path::Path::new(path);
+    let force_pread = has_flag(args, "--pread");
+    let repair = match flag_value(args, "--csv") {
+        Some(_) => {
+            let (table, config) = binned_and_config(args)?;
+            Some(svc::RepairSource { table, config })
+        }
+        None => None,
+    };
+    let mut st = match store::Store::open_with(p, force_pread) {
+        Ok(st) => st,
+        Err(store::StoreError::Io(e)) => return Err(format!("{path}: {e}")),
+        // Typed corruption is already visible at open (a live service
+        // only hits the scrub_pass path for rot that lands *after* a
+        // clean open). From the CLI the equivalent repair is a full
+        // rebuild from the source data, under the file's own geometry
+        // when the header still reads.
+        Err(e) => {
+            let Some(repair) = repair else {
+                return Err(format!(
+                    "{path}: {e} — pass --csv (and matching build flags) to rebuild in place"
+                ));
+            };
+            return rebuild_store(p, path, &repair, force_pread);
+        }
+    };
+    let health = svc::ShardHealth::new(st.num_shards());
+    let status = svc::StoreStatus::new(st.backend());
+    let outcome = svc::scrub_pass(&mut st, &health, repair.as_ref(), &status, &store::RealIo)
+        .map_err(|e| format!("{path}: scrub pass: {e}"))?;
+    println!(
+        "scanned {} page(s) ({} backend)",
+        status.pages_scanned(),
+        status.backend()
+    );
+    match outcome {
+        svc::PassOutcome::Clean => {
+            println!("healthy");
+            Ok(())
+        }
+        svc::PassOutcome::Repaired(shards) => {
+            println!("repaired shard(s) {shards:?}; store rewritten and re-verified");
+            Ok(())
+        }
+        svc::PassOutcome::Degraded(shards) => Err(format!(
+            "{path}: damage implicating shard(s) {shards:?}{}",
+            if repair.is_some() {
+                " — repair failed; rebuild from source data"
+            } else {
+                " — pass --csv (and matching build flags) to repair in place"
+            }
+        )),
+    }
+}
+
+/// Full rebuild for a store too damaged to open: re-index the source
+/// table and rewrite through the atomic protocol, preserving the
+/// file's shard count and page size when its header is still intact
+/// (a deterministic build ⇒ a bit-identical file).
+fn rebuild_store(
+    p: &std::path::Path,
+    path: &str,
+    repair: &svc::RepairSource,
+    force_pread: bool,
+) -> Result<(), String> {
+    let (shards, page_size) = match store::Store::audit(p) {
+        Ok((h, _)) => (h.shard_count as usize, h.page_size),
+        Err(_) => (
+            SvcConfig::default().resolved_shards(repair.table.num_rows()),
+            store::DEFAULT_PAGE_SIZE,
+        ),
+    };
+    let index = svc::ShardedIndex::build(&repair.table, &repair.config, shards, false);
+    store::write(p, &index.to_bytes(), page_size, &store::RealIo)
+        .map_err(|e| format!("{path}: rewrite: {e}"))?;
+    store::Store::open_with(p, force_pread)
+        .map_err(|e| format!("{path}: re-verify after rebuild: {e}"))?;
+    println!("rebuilt {path} from source data ({shards} shard(s), {page_size}-byte pages)");
+    Ok(())
+}
+
 /// Parses `--mix`: comma-separated kinds with optional `:weight`
 /// (`rect`, `rect,batch`, `rect:3,cells:1`).
 fn parse_mix(s: &str) -> Result<net::loadgen::Mix, String> {
@@ -729,11 +1021,13 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     let report = net::loadgen::run(&cfg).map_err(|e| format!("loadgen against {addr}: {e}"))?;
 
     println!(
-        "{} ok, {} error frame(s), {} transport error(s) in {:.3}s -> {:.0} req/s \
-         ({} conns, {})",
+        "{} ok, {} error frame(s) ({} shed), {} transport error(s), {} reconnect(s) \
+         in {:.3}s -> {:.0} req/s ({} conns, {})",
         report.total_ok,
         report.total_errors,
+        report.total_shed,
         report.transport_errors,
+        report.reconnects,
         report.elapsed.as_secs_f64(),
         report.rps,
         cfg.conns,
@@ -742,16 +1036,18 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             net::loadgen::Mode::Open { rps } => format!("open loop, {rps:.0} req/s target"),
         },
     );
-    println!("kind    ok        err       p50 µs    p95 µs    p99 µs    p999 µs");
+    println!("kind    ok        err       shed      p50 µs    p95 µs    p99 µs    p999 µs");
     for k in &report.kinds {
         println!(
-            "{:<6}  {:<8}  {:<8}  {:<8}  {:<8}  {:<8}  {:<8}",
-            k.kind, k.ok, k.errors, k.p50, k.p95, k.p99, k.p999
+            "{:<6}  {:<8}  {:<8}  {:<8}  {:<8}  {:<8}  {:<8}  {:<8}",
+            k.kind, k.ok, k.errors, k.shed, k.p50, k.p95, k.p99, k.p999
         );
     }
 
     // Snapshot keys follow the grammar `bench-report` folds:
-    // net.rps.<kind>.conns<N> and net.latency_us.<kind>.conns<N>.<p>.
+    // net.rps.<kind>.conns<N>, net.latency_us.<kind>.conns<N>.<p>, and
+    // the reliability counts net.errors/shed.<kind>.conns<N> +
+    // net.transport_errors/reconnects.conns<N>.
     let out = flag_value(args, "--out").unwrap_or("BENCH_net.json");
     let mut snap = obs::global()
         .snapshot()
@@ -759,6 +1055,10 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         .with_extra(
             &format!("net.transport_errors.conns{conns}"),
             report.transport_errors as f64,
+        )
+        .with_extra(
+            &format!("net.reconnects.conns{conns}"),
+            report.reconnects as f64,
         );
     for k in &report.kinds {
         let secs = report.elapsed.as_secs_f64().max(1e-9);
@@ -766,6 +1066,12 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
             &format!("net.rps.{}.conns{conns}", k.kind),
             k.ok as f64 / secs,
         );
+        snap = snap
+            .with_extra(
+                &format!("net.errors.{}.conns{conns}", k.kind),
+                k.errors as f64,
+            )
+            .with_extra(&format!("net.shed.{}.conns{conns}", k.kind), k.shed as f64);
         let base = format!("net.latency_us.{}.conns{conns}", k.kind);
         snap = snap
             .with_extra(&format!("{base}.p50"), k.p50 as f64)
@@ -1207,5 +1513,75 @@ mod tests {
             "0..99",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn store_build_verify_scrub_end_to_end() {
+        let dir = std::env::temp_dir().join("abq_test_store");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let abpg = dir.join("d.abpg");
+        let mut body = String::from("price,qty\n");
+        for i in 0..400 {
+            body.push_str(&format!("{}.0,{}.0\n", i % 31, (i * 5) % 11));
+        }
+        std::fs::write(&csv, body).unwrap();
+        let build_flags = [
+            "--csv",
+            csv.to_str().unwrap(),
+            "--bins",
+            "6",
+            "--alpha",
+            "8",
+            "--shards",
+            "3",
+        ];
+        let with_store = |extra: &[&str]| {
+            let mut v = strings(extra);
+            v.extend(strings(&["--store", abpg.to_str().unwrap()]));
+            v
+        };
+        let mut args = strings(&build_flags);
+        args.extend(strings(&[
+            "--out",
+            abpg.to_str().unwrap(),
+            "--page-size",
+            "256",
+        ]));
+        cmd_store_build(&args).unwrap();
+        cmd_store_verify(&with_store(&[])).unwrap();
+        let pristine = std::fs::read(&abpg).unwrap();
+
+        // Rot one payload byte: verify must name the damage, scrub
+        // without the CSV must refuse, scrub with it must restore the
+        // exact original file.
+        let mut rotted = pristine.clone();
+        let at = rotted.len() - 10;
+        rotted[at] ^= 0x40;
+        std::fs::write(&abpg, &rotted).unwrap();
+        let err = cmd_store_verify(&with_store(&[])).unwrap_err();
+        assert!(err.contains("damaged"), "unexpected error: {err}");
+        let err = cmd_store_scrub(&with_store(&[])).unwrap_err();
+        assert!(err.contains("--csv"), "unexpected error: {err}");
+        let mut repair = strings(&build_flags);
+        repair.extend(strings(&["--store", abpg.to_str().unwrap()]));
+        cmd_store_scrub(&repair).unwrap();
+        assert_eq!(
+            std::fs::read(&abpg).unwrap(),
+            pristine,
+            "repair must be bit-identical"
+        );
+        cmd_store_verify(&with_store(&[])).unwrap();
+    }
+
+    #[test]
+    fn store_flag_validation() {
+        assert!(cmd_store(&strings(&[])).is_err());
+        assert!(cmd_store(&strings(&["nope"])).is_err());
+        assert!(cmd_store_build(&strings(&["--csv", "x.csv"])).is_err()); // --out required
+        assert!(cmd_store_verify(&strings(&[])).is_err()); // --store required
+        assert!(cmd_store_scrub(&strings(&[])).is_err());
+        // --wah cannot be served from a store (no WAH sidecar there).
+        assert!(cmd_serve(&strings(&["--store", "x.abpg", "--wah"])).is_err());
     }
 }
