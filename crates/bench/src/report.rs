@@ -212,6 +212,17 @@ struct TputRow {
     rows_per_sec: f64,
 }
 
+/// One row of the folded hierarchical-pruning report: flat and hier
+/// throughput for the same (kernel, rect shape, selectivity) point.
+struct HierRow {
+    source: String,
+    kernel: String,
+    rect: String,
+    sel: String,
+    flat: Option<f64>,
+    hier: Option<f64>,
+}
+
 /// One row of the folded service-latency report.
 struct LatRow {
     source: String,
@@ -239,10 +250,16 @@ struct NetRow {
 /// Folds `BENCH_kernel.json`-style snapshots into one report:
 /// a throughput table over every `kernel.rows_per_sec.<kernel>.<k>.<size>`
 /// entry (with per-config speedup vs that file's scalar baseline),
-/// plus the snapshots' kernel counters. Returns the rendered report;
-/// missing files are skipped with a note so the command stays usable
-/// mid-bringup when only some benches have run.
-pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
+/// a hierarchical-pruning table over every
+/// `hier.rows_per_sec.<flat|hier>.<kernel>.<rect>.<sel>` entry,
+/// plus the snapshots' kernel counters.
+///
+/// Returns the rendered report. **Missing** files are skipped with a
+/// note so the command stays usable mid-bringup when only some
+/// benches have run, but a file that exists and fails to parse is an
+/// error naming the file — a malformed snapshot silently dropped from
+/// the report would read as "bench regressed to nothing".
+pub fn bench_report(paths: &[std::path::PathBuf]) -> Result<String, String> {
     use std::fmt::Write;
     let mut out = String::from("# Bench report\n");
     let mut rows: Vec<TputRow> = Vec::new();
@@ -254,11 +271,13 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
             .unwrap_or_else(|| path.display().to_string())
             .trim_start_matches("BENCH_")
             .to_string();
+        if !path.exists() {
+            let _ = writeln!(out, "- skipped: {}: not found", path.display());
+            continue;
+        }
         match BenchSnapshot::read(path) {
             Ok(snap) => loaded.push((source, snap)),
-            Err(e) => {
-                let _ = writeln!(out, "- skipped: {e}");
-            }
+            Err(e) => return Err(format!("malformed bench snapshot: {e}")),
         }
     }
     for (source, snap) in &loaded {
@@ -273,6 +292,38 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
                     size: parts[2].to_string(),
                     rows_per_sec: v,
                 });
+            }
+        }
+    }
+    // Hierarchical pruning: extra.hier.rows_per_sec.<mode>.<kernel>.<rect>.<sel>
+    let mut hier: Vec<HierRow> = Vec::new();
+    for (source, snap) in &loaded {
+        for (suffix, v) in snap.with_prefix("extra.hier.rows_per_sec.") {
+            // suffix = "<flat|hier>.<kernel>.<rect>.<sel>"
+            let parts: Vec<&str> = suffix.splitn(4, '.').collect();
+            let [mode, kernel, rect, sel] = parts[..] else {
+                continue;
+            };
+            let row = match hier.iter_mut().find(|r| {
+                r.source == *source && r.kernel == kernel && r.rect == rect && r.sel == sel
+            }) {
+                Some(r) => r,
+                None => {
+                    hier.push(HierRow {
+                        source: source.clone(),
+                        kernel: kernel.to_string(),
+                        rect: rect.to_string(),
+                        sel: sel.to_string(),
+                        flat: None,
+                        hier: None,
+                    });
+                    hier.last_mut().expect("just pushed")
+                }
+            };
+            match mode {
+                "flat" => row.flat = Some(v),
+                "hier" => row.hier = Some(v),
+                _ => {}
             }
         }
     }
@@ -382,9 +433,11 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
             }
         }
     }
-    if rows.is_empty() && lat.is_empty() && net.is_empty() {
-        out.push_str("no kernel.rows_per_sec, svc.latency_us, or net.* entries found\n");
-        return out;
+    if rows.is_empty() && hier.is_empty() && lat.is_empty() && net.is_empty() {
+        out.push_str(
+            "no kernel.rows_per_sec, hier.rows_per_sec, svc.latency_us, or net.* entries found\n",
+        );
+        return Ok(out);
     }
     if !rows.is_empty() {
         out.push_str(
@@ -414,6 +467,44 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
                 r.k,
                 r.size,
                 r.rows_per_sec / 1e6,
+                speedup
+            );
+        }
+    }
+    if !hier.is_empty() {
+        out.push_str(
+            "\n## Hierarchical pruning (Mrows/s; speedup hier vs flat)\n\n\
+             source  kernel   rect     sel          flat M/s   hier M/s  speedup\n\
+             ------  -------  -------  ----------  ---------  ---------  -------\n",
+        );
+        hier.sort_by(|a, b| {
+            // Selectivity points sort numerically (sel10ppm < sel800ppm).
+            let sa = a.sel.trim_start_matches("sel").trim_end_matches("ppm");
+            let sb = b.sel.trim_start_matches("sel").trim_end_matches("ppm");
+            let (na, nb) = (
+                sa.parse::<u64>().unwrap_or(u64::MAX),
+                sb.parse::<u64>().unwrap_or(u64::MAX),
+            );
+            (&a.source, &a.kernel, &a.rect, na).cmp(&(&b.source, &b.kernel, &b.rect, nb))
+        });
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{:.2}", v / 1e6),
+            None => "-".to_string(),
+        };
+        for r in &hier {
+            let speedup = match (r.flat, r.hier) {
+                (Some(f), Some(h)) if f > 0.0 => format!("{:.2}x", h / f),
+                _ => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<6}  {:<7}  {:<7}  {:<10}  {:>9}  {:>9}  {:>7}",
+                r.source,
+                r.kernel,
+                r.rect,
+                r.sel,
+                fmt(r.flat),
+                fmt(r.hier),
                 speedup
             );
         }
@@ -502,8 +593,14 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> String {
                 let _ = writeln!(out, "{source}: {prefix}{suffix} = {v}");
             }
         }
+        // Pruning effectiveness from the hier repro.
+        for key in ["counters.hier.regions_pruned", "counters.hier.rows_skipped"] {
+            if let Some(v) = snap.get(key) {
+                let _ = writeln!(out, "{source}: {} = {v}", &key["counters.".len()..]);
+            }
+        }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -573,10 +670,63 @@ mod tests {
         let p = dir.join("BENCH_simd.json");
         std::fs::write(&p, SAMPLE).unwrap();
         let missing = dir.join("BENCH_absent.json");
-        let report = bench_report(&[p, missing]);
+        let report = bench_report(&[p, missing]).unwrap();
         assert!(report.contains("4.00x"), "{report}");
         assert!(report.contains("skipped"), "{report}");
         assert!(report.contains("kernel.simd_waves = 900"), "{report}");
+    }
+
+    #[test]
+    fn malformed_snapshot_is_a_hard_error_naming_the_file() {
+        let dir = std::env::temp_dir().join("bench_report_malformed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("BENCH_simd.json");
+        std::fs::write(&good, SAMPLE).unwrap();
+        let bad = dir.join("BENCH_bad.json");
+        std::fs::write(&bad, "{oops").unwrap();
+        // A present-but-unparseable snapshot must fail the whole
+        // report (not silently vanish from it), naming the file.
+        let err = bench_report(&[good.clone(), bad.clone()]).unwrap_err();
+        assert!(err.contains("BENCH_bad.json"), "{err}");
+        assert!(err.contains("malformed"), "{err}");
+        // Truly missing files are still just skipped.
+        std::fs::remove_file(&bad).unwrap();
+        let report = bench_report(&[good, bad]).unwrap();
+        assert!(report.contains("skipped"), "{report}");
+    }
+
+    #[test]
+    fn report_folds_hier_flat_pairs_with_speedup() {
+        let dir = std::env::temp_dir().join("bench_report_hier_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("BENCH_hier.json");
+        std::fs::write(
+            &p,
+            r#"{
+  "counters": {
+    "hier.regions_pruned": 420,
+    "hier.rows_skipped": 15000000
+  },
+  "extra": {
+    "hier.rows_per_sec.flat.simd.full.sel10ppm": 2.0e8,
+    "hier.rows_per_sec.hier.simd.full.sel10ppm": 3.0e9,
+    "hier.rows_per_sec.flat.simd.full.sel800ppm": 2.0e8,
+    "hier.rows_per_sec.hier.simd.full.sel800ppm": 4.0e8
+  }
+}
+"#,
+        )
+        .unwrap();
+        let report = bench_report(&[p]).unwrap();
+        assert!(report.contains("## Hierarchical pruning"), "{report}");
+        // 3e9 / 2e8 = 15x on the sparse point.
+        assert!(report.contains("15.00x"), "{report}");
+        assert!(report.contains("2.00x"), "{report}");
+        // Selectivity points sort numerically, sparsest first.
+        let sparse = report.find("sel10ppm").expect("sparse row");
+        let dense = report.find("sel800ppm").expect("dense row");
+        assert!(sparse < dense, "{report}");
+        assert!(report.contains("hier.regions_pruned = 420"), "{report}");
     }
 
     #[test]
@@ -611,7 +761,7 @@ mod tests {
 "#,
         )
         .unwrap();
-        let report = bench_report(&[p]);
+        let report = bench_report(&[p]).unwrap();
         assert!(report.contains("## Socket latency"), "{report}");
         // Rps, error/shed counts, and all four quantiles of one point
         // share a line; conns points sort numerically under each kind.
@@ -659,7 +809,7 @@ mod tests {
 "#,
         )
         .unwrap();
-        let report = bench_report(&[p]);
+        let report = bench_report(&[p]).unwrap();
         assert!(report.contains("## Service latency"), "{report}");
         // All three quantiles of one row land on one line, kinds are
         // separate rows, and thread points sort numerically.

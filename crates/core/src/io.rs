@@ -11,8 +11,17 @@
 //! magic "ABIX" | version u16 | crc32 u32 | level u8 | num_rows u64 |
 //! attr count u32 | { name_len u16, name, cardinality u32, offset u64 }* |
 //! ab count u32  | { n_bits u64, k u32, inserted u64, mapper, family,
-//!                   word count u64, words u64* }*
+//!                   word count u64, words u64* }* |
+//! hier flag u8  | [ level count u32,
+//!                   { row_span u64, bin_group u32, AB record }* ]
 //! ```
+//!
+//! Version 3 appends the hierarchical-pruning pyramid (`hier flag` =
+//! 1 followed by the per-level geometry + AB records; 0 means no
+//! pyramid). Versions 1 and 2 end after the base ABs; readers of
+//! those versions ignore any trailing bytes, and this build reads
+//! them with `hier = None` (callers may rebuild the pyramid from the
+//! base AB — the probe-sweep construction is deterministic).
 //!
 //! A row-range-sharded index (see `ab::shard_ranges` and the `svc`
 //! crate) persists as an `ABSH` envelope of independent `ABIX`
@@ -43,6 +52,7 @@
 
 use crate::analysis::Level;
 use crate::encoding::ApproximateBitmap;
+use crate::hier::{HierAb, HierLevelSpec};
 use crate::level::{AbIndex, AttributeMeta};
 use bitmap::BitVec;
 use hashkit::{CellMapper, HashFamily, HashKind};
@@ -92,7 +102,7 @@ impl std::fmt::Display for IoError {
 impl std::error::Error for IoError {}
 
 const MAGIC: &[u8; 4] = b"ABIX";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 /// Oldest format version this build still reads (checksum-free).
 const MIN_VERSION: u16 = 1;
 
@@ -138,8 +148,9 @@ fn check_crc(stored: u32, payload: &[u8]) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Serializes an [`AbIndex`] to bytes (format version 2: the u32 after
-/// the version field is a CRC-32 of everything that follows it).
+/// Serializes an [`AbIndex`] to bytes (format version 3: the u32 after
+/// the version field is a CRC-32 of everything that follows it,
+/// including the trailing hier section).
 pub fn to_bytes(index: &AbIndex) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + index.size_bytes());
     out.extend_from_slice(MAGIC);
@@ -156,20 +167,64 @@ pub fn to_bytes(index: &AbIndex) -> Vec<u8> {
     }
     put_u32(&mut out, index.abs().len() as u32);
     for ab in index.abs() {
-        put_u64(&mut out, ab.n_bits());
-        put_u32(&mut out, ab.k() as u32);
-        put_u64(&mut out, ab.inserted());
-        write_mapper(&mut out, ab.mapper());
-        write_family(&mut out, ab.family());
-        let words = ab.bits().words();
-        put_u64(&mut out, words.len() as u64);
-        for &w in words {
-            put_u64(&mut out, w);
+        write_ab(&mut out, ab);
+    }
+    match index.hier() {
+        None => out.push(0),
+        Some(hier) => {
+            out.push(1);
+            put_u32(&mut out, hier.levels().len() as u32);
+            for level in hier.levels() {
+                put_u64(&mut out, level.row_span() as u64);
+                put_u32(&mut out, level.bin_group());
+                write_ab(&mut out, level.ab());
+            }
         }
     }
     let crc = crc32(&out[10..]);
     out[6..10].copy_from_slice(&crc.to_le_bytes());
     out
+}
+
+/// Writes one AB record (the layout shared by base and hier-level ABs).
+fn write_ab(out: &mut Vec<u8>, ab: &ApproximateBitmap) {
+    put_u64(out, ab.n_bits());
+    put_u32(out, ab.k() as u32);
+    put_u64(out, ab.inserted());
+    write_mapper(out, ab.mapper());
+    write_family(out, ab.family());
+    let words = ab.bits().words();
+    put_u64(out, words.len() as u64);
+    for &w in words {
+        put_u64(out, w);
+    }
+}
+
+/// Reads one AB record written by [`write_ab`].
+fn read_ab(r: &mut Reader<'_>) -> Result<ApproximateBitmap, IoError> {
+    let n_bits = r.u64()?;
+    let k = r.u32()? as usize;
+    if k == 0 {
+        return Err(IoError::BadTag(0));
+    }
+    let inserted = r.u64()?;
+    let mapper = read_mapper(r)?;
+    let family = read_family(r)?;
+    let word_count = r.u64()? as usize;
+    if word_count > r.remaining() / 8 || word_count != (n_bits as usize).div_ceil(64) {
+        return Err(IoError::Truncated);
+    }
+    let mut words = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        words.push(r.u64()?);
+    }
+    let bits = BitVec::from_words(words, n_bits as usize);
+    if bits.is_empty() {
+        return Err(IoError::Truncated);
+    }
+    Ok(ApproximateBitmap::from_parts(
+        bits, k, family, mapper, inserted,
+    ))
 }
 
 /// Deserializes an [`AbIndex`] from bytes produced by [`to_bytes`].
@@ -188,11 +243,13 @@ pub fn from_bytes(data: &[u8]) -> Result<AbIndex, IoError> {
         let stored = r.u32()?;
         check_crc(stored, &data[r.pos..])?;
     }
-    parse_index_payload(&mut r)
+    parse_index_payload(&mut r, version)
 }
 
-/// Parses the post-checksum body shared by format versions 1 and 2.
-fn parse_index_payload(r: &mut Reader<'_>) -> Result<AbIndex, IoError> {
+/// Parses the post-checksum body shared by all format versions. The
+/// trailing hier section exists only from version 3; earlier versions
+/// end after the base ABs (trailing bytes, if any, are ignored).
+fn parse_index_payload(r: &mut Reader<'_>, version: u16) -> Result<AbIndex, IoError> {
     let level = parse_level(r.u8()?)?;
     let num_rows = r.u64()? as usize;
     let attr_count = r.u32()? as usize;
@@ -223,31 +280,42 @@ fn parse_index_payload(r: &mut Reader<'_>) -> Result<AbIndex, IoError> {
     }
     let mut abs = Vec::with_capacity(ab_count);
     for _ in 0..ab_count {
-        let n_bits = r.u64()?;
-        let k = r.u32()? as usize;
-        if k == 0 {
-            return Err(IoError::BadTag(0));
-        }
-        let inserted = r.u64()?;
-        let mapper = read_mapper(r)?;
-        let family = read_family(r)?;
-        let word_count = r.u64()? as usize;
-        if word_count > r.remaining() / 8 || word_count != (n_bits as usize).div_ceil(64) {
-            return Err(IoError::Truncated);
-        }
-        let mut words = Vec::with_capacity(word_count);
-        for _ in 0..word_count {
-            words.push(r.u64()?);
-        }
-        let bits = BitVec::from_words(words, n_bits as usize);
-        if bits.is_empty() {
-            return Err(IoError::Truncated);
-        }
-        abs.push(ApproximateBitmap::from_parts(
-            bits, k, family, mapper, inserted,
-        ));
+        abs.push(read_ab(r)?);
     }
-    Ok(AbIndex::from_parts(level, abs, attributes, num_rows))
+    let hier = if version >= 3 {
+        match r.u8()? {
+            0 => None,
+            1 => {
+                let level_count = r.u32()? as usize;
+                // Each hier level record is at least 45 bytes
+                // (geometry + minimal AB record).
+                if level_count > r.remaining() / 45 {
+                    return Err(IoError::Truncated);
+                }
+                let mut parts = Vec::with_capacity(level_count);
+                for _ in 0..level_count {
+                    let row_span = r.u64()? as usize;
+                    let bin_group = r.u32()?;
+                    if row_span == 0 || bin_group == 0 {
+                        return Err(IoError::BadTag(0));
+                    }
+                    let ab = read_ab(r)?;
+                    parts.push((
+                        HierLevelSpec {
+                            row_span,
+                            bin_group,
+                        },
+                        ab,
+                    ));
+                }
+                Some(HierAb::from_serialized(num_rows, &attributes, parts))
+            }
+            t => return Err(IoError::BadTag(t)),
+        }
+    } else {
+        None
+    };
+    Ok(AbIndex::from_parts(level, abs, attributes, num_rows, hier))
 }
 
 const SHARD_MAGIC: &[u8; 4] = b"ABSH";
@@ -855,6 +923,69 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         assert!(matches!(from_bytes(b"NOPE....."), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn roundtrip_preserves_hier_pyramid() {
+        use crate::hier::{HierConfig, HierLevelSpec};
+        use bitmap::{AttrRange, RectQuery};
+        let t = BinnedTable::new(vec![BinnedColumn::new(
+            "v",
+            (0..512u32).map(|i| i / 64).collect(),
+            8,
+        )]);
+        let mut idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(32));
+        idx.ensure_hier(&HierConfig {
+            levels: vec![
+                HierLevelSpec {
+                    row_span: 32,
+                    bin_group: 2,
+                },
+                HierLevelSpec {
+                    row_span: 128,
+                    bin_group: 4,
+                },
+            ],
+        });
+        let bytes = to_bytes(&idx);
+        let back = from_bytes(&bytes).unwrap();
+        let (h0, h1) = (idx.hier().unwrap(), back.hier().unwrap());
+        assert_eq!(h0.config(), h1.config());
+        for (a, b) in h0.levels().iter().zip(h1.levels()) {
+            assert_eq!(a.ab().bits(), b.ab().bits());
+            assert_eq!(a.ab().inserted(), b.ab().inserted());
+        }
+        for bin in 0..8u32 {
+            let q = RectQuery::new(vec![AttrRange::new(0, bin, bin)], 0, 511);
+            assert_eq!(h1.prune(&q), h0.prune(&q), "bin {bin}");
+        }
+        // And an index without a pyramid round-trips to None.
+        let plain = from_bytes(&to_bytes(&sample_index(Level::PerAttribute))).unwrap();
+        assert!(plain.hier().is_none());
+    }
+
+    #[test]
+    fn corrupt_hier_flag_rejected() {
+        let mut idx = sample_index(Level::PerAttribute);
+        idx.ensure_hier(&crate::hier::HierConfig::default());
+        let mut bytes = to_bytes(&idx);
+        // The hier flag is the byte where the trailing section starts:
+        // everything after the last base-AB word. Find it by
+        // re-encoding without the pyramid — the plain blob's length
+        // minus the 1-byte flag marks the offset.
+        let plain = to_bytes(&AbIndex::from_parts(
+            idx.level(),
+            idx.abs().to_vec(),
+            idx.attributes().to_vec(),
+            idx.num_rows(),
+            None,
+        ));
+        let flag_pos = plain.len() - 1;
+        assert_eq!(bytes[flag_pos], 1, "hier flag not where expected");
+        bytes[flag_pos] = 7;
+        let crc = crc32(&bytes[10..]);
+        bytes[6..10].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(from_bytes(&bytes), Err(IoError::BadTag(7))));
     }
 
     fn sample_shards() -> Vec<(u64, AbIndex)> {

@@ -171,27 +171,78 @@ impl std::fmt::Display for BatchRows {
     }
 }
 
-/// Full kernel configuration: which engine, how deep the batches.
+/// Whether the coarse-to-fine pyramid ([`crate::hier::HierAb`])
+/// prunes row regions before the per-row kernel runs. Results are
+/// identical in every mode; only the amount of work differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HierMode {
+    /// Never consult the pyramid (flat scan), even if one is attached.
+    #[default]
+    Off,
+    /// Descend when the planner's cost model says pruning beats a flat
+    /// scan ([`crate::planner::plan_descent`]); requires a pyramid.
+    Auto,
+    /// Always descend when a pyramid is attached (differential tests).
+    Force,
+}
+
+impl std::str::FromStr for HierMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(HierMode::Off),
+            "auto" => Ok(HierMode::Auto),
+            "force" => Ok(HierMode::Force),
+            other => Err(format!(
+                "unknown hier mode '{other}' (expected off|auto|force)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for HierMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HierMode::Off => "off",
+            HierMode::Auto => "auto",
+            HierMode::Force => "force",
+        })
+    }
+}
+
+/// Full kernel configuration: which engine, how deep the batches,
+/// whether hierarchical pruning runs first.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelOpts {
     /// The probe engine.
     pub kernel: KernelKind,
     /// The batch-depth policy.
     pub batch_rows: BatchRows,
+    /// The hierarchical-pruning policy.
+    pub hier: HierMode,
 }
 
 impl KernelOpts {
-    /// `kernel` with the default (adaptive) batch policy.
+    /// `kernel` with the default (adaptive) batch policy and pruning
+    /// off.
     pub fn new(kernel: KernelKind) -> Self {
         KernelOpts {
             kernel,
             batch_rows: BatchRows::default(),
+            hier: HierMode::default(),
         }
     }
 
     /// Overrides the batch-depth policy.
     pub fn with_batch_rows(mut self, batch_rows: BatchRows) -> Self {
         self.batch_rows = batch_rows;
+        self
+    }
+
+    /// Overrides the hierarchical-pruning policy.
+    pub fn with_hier(mut self, hier: HierMode) -> Self {
+        self.hier = hier;
         self
     }
 }
@@ -538,6 +589,114 @@ unsafe fn gather_wave_neon(addrs: &[u64; SIMD_WAVE], shifts: &[u64; SIMD_WAVE], 
         out |= (((word >> shifts[lane]) & 1) as u8) << lane;
     }
     out
+}
+
+/// Gathers whole u64 words: lane `l` of `out` receives the word at
+/// absolute address `addrs[l]` for the low `w` lanes (dead lanes are
+/// left untouched and never dereferenced). The raw-word sibling of
+/// [`wave_bits`] for callers that test multi-bit masks per word (the
+/// blocked AB's two-word test) instead of single bits. Falls back to
+/// scalar loads when no SIMD engine is active.
+#[inline]
+pub(crate) fn gather_words(
+    engine: Option<SimdEngine>,
+    addrs: &[u64; SIMD_WAVE],
+    w: usize,
+    out: &mut [u64; SIMD_WAVE],
+) {
+    debug_assert!((1..=SIMD_WAVE).contains(&w));
+    match engine {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: runtime dispatch guarantees the target features, and
+        // every live lane's address points at an in-bounds AB word.
+        Some(SimdEngine::Avx2) => unsafe { gather_words_avx2(addrs, w, out) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: as above.
+        Some(SimdEngine::Avx512) => unsafe { gather_words_avx512(addrs, w, out) },
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        // SAFETY: as above; NEON is baseline on aarch64.
+        Some(SimdEngine::Neon) => unsafe { gather_words_neon(addrs, w, out) },
+        _ => {
+            for lane in 0..w {
+                // SAFETY: the caller derived addrs[lane] from an
+                // in-bounds AB word pointer.
+                out[lane] = unsafe { core::ptr::read(addrs[lane] as *const u64) };
+            }
+        }
+    }
+}
+
+/// AVX2 raw-word gather: two masked 4-lane `vpgatherqq` (absolute
+/// addresses, scale 1) stored straight to `out`.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `addrs[..w]` are valid,
+/// aligned-for-u64 readable addresses.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_words_avx2(addrs: &[u64; SIMD_WAVE], w: usize, out: &mut [u64; SIMD_WAVE]) {
+    use core::arch::x86_64::*;
+    const LANE_MASKS: [[i64; 4]; 5] = [
+        [0, 0, 0, 0],
+        [-1, 0, 0, 0],
+        [-1, -1, 0, 0],
+        [-1, -1, -1, 0],
+        [-1, -1, -1, -1],
+    ];
+    let mut lane = 0usize;
+    while lane < w {
+        let cnt = (w - lane).min(4);
+        let idx = _mm256_loadu_si256(addrs.as_ptr().add(lane) as *const __m256i);
+        let mask = _mm256_loadu_si256(LANE_MASKS[cnt].as_ptr() as *const __m256i);
+        let words =
+            _mm256_mask_i64gather_epi64::<1>(_mm256_setzero_si256(), core::ptr::null(), idx, mask);
+        let mut tmp = [0u64; 4];
+        _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, words);
+        out[lane..lane + cnt].copy_from_slice(&tmp[..cnt]);
+        lane += cnt;
+    }
+}
+
+/// AVX-512F raw-word gather: one masked 8-lane gather stored to `out`.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and `addrs[..w]` are
+/// valid, aligned-for-u64 readable addresses.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn gather_words_avx512(addrs: &[u64; SIMD_WAVE], w: usize, out: &mut [u64; SIMD_WAVE]) {
+    use core::arch::x86_64::*;
+    let kmask = ((1u16 << w) - 1) as __mmask8;
+    let idx = _mm512_loadu_si512(addrs.as_ptr() as *const __m512i);
+    let words =
+        _mm512_mask_i64gather_epi64::<1>(_mm512_setzero_si512(), kmask, idx, core::ptr::null());
+    _mm512_mask_storeu_epi64(out.as_mut_ptr() as *mut i64, kmask, words);
+}
+
+/// NEON raw-word gather: per-lane load pairs (no gather on NEON).
+///
+/// # Safety
+///
+/// Caller must ensure `addrs[..w]` are valid, aligned-for-u64
+/// readable addresses.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+unsafe fn gather_words_neon(addrs: &[u64; SIMD_WAVE], w: usize, out: &mut [u64; SIMD_WAVE]) {
+    use core::arch::aarch64::*;
+    let mut lane = 0usize;
+    while lane + 2 <= w {
+        let words = vcombine_u64(
+            vld1_u64(addrs[lane] as *const u64),
+            vld1_u64(addrs[lane + 1] as *const u64),
+        );
+        out[lane] = vgetq_lane_u64::<0>(words);
+        out[lane + 1] = vgetq_lane_u64::<1>(words);
+        lane += 2;
+    }
+    if lane < w {
+        out[lane] = core::ptr::read(addrs[lane] as *const u64);
+    }
 }
 
 // ---------------------------------------------------------------------------

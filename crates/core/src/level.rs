@@ -16,6 +16,7 @@
 use crate::analysis::Level;
 use crate::config::AbConfig;
 use crate::encoding::ApproximateBitmap;
+use crate::hier::{HierAb, HierConfig};
 use bitmap::BinnedTable;
 use hashkit::{CellMapper, HashFamily};
 use serde::{Deserialize, Serialize};
@@ -53,6 +54,9 @@ pub struct AbIndex {
     abs: Vec<ApproximateBitmap>,
     attributes: Vec<AttributeMeta>,
     num_rows: usize,
+    /// Optional coarse-to-fine pruning pyramid (see [`crate::hier`]).
+    /// Not built by default — attach with [`Self::ensure_hier`].
+    hier: Option<HierAb>,
 }
 
 impl AbIndex {
@@ -120,6 +124,7 @@ impl AbIndex {
             abs,
             attributes,
             num_rows,
+            hier: None,
         };
         index.record_build_metrics(t0.elapsed().as_micros() as u64);
         index
@@ -193,6 +198,7 @@ impl AbIndex {
             abs: per_chunk.into_iter().flatten().collect(),
             attributes,
             num_rows: table.num_rows(),
+            hier: None,
         };
         index.record_build_metrics(t0.elapsed().as_micros() as u64);
         index
@@ -340,13 +346,41 @@ impl AbIndex {
         abs: Vec<ApproximateBitmap>,
         attributes: Vec<AttributeMeta>,
         num_rows: usize,
+        hier: Option<HierAb>,
     ) -> Self {
         AbIndex {
             level,
             abs,
             attributes,
             num_rows,
+            hier,
         }
+    }
+
+    /// The attached pruning pyramid, if any.
+    pub fn hier(&self) -> Option<&HierAb> {
+        self.hier.as_ref()
+    }
+
+    /// Builds and attaches a [`HierAb`] pyramid under `config` if one
+    /// is not already present. Building probe-sweeps the base AB (see
+    /// [`HierAb::build`]), so the pyramid is deterministic for a given
+    /// index regardless of when it is attached — at build time or
+    /// rebuilt when an old segment is opened.
+    pub fn ensure_hier(&mut self, config: &HierConfig) {
+        if self.hier.is_none() {
+            let hier = HierAb::build_parallel(
+                self,
+                config,
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            );
+            self.hier = Some(hier);
+        }
+    }
+
+    /// Attaches (or replaces) a pre-built pyramid.
+    pub fn attach_hier(&mut self, hier: HierAb) {
+        self.hier = Some(hier);
     }
 
     /// Average expected false-positive rate across the constituent

@@ -69,6 +69,7 @@ pub mod config;
 pub mod counting;
 pub mod encoding;
 pub mod exact;
+pub mod hier;
 pub mod io;
 pub mod kernel;
 pub mod level;
@@ -86,9 +87,10 @@ pub use config::{AbConfig, Sizing};
 pub use counting::CountingAb;
 pub use encoding::ApproximateBitmap;
 pub use exact::{execute_exact, prune_false_positives, row_matches};
+pub use hier::{HierAb, HierConfig, HierLevelSpec, HierPrune};
 pub use kernel::{
-    active_simd_engine, BatchRows, CacheModel, KernelKind, KernelOpts, SimdEngine, BATCH_ROWS,
-    MAX_BATCH_ROWS, PREFETCH_ACTIVE, SIMD_COMPILED, SIMD_WAVE,
+    active_simd_engine, BatchRows, CacheModel, HierMode, KernelKind, KernelOpts, SimdEngine,
+    BATCH_ROWS, MAX_BATCH_ROWS, PREFETCH_ACTIVE, SIMD_COMPILED, SIMD_WAVE,
 };
 
 pub use io::{
@@ -97,5 +99,5 @@ pub use io::{
     SegmentHeader, SegmentReport, VerifyReport,
 };
 pub use level::{shard_ranges, AbIndex, AttributeMeta};
-pub use planner::{calibrate, plan, CostModel, Engine};
+pub use planner::{calibrate, plan, plan_descent, CostModel, Engine};
 pub use query::{Cell, PrecisionStats, QueryError, QueryStats};

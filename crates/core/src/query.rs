@@ -14,7 +14,8 @@
 //! 100% recall; precision is evaluated against the exact index via
 //! [`PrecisionStats`].
 
-use crate::kernel::{KernelKind, KernelOpts};
+use crate::hier::HierAb;
+use crate::kernel::{HierMode, KernelKind, KernelOpts};
 use crate::level::AbIndex;
 use bitmap::RectQuery;
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,12 @@ pub struct QueryStats {
     /// short-circuit makes this ≤ `cells_probed × k` — the paper's
     /// O(c·k) retrieval bound, observable per query.
     pub bits_read: usize,
+    /// Super-cell regions the hierarchical pyramid eliminated before
+    /// the per-row kernel ran (0 when pruning was off or didn't fire).
+    pub regions_pruned: u64,
+    /// Rows the pyramid skipped — rows the flat scan would have
+    /// probed but which never reached the kernel.
+    pub rows_skipped: u64,
 }
 
 /// A rectangular query that cannot be executed against this index.
@@ -251,19 +258,30 @@ impl AbIndex {
             KernelKind::Batched => "ab.kernel.batched",
             KernelKind::Simd => "ab.kernel.simd",
         });
-        let (rows, stats, short_circuits) = match opts.kernel {
-            KernelKind::Scalar => {
-                obs::counter!("kernel.scalar_fallbacks").inc();
-                self.execute_rect_scalar(query)
-            }
-            KernelKind::Batched | KernelKind::Simd => {
-                crate::kernel::execute_rect_waves(self, query, opts)
-            }
+        // Hierarchical pruning engages only when the caller asked for
+        // it, a pyramid is attached, the query constrains at least one
+        // attribute (a vacuous AND matches every row — nothing to
+        // prune), and the row interval is non-degenerate.
+        let hier = match opts.hier {
+            HierMode::Off => None,
+            HierMode::Auto | HierMode::Force => self.hier().filter(|h| {
+                !query.ranges.is_empty()
+                    && query.row_lo <= query.row_hi
+                    && (opts.hier == HierMode::Force || crate::planner::plan_descent(h, query))
+            }),
+        };
+        let (rows, stats, short_circuits) = match hier {
+            Some(h) => self.execute_rect_hier(h, query, opts),
+            None => self.execute_rect_flat(query, opts),
         };
         if tspan.enabled() {
             tspan.annotate("cells_probed", stats.cells_probed);
             tspan.annotate("bits_read", stats.bits_read);
             tspan.annotate("rows_matched", stats.rows_matched);
+            if stats.regions_pruned > 0 {
+                tspan.annotate("regions_pruned", stats.regions_pruned as usize);
+                tspan.annotate("rows_skipped", stats.rows_skipped as usize);
+            }
         }
         obs::counter!("ab.query.executed").inc();
         obs::counter!("ab.query.cells_probed").add(stats.cells_probed as u64);
@@ -271,6 +289,60 @@ impl AbIndex {
         obs::counter!("ab.query.rows_matched").add(stats.rows_matched as u64);
         obs::counter!("ab.query.short_circuit_hits").add(short_circuits);
         Ok((rows, stats))
+    }
+
+    /// One flat (un-pruned) kernel dispatch: the engine match shared
+    /// by the direct path and each surviving hier sub-interval (which
+    /// must not re-enter the public path — stats and trace counters
+    /// flush exactly once per query).
+    fn execute_rect_flat(
+        &self,
+        query: &RectQuery,
+        opts: KernelOpts,
+    ) -> (Vec<usize>, QueryStats, u64) {
+        match opts.kernel {
+            KernelKind::Scalar => {
+                obs::counter!("kernel.scalar_fallbacks").inc();
+                self.execute_rect_scalar(query)
+            }
+            KernelKind::Batched | KernelKind::Simd => {
+                crate::kernel::execute_rect_waves(self, query, opts)
+            }
+        }
+    }
+
+    /// The pruned execution path: walk the pyramid coarse-to-fine,
+    /// then run the flat kernel over each surviving row interval and
+    /// concatenate (intervals are ascending and disjoint, so rows come
+    /// out in the flat scan's order). Level-AB probes are not counted
+    /// into `cells_probed` — that field keeps meaning "base-AB cell
+    /// probes", so pruning can only decrease it.
+    fn execute_rect_hier(
+        &self,
+        hier: &HierAb,
+        query: &RectQuery,
+        opts: KernelOpts,
+    ) -> (Vec<usize>, QueryStats, u64) {
+        let prune = hier.prune(query);
+        obs::counter!("hier.regions_pruned").add(prune.regions_pruned);
+        obs::counter!("hier.rows_skipped").add(prune.rows_skipped);
+        let mut rows = Vec::new();
+        let mut stats = QueryStats {
+            regions_pruned: prune.regions_pruned,
+            rows_skipped: prune.rows_skipped,
+            ..QueryStats::default()
+        };
+        let mut short_circuits = 0u64;
+        for &(lo, hi) in &prune.intervals {
+            let sub = RectQuery::new(query.ranges.clone(), lo, hi);
+            let (r, s, c) = self.execute_rect_flat(&sub, opts);
+            rows.extend(r);
+            stats.cells_probed += s.cells_probed;
+            stats.bits_read += s.bits_read;
+            short_circuits += c;
+        }
+        stats.rows_matched = rows.len();
+        (rows, stats, short_circuits)
     }
 
     /// The reference row-at-a-time Figure 7 loop, kept verbatim as the
@@ -638,6 +710,50 @@ mod tests {
             stats.cells_probed,
             idx.max_k()
         );
+    }
+
+    #[test]
+    fn hier_force_returns_identical_rows_with_fewer_probes() {
+        use crate::hier::{HierConfig, HierLevelSpec};
+        use crate::kernel::{HierMode, KernelOpts};
+        // Clustered data so the pyramid actually prunes.
+        let t = BinnedTable::new(vec![BinnedColumn::new(
+            "v",
+            (0..2048u32).map(|i| i / 256).collect(),
+            8,
+        )]);
+        let mut idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(32));
+        idx.ensure_hier(&HierConfig {
+            levels: vec![HierLevelSpec {
+                row_span: 64,
+                bin_group: 2,
+            }],
+        });
+        for kernel in [KernelKind::Scalar, KernelKind::Batched, KernelKind::Simd] {
+            let q = RectQuery::new(vec![AttrRange::new(0, 0, 0)], 0, 2047);
+            let flat = idx
+                .try_execute_rect_with_stats_opts(&q, KernelOpts::new(kernel))
+                .unwrap();
+            let hier = idx
+                .try_execute_rect_with_stats_opts(
+                    &q,
+                    KernelOpts::new(kernel).with_hier(HierMode::Force),
+                )
+                .unwrap();
+            assert_eq!(hier.0, flat.0, "{kernel} rows differ");
+            assert_eq!(flat.1.regions_pruned, 0);
+            assert!(hier.1.regions_pruned > 0, "{kernel} pruned nothing");
+            assert!(
+                hier.1.cells_probed < flat.1.cells_probed,
+                "{kernel} probes not reduced"
+            );
+        }
+        // Off leaves the flat path untouched even with a pyramid.
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 0)], 0, 2047);
+        let off = idx
+            .try_execute_rect_with_stats_opts(&q, KernelOpts::new(KernelKind::Batched))
+            .unwrap();
+        assert_eq!(off.1.regions_pruned, 0);
     }
 
     #[test]

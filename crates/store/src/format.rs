@@ -5,7 +5,7 @@
 //! ```text
 //! page 0                meta page:
 //!   off  0  magic "ABPG"
-//!   off  4  version      u16  (= 1)
+//!   off  4  version      u16  (= 2; 1 accepted on read)
 //!   off  6  page_size    u32  (power of two, 64..=1 MiB)
 //!   off 10  payload_len  u64  (exact ABSH byte length)
 //!   off 18  payload_crc  u32  (CRC-32 of the whole payload)
@@ -30,8 +30,13 @@ use crate::StoreError;
 
 /// Store magic: **A**pproximate **B**itmap **P**a**G**ed.
 pub const MAGIC: &[u8; 4] = b"ABPG";
-/// Current (and only) store format version.
-pub const VERSION: u16 = 1;
+/// Current store format version. Version 2 segments may carry `ABIX`
+/// v3 payloads with trailing hierarchical-pyramid pages; version 1
+/// files (pre-pyramid) are still readable — the pyramid is rebuilt at
+/// open when hierarchical pruning is requested.
+pub const VERSION: u16 = 2;
+/// Oldest version this reader still accepts.
+pub const MIN_VERSION: u16 = 1;
 /// Fixed byte length of the meaningful meta-page prefix.
 pub const HEADER_LEN: usize = 34;
 
@@ -166,7 +171,7 @@ pub fn decode_header(meta: &[u8], file_len: Option<u64>) -> Result<StoreHeader, 
         return Err(StoreError::BadMagic);
     }
     let version = u16::from_le_bytes([meta[4], meta[5]]);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion(version));
     }
     let stored = u32::from_le_bytes(meta[30..34].try_into().unwrap());
@@ -249,6 +254,32 @@ mod tests {
             encode(b"this is not an ABSH envelope....", 64),
             Err(StoreError::Payload(_))
         ));
+    }
+
+    #[test]
+    fn old_version_headers_still_decode() {
+        let payload = sample_payload(100, 2);
+        let (image, h) = encode(&payload, 64).unwrap();
+        // Rewrite the meta page as a v1 header (pre-pyramid format)
+        // and reseal the header CRC: readers must keep accepting it.
+        let mut meta = image[..64].to_vec();
+        meta[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let crc = ab::crc32(&meta[0..30]);
+        meta[30..34].copy_from_slice(&crc.to_le_bytes());
+        let back = decode_header(&meta, Some(image.len() as u64)).unwrap();
+        assert_eq!(back.version, 1);
+        assert_eq!(back.payload_len, h.payload_len);
+        // Version 0 and future versions stay typed errors.
+        for v in [0u16, VERSION + 1] {
+            let mut bad = image[..64].to_vec();
+            bad[4..6].copy_from_slice(&v.to_le_bytes());
+            let crc = ab::crc32(&bad[0..30]);
+            bad[30..34].copy_from_slice(&crc.to_le_bytes());
+            assert!(matches!(
+                decode_header(&bad, Some(image.len() as u64)),
+                Err(StoreError::UnsupportedVersion(got)) if got == v
+            ));
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::degrade::{degraded_marker, Response, ShardHealth};
 use crate::error::SvcError;
 use crate::pool::WorkerPool;
 use crate::shard::{Shard, ShardedIndex};
-use ab::{AbConfig, BatchRows, Cell, KernelKind, KernelOpts, QueryError};
+use ab::{AbConfig, BatchRows, Cell, HierConfig, HierMode, KernelKind, KernelOpts, QueryError};
 use bitmap::{BinnedTable, RectQuery};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -80,6 +80,14 @@ pub struct SvcConfig {
     /// recorder (the slow-query log) instead of rotating out of the
     /// ring, and counted in `svc.slow_queries`.
     pub slow_query: Option<Duration>,
+    /// Hierarchical pruning policy for rect queries
+    /// ([`ab::HierMode::Off`] by default). Anything other than `Off`
+    /// attaches a [`ab::HierAb`] pyramid to every shard at build (or
+    /// load) time; shard jobs then prune whole row spans before the
+    /// chunked kernel runs. Results stay bit-identical either way.
+    pub hier: HierMode,
+    /// Pyramid geometry used when [`Self::hier`] is not `Off`.
+    pub hier_config: HierConfig,
 }
 
 impl Default for SvcConfig {
@@ -94,6 +102,8 @@ impl Default for SvcConfig {
             batch_rows: BatchRows::default(),
             trace_requests: true,
             slow_query: None,
+            hier: HierMode::Off,
+            hier_config: HierConfig::default(),
         }
     }
 }
@@ -208,7 +218,10 @@ impl Service {
     pub fn build(table: &BinnedTable, ab: &AbConfig, cfg: &SvcConfig) -> Self {
         let pool = WorkerPool::new(cfg.resolved_threads(), cfg.queue_capacity);
         let shards = cfg.resolved_shards(table.num_rows());
-        let index = ShardedIndex::build_parallel(table, ab, shards, cfg.with_wah, &pool);
+        let mut index = ShardedIndex::build_parallel(table, ab, shards, cfg.with_wah, &pool);
+        if cfg.hier != HierMode::Off {
+            index.ensure_hier(&cfg.hier_config);
+        }
         let health = Arc::new(ShardHealth::new(index.num_shards()));
         Service {
             index: Arc::new(index),
@@ -216,7 +229,9 @@ impl Service {
             default_deadline: cfg.default_deadline,
             health,
             chaos: None,
-            kernel: KernelOpts::new(cfg.kernel).with_batch_rows(cfg.batch_rows),
+            kernel: KernelOpts::new(cfg.kernel)
+                .with_batch_rows(cfg.batch_rows)
+                .with_hier(cfg.hier),
             trace_requests: cfg.trace_requests,
             slow_query: cfg.slow_query,
         }
@@ -224,7 +239,12 @@ impl Service {
 
     /// Wraps an already-built index (e.g. one loaded with
     /// [`ShardedIndex::from_bytes`]); `cfg.shards` is ignored.
-    pub fn from_index(index: ShardedIndex, cfg: &SvcConfig) -> Self {
+    pub fn from_index(mut index: ShardedIndex, cfg: &SvcConfig) -> Self {
+        if cfg.hier != HierMode::Off {
+            // Old segments carry no pyramid; rebuild one so loaded
+            // and freshly built services behave identically.
+            index.ensure_hier(&cfg.hier_config);
+        }
         let health = Arc::new(ShardHealth::new(index.num_shards()));
         Service {
             index: Arc::new(index),
@@ -232,7 +252,9 @@ impl Service {
             default_deadline: cfg.default_deadline,
             health,
             chaos: None,
-            kernel: KernelOpts::new(cfg.kernel).with_batch_rows(cfg.batch_rows),
+            kernel: KernelOpts::new(cfg.kernel)
+                .with_batch_rows(cfg.batch_rows)
+                .with_hier(cfg.hier),
             trace_requests: cfg.trace_requests,
             slow_query: cfg.slow_query,
         }
@@ -918,13 +940,48 @@ impl Service {
 /// Runs one shard's part of a rectangular query in [`CHUNK_ROWS`]
 /// chunks on the configured probe kernel, translating matches back to
 /// global row ids.
+///
+/// Hierarchical pruning (when enabled and the shard carries a
+/// pyramid) runs over the *whole* shard part first — pruning inside a
+/// 512-row chunk would never see a span-sized region — and only the
+/// surviving row intervals are chunked. The per-chunk kernel runs
+/// with hier forced off so the core path neither re-prunes nor
+/// double-counts the `hier.*` stats emitted here.
 fn run_shard_chunked(
     shard: &Shard,
     local: &RectQuery,
     ctx: &RequestCtx,
     kernel: KernelOpts,
 ) -> Result<Vec<usize>, SvcError> {
+    let flat = kernel.with_hier(HierMode::Off);
     let mut out = Vec::new();
+    if kernel.hier != HierMode::Off && !local.ranges.is_empty() && local.row_lo <= local.row_hi {
+        if let Some(hier) = shard.index().hier() {
+            if kernel.hier == HierMode::Force || ab::plan_descent(hier, local) {
+                let prune = hier.prune(local);
+                obs::counter!("hier.regions_pruned").add(prune.regions_pruned);
+                obs::counter!("hier.rows_skipped").add(prune.rows_skipped);
+                for (lo, hi) in prune.intervals {
+                    let part = RectQuery::new(local.ranges.clone(), lo, hi);
+                    run_shard_chunked_flat(shard, &part, ctx, flat, &mut out)?;
+                }
+                return Ok(out);
+            }
+        }
+    }
+    run_shard_chunked_flat(shard, local, ctx, flat, &mut out)?;
+    Ok(out)
+}
+
+/// The chunked scan itself: [`CHUNK_ROWS`] rows per kernel call with
+/// a [`RequestCtx::check`] between chunks.
+fn run_shard_chunked_flat(
+    shard: &Shard,
+    local: &RectQuery,
+    ctx: &RequestCtx,
+    kernel: KernelOpts,
+    out: &mut Vec<usize>,
+) -> Result<(), SvcError> {
     let mut lo = local.row_lo;
     loop {
         ctx.check()?;
@@ -938,7 +995,7 @@ fn run_shard_chunked(
                 .map(|r| r + shard.start()),
         );
         if hi == local.row_hi {
-            return Ok(out);
+            return Ok(());
         }
         lo = hi + 1;
     }
@@ -1282,6 +1339,95 @@ mod tests {
         // One-shot fault: the next request goes through healthily.
         let r = svc.try_query_rect(&q).unwrap();
         assert!(!r.is_degraded());
+    }
+
+    #[test]
+    fn hier_service_matches_flat_service_and_prunes() {
+        use ab::{HierLevelSpec, KernelKind};
+        // Clustered single-attribute table: each 512-row segment holds
+        // one bin, so whole 64-row spans miss most bins. α=32 keeps
+        // the base AB clean enough for coarse misses to be definite.
+        let n = 4096;
+        let t = BinnedTable::new(vec![BinnedColumn::new(
+            "v",
+            (0..n).map(|i| (i / 512) as u32).collect(),
+            8,
+        )]);
+        let ab = AbConfig::new(Level::PerAttribute).with_alpha(32);
+        let flat = Service::build(&t, &ab, &small_cfg());
+        for kernel in [KernelKind::Scalar, KernelKind::Batched, KernelKind::Simd] {
+            let cfg = SvcConfig {
+                kernel,
+                hier: HierMode::Force,
+                hier_config: HierConfig {
+                    levels: vec![HierLevelSpec {
+                        row_span: 64,
+                        bin_group: 2,
+                    }],
+                },
+                ..small_cfg()
+            };
+            let hier = Service::build(&t, &ab, &cfg);
+            assert!(hier
+                .index()
+                .shards()
+                .iter()
+                .all(|s| s.index().hier().is_some()));
+            let pruned_before = obs::counter!("hier.regions_pruned").get();
+            let skipped_before = obs::counter!("hier.rows_skipped").get();
+            for q in [
+                RectQuery::new(vec![AttrRange::new(0, 2, 2)], 0, n - 1),
+                RectQuery::new(vec![AttrRange::new(0, 0, 1)], 100, 3000),
+                RectQuery::new(vec![AttrRange::new(0, 7, 7)], 0, 511),
+                RectQuery::new(vec![], 0, n - 1),
+            ] {
+                assert_eq!(
+                    hier.query_rect(&q).unwrap(),
+                    flat.query_rect(&q).unwrap(),
+                    "hier and flat services must answer bit-identically"
+                );
+            }
+            assert!(
+                obs::counter!("hier.regions_pruned").get() > pruned_before,
+                "single-bin rects over clustered data must prune regions"
+            );
+            assert!(obs::counter!("hier.rows_skipped").get() > skipped_before);
+        }
+    }
+
+    #[test]
+    fn from_index_attaches_pyramid_when_hier_enabled() {
+        let t = table(120);
+        let idx = crate::ShardedIndex::build(
+            &t,
+            &AbConfig::new(Level::PerAttribute).with_alpha(8),
+            3,
+            false,
+        );
+        let bytes = idx.to_bytes();
+        // The serialized index carries no pyramid; a hier-enabled
+        // service rebuilds one per shard at load time.
+        let cfg = SvcConfig {
+            hier: HierMode::Auto,
+            hier_config: HierConfig {
+                levels: vec![ab::HierLevelSpec {
+                    row_span: 8,
+                    bin_group: 2,
+                }],
+            },
+            ..small_cfg()
+        };
+        let svc = Service::from_index(crate::ShardedIndex::from_bytes(&bytes).unwrap(), &cfg);
+        assert!(svc
+            .index()
+            .shards()
+            .iter()
+            .all(|s| s.index().hier().is_some()));
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 3)], 0, 119);
+        assert_eq!(
+            svc.query_rect(&q).unwrap(),
+            idx.execute_rect_sequential(&q).unwrap()
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! because shards are ordered.
 
 use crate::pool::WorkerPool;
-use ab::{AbConfig, AbIndex, AttributeMeta, QueryError};
+use ab::{AbConfig, AbIndex, AttributeMeta, HierConfig, QueryError};
 use bitmap::{BinnedTable, RectQuery};
 use std::sync::mpsc;
 
@@ -177,6 +177,17 @@ impl ShardedIndex {
         self.shards.iter().map(|s| s.index.size_bytes()).sum()
     }
 
+    /// Attaches a hierarchical pruning pyramid to every shard that
+    /// lacks one (see [`AbIndex::ensure_hier`]). The probe-sweep build
+    /// is deterministic per shard, so calling this after a
+    /// [`Self::from_bytes`] of a pre-pyramid envelope produces the
+    /// same pyramids a build-time attach would have.
+    pub fn ensure_hier(&mut self, config: &HierConfig) {
+        for shard in &mut self.shards {
+            shard.index.ensure_hier(config);
+        }
+    }
+
     /// Which shard covers the given global row.
     ///
     /// # Panics
@@ -326,6 +337,22 @@ impl ShardedIndex {
                 index,
                 wah: None,
             });
+        }
+        // A rebuilt shard lacks the hierarchical pyramid its persisted
+        // sibling shards carry. The pyramid's probe-sweep construction
+        // is deterministic, so rebuilding it with a clean sibling's
+        // geometry restores the repaired segment byte-identically.
+        if !repaired.is_empty() {
+            let sibling_config = shards
+                .iter()
+                .enumerate()
+                .filter(|(sid, _)| !repaired.contains(sid))
+                .find_map(|(_, s)| s.index.hier().map(|h| h.config()));
+            if let Some(config) = sibling_config {
+                for &sid in &repaired {
+                    shards[sid].index.ensure_hier(&config);
+                }
+            }
         }
         Ok((Self::assemble(shards, table.num_rows()), repaired))
     }
@@ -498,6 +525,45 @@ mod tests {
             repaired_idx.execute_rect_sequential(&q).unwrap(),
             idx.execute_rect_sequential(&q).unwrap()
         );
+    }
+
+    #[test]
+    fn repair_restores_hier_pyramids_byte_identically() {
+        use ab::{HierConfig, HierLevelSpec};
+        let t = table(120);
+        let mut idx = ShardedIndex::build(&t, &cfg(), 4, false);
+        idx.ensure_hier(&HierConfig {
+            levels: vec![HierLevelSpec {
+                row_span: 8,
+                bin_group: 2,
+            }],
+        });
+        let pristine = idx.to_bytes();
+        let mut bytes = pristine.clone();
+        let seg0_len = u64::from_le_bytes(bytes[18..26].try_into().unwrap()) as usize;
+        bytes[30 + seg0_len / 2] ^= 0x40;
+        let (repaired_idx, repaired) =
+            ShardedIndex::from_bytes_with_repair(&bytes, &t, &cfg()).unwrap();
+        assert_eq!(repaired.len(), 1);
+        // The rebuilt shard picked up its siblings' pyramid geometry,
+        // so re-serializing reproduces the pristine envelope exactly.
+        assert_eq!(repaired_idx.to_bytes(), pristine);
+    }
+
+    #[test]
+    fn ensure_hier_covers_every_shard_and_survives_roundtrip() {
+        let t = table(100);
+        let mut idx = ShardedIndex::build(&t, &cfg(), 4, false);
+        assert!(idx.shards().iter().all(|s| s.index().hier().is_none()));
+        idx.ensure_hier(&ab::HierConfig {
+            levels: vec![ab::HierLevelSpec {
+                row_span: 8,
+                bin_group: 2,
+            }],
+        });
+        assert!(idx.shards().iter().all(|s| s.index().hier().is_some()));
+        let back = ShardedIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert!(back.shards().iter().all(|s| s.index().hier().is_some()));
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //! abq serve --csv data.csv [--threads N] [--shards N] [--bins N]
 //!           [--alpha N] [--deadline-ms N] [--wah] [--retries N]
 //!           [--kernel scalar|batched|simd] [--batch-rows adaptive|N]
+//!           [--hier [off|auto|force]]
 //!           [--listen HOST:PORT [--max-conns N] [--drain-ms N]
 //!            [--trace-dump FILE]]
 //! abq store build --csv data.csv --out index.abpg [--shards N]
-//!           [--page-size N] [--bins N] [--alpha N] [--level L]
+//!           [--page-size N] [--bins N] [--alpha N] [--level L] [--hier]
 //! abq store verify --store index.abpg
 //! abq store scrub --store index.abpg [--pread] [--csv data.csv ...]
 //! abq loadgen --addr HOST:PORT [--conns N] [--secs S]
@@ -105,11 +106,12 @@ fn print_usage() {
          abq query --index FILE [--where ATTR=LO..HI]... [--rows LO..HI] [--limit N]\n  \
          abq serve --csv FILE [--threads N] [--shards N] [--bins N] [--alpha N] \
          [--deadline-ms N] [--wah] [--retries N] [--kernel scalar|batched|simd] \
-         [--batch-rows adaptive|N] [--telemetry-addr HOST:PORT] [--slow-ms N] \
+         [--batch-rows adaptive|N] [--hier [off|auto|force]] \
+         [--telemetry-addr HOST:PORT] [--slow-ms N] \
          [--store FILE [--store-pread] [--scrub-ms N]] \
          [--listen HOST:PORT [--max-conns N] [--drain-ms N] [--trace-dump FILE]]\n  \
          abq store build --csv FILE --out FILE [--shards N] [--page-size N] \
-         [--bins N] [--alpha N] [--level L]\n  \
+         [--bins N] [--alpha N] [--level L] [--hier]\n  \
          abq store verify --store FILE\n  \
          abq store scrub --store FILE [--pread] [--csv FILE [--bins N] [--alpha N] [--level L]]\n  \
          abq loadgen --addr HOST:PORT [--conns N] [--secs S] [--pipeline N | --rps R] \
@@ -420,6 +422,25 @@ fn parse_batch_rows(args: &[String]) -> Result<ab::BatchRows, String> {
     }
 }
 
+/// The `--hier` flag: hierarchical pruning policy. Bare `--hier`
+/// means auto (the planner decides per query when descending the
+/// pyramid beats a flat scan); `--hier off|auto|force` is explicit.
+/// Results are bit-identical either way — only throughput differs.
+fn parse_hier(args: &[String]) -> Result<ab::HierMode, String> {
+    match args.iter().position(|a| a == "--hier") {
+        None => Ok(ab::HierMode::Off),
+        // The mode operand is optional, so only consume the next
+        // token when it actually names a mode (`--hier --listen ...`
+        // must not eat `--listen`).
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("off") => Ok(ab::HierMode::Off),
+            Some("auto") | None => Ok(ab::HierMode::Auto),
+            Some("force") => Ok(ab::HierMode::Force),
+            Some(_) => Ok(ab::HierMode::Auto),
+        },
+    }
+}
+
 /// Retry policy for the `serve`/`bench-svc` query paths: up to
 /// `--retries` attempts (default 4; 1 disables retrying) with
 /// decorrelated-jitter backoff against transient overload.
@@ -490,6 +511,7 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         kernel,
         batch_rows,
         slow_query,
+        hier: parse_hier(args)?,
         ..SvcConfig::default()
     };
     let svc = Service::build(&binned, &config, &cfg);
@@ -535,6 +557,9 @@ fn build_service_from_store(
         kernel: parse_kernel(args)?,
         batch_rows: parse_batch_rows(args)?,
         slow_query,
+        // Old (pre-pyramid) segments are fine: Service::from_index
+        // rebuilds the pyramid per shard when hier is requested.
+        hier: parse_hier(args)?,
         ..SvcConfig::default()
     };
     let svc = Service::from_index(index, &cfg);
@@ -799,7 +824,13 @@ fn cmd_store_build(args: &[String]) -> Result<(), String> {
         Some(p) => p.parse().map_err(|_| "--page-size must be an integer")?,
         None => store::DEFAULT_PAGE_SIZE,
     };
-    let index = svc::ShardedIndex::build(&binned, &config, shards, false);
+    let mut index = svc::ShardedIndex::build(&binned, &config, shards, false);
+    let hier = parse_hier(args)? != ab::HierMode::Off;
+    if hier {
+        // Persist the pruning pyramid alongside each shard (ABIX v3
+        // pages in the segment); serving later needs no rebuild.
+        index.ensure_hier(&ab::HierConfig::default());
+    }
     let payload = index.to_bytes();
     store::write(
         std::path::Path::new(out),
@@ -810,12 +841,13 @@ fn cmd_store_build(args: &[String]) -> Result<(), String> {
     .map_err(|e| format!("{out}: {e}"))?;
     println!(
         "stored {} rows x {} attributes as {} shard(s), {} payload bytes \
-         ({}-byte pages) -> {out}",
+         ({}-byte pages{}) -> {out}",
         index.num_rows(),
         index.attributes().len(),
         index.num_shards(),
         payload.len(),
         page_size,
+        if hier { ", hier pyramids" } else { "" },
     );
     Ok(())
 }
@@ -1198,7 +1230,9 @@ fn cmd_bench_report(args: &[String]) -> Result<(), String> {
     } else {
         args.iter().map(std::path::PathBuf::from).collect()
     };
-    print!("{}", bench::bench_report(&paths));
+    // A malformed snapshot fails the whole command (nonzero exit)
+    // rather than silently vanishing from the report.
+    print!("{}", bench::bench_report(&paths)?);
     Ok(())
 }
 
@@ -1348,11 +1382,66 @@ mod tests {
         )
         .unwrap();
         cmd_bench_report(&strings(&[p.to_str().unwrap()])).unwrap();
-        // Malformed input surfaces in the report as a skip note, not an
-        // error — partial fleets of bench files are normal mid-bringup.
+        // A malformed snapshot is a hard error naming the file —
+        // silently skipping it would read as "bench regressed to
+        // nothing". Missing files are still just skipped.
         let bad = dir.join("BENCH_bad.json");
         std::fs::write(&bad, "{oops").unwrap();
-        cmd_bench_report(&strings(&[bad.to_str().unwrap()])).unwrap();
+        let err = cmd_bench_report(&strings(&[bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("BENCH_bad.json"), "{err}");
+        let missing = dir.join("BENCH_absent.json");
+        cmd_bench_report(&strings(&[p.to_str().unwrap(), missing.to_str().unwrap()])).unwrap();
+    }
+
+    #[test]
+    fn hier_flag_parses_bare_and_explicit() {
+        assert_eq!(parse_hier(&strings(&[])), Ok(ab::HierMode::Off));
+        assert_eq!(parse_hier(&strings(&["--hier"])), Ok(ab::HierMode::Auto));
+        assert_eq!(
+            parse_hier(&strings(&["--hier", "force"])),
+            Ok(ab::HierMode::Force)
+        );
+        assert_eq!(
+            parse_hier(&strings(&["--hier", "off"])),
+            Ok(ab::HierMode::Off)
+        );
+        assert_eq!(
+            parse_hier(&strings(&["--hier", "auto"])),
+            Ok(ab::HierMode::Auto)
+        );
+        // Bare --hier followed by another flag must not eat it.
+        assert_eq!(
+            parse_hier(&strings(&["--hier", "--listen"])),
+            Ok(ab::HierMode::Auto)
+        );
+    }
+
+    #[test]
+    fn store_build_with_hier_persists_pyramids() {
+        let dir = std::env::temp_dir().join("abq_test_store_hier");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let abpg = dir.join("d.abpg");
+        let mut body = String::from("v\n");
+        for i in 0..300 {
+            body.push_str(&format!("{}.0\n", i / 30));
+        }
+        std::fs::write(&csv, body).unwrap();
+        cmd_store_build(&strings(&[
+            "--csv",
+            csv.to_str().unwrap(),
+            "--out",
+            abpg.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--hier",
+        ]))
+        .unwrap();
+        cmd_store_verify(&strings(&["--store", abpg.to_str().unwrap()])).unwrap();
+        // The pyramid rides the segment: loading needs no rebuild.
+        let st = store::Store::open_with(&abpg, false).unwrap();
+        let idx = svc::ShardedIndex::from_bytes(st.payload()).unwrap();
+        assert!(idx.shards().iter().all(|s| s.index().hier().is_some()));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! latter also pins `AB_SIMD=avx2` in a separate process to exercise
 //! the narrower gather path on AVX-512 machines).
 
-use ab::{AbConfig, AbIndex, BatchRows, Cell, KernelKind, KernelOpts, Level};
+use ab::{
+    AbConfig, AbIndex, BatchRows, Cell, HierConfig, HierLevelSpec, HierMode, KernelKind,
+    KernelOpts, Level,
+};
 use bitmap::{AttrRange, BinnedTable, RectQuery};
 use datagen::small_uniform;
 use hashkit::HashFamily;
@@ -225,6 +228,109 @@ fn empty_row_interval_matches() {
         assert!(rows.is_empty());
         assert_eq!(stats.cells_probed, 0);
         assert_eq!(stats.bits_read, 0);
+    }
+}
+
+/// Pyramid geometries scaled to the test datasets (777–4096 rows):
+/// a single fine level, and a two-level coarse-over-fine stack.
+fn hier_configs() -> Vec<HierConfig> {
+    vec![
+        HierConfig {
+            levels: vec![HierLevelSpec {
+                row_span: 8,
+                bin_group: 2,
+            }],
+        },
+        HierConfig {
+            levels: vec![
+                HierLevelSpec {
+                    row_span: 16,
+                    bin_group: 2,
+                },
+                HierLevelSpec {
+                    row_span: 64,
+                    bin_group: 4,
+                },
+            ],
+        },
+    ]
+}
+
+/// The hier on/off axis over the full matrix: with a pyramid attached
+/// and `HierMode::Force`, every kernel must return the exact flat rows
+/// (pruning is allowed to skip work, never to change the answer), all
+/// kernels must agree on stats with each other, and `cells_probed`
+/// must never exceed the flat scalar reference — the pyramid's own
+/// level-AB probes are bookkept separately and pruned intervals are a
+/// subset of the original row interval.
+#[test]
+fn hier_pruning_is_bit_identical_and_never_probes_more() {
+    for (d, table) in datasets().iter().enumerate() {
+        for (c, cfg) in configs().iter().enumerate() {
+            for (h, hcfg) in hier_configs().iter().enumerate() {
+                let mut idx = AbIndex::build(table, cfg);
+                idx.ensure_hier(hcfg);
+                for (qi, q) in queries(table).iter().enumerate() {
+                    let (flat_rows, flat_stats) = idx
+                        .try_execute_rect_with_stats_kernel(q, KernelKind::Scalar)
+                        .unwrap();
+                    // Hier reference: scalar under Force. All other
+                    // kernels must match it bit-for-bit and stat-for-stat.
+                    let href = KernelOpts::new(KernelKind::Scalar).with_hier(HierMode::Force);
+                    let (href_rows, href_stats) =
+                        idx.try_execute_rect_with_stats_opts(q, href).unwrap();
+                    let ctx = format!("dataset {d}, config {c}, hier {h}, query {qi}");
+                    assert_eq!(
+                        flat_rows, href_rows,
+                        "hier scalar diverged from flat: {ctx}"
+                    );
+                    assert!(
+                        href_stats.cells_probed <= flat_stats.cells_probed,
+                        "hier probed more cells than flat ({} > {}): {ctx}",
+                        href_stats.cells_probed,
+                        flat_stats.cells_probed
+                    );
+                    assert_eq!(
+                        href_stats.rows_matched, flat_stats.rows_matched,
+                        "rows_matched diverged under hier: {ctx}"
+                    );
+                    for base in kernel_matrix() {
+                        let opts = base.with_hier(HierMode::Force);
+                        let (rows, stats) = idx.try_execute_rect_with_stats_opts(q, opts).unwrap();
+                        let kctx = format!("{ctx}, kernel {opts:?}");
+                        assert_eq!(flat_rows, rows, "rows diverged under hier: {kctx}");
+                        assert_eq!(
+                            href_stats.cells_probed, stats.cells_probed,
+                            "cells_probed diverged across hier kernels: {kctx}"
+                        );
+                        assert_eq!(
+                            href_stats.bits_read, stats.bits_read,
+                            "bits_read diverged across hier kernels: {kctx}"
+                        );
+                        assert_eq!(
+                            href_stats.regions_pruned, stats.regions_pruned,
+                            "regions_pruned diverged across hier kernels: {kctx}"
+                        );
+                        assert_eq!(
+                            href_stats.rows_skipped, stats.rows_skipped,
+                            "rows_skipped diverged across hier kernels: {kctx}"
+                        );
+                    }
+                    // With the pyramid attached but HierMode::Off, the
+                    // flat path must be untouched — identical stats, no
+                    // pruning accounting.
+                    let off = KernelOpts::new(KernelKind::Scalar).with_hier(HierMode::Off);
+                    let (off_rows, off_stats) =
+                        idx.try_execute_rect_with_stats_opts(q, off).unwrap();
+                    assert_eq!(flat_rows, off_rows, "HierMode::Off changed rows: {ctx}");
+                    assert_eq!(
+                        flat_stats.cells_probed, off_stats.cells_probed,
+                        "HierMode::Off changed probe accounting: {ctx}"
+                    );
+                    assert_eq!(off_stats.regions_pruned, 0, "Off reported pruning: {ctx}");
+                }
+            }
+        }
     }
 }
 
