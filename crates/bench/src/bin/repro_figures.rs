@@ -8,9 +8,12 @@
 //! * Figure 13 — AB execution time vs k.
 //! * Figure 14 — execution time WAH vs AB vs rows queried, including
 //!   the ~15% crossover check.
+//! * `reorder` — the §2.2.1 row-reordering ablation: natural vs
+//!   lexicographic vs Gray-code row order, measured as bit transitions
+//!   and compressed size under WAH, BBC, and Roaring.
 //!
 //! Usage: `cargo run --release -p bench --bin repro_figures --
-//!         [--figure 8|9|10a|10b|11a|11b|11c|12|13|14|all]
+//!         [--figure 8|9|10a|10b|11a|11b|11c|12|13|14|reorder|all]
 //!         [--scale F] [--queries N] [--seed N]`
 
 use ab::{AbConfig, Sizing};
@@ -65,13 +68,23 @@ fn main() {
         fig14(&opts);
         matched = true;
     }
+    let mut extras: Vec<(String, f64)> = Vec::new();
+    if run("reorder") {
+        extras.extend(reorder_ablation(&opts));
+        matched = true;
+    }
     if !matched {
         eprintln!("unknown figure `{which}`");
         std::process::exit(2);
     }
     // The figures above accumulate into the global registry as a side
-    // effect; dump whatever this run touched.
-    match write_bench_snapshot("figures", &obs::global().snapshot()) {
+    // effect; dump whatever this run touched, plus the reorder
+    // ablation's explicit series.
+    let mut snap = obs::global().snapshot();
+    for (key, v) in extras {
+        snap = snap.with_extra(&key, v);
+    }
+    match write_bench_snapshot("figures", &snap) {
         Ok(path) => println!("\nMetrics snapshot written to {}", path.display()),
         Err(e) => eprintln!("failed to write metrics snapshot: {e}"),
     }
@@ -442,4 +455,89 @@ fn fig14(opts: &cli::Options) {
             None => println!("AB faster than WAH across the whole sweep"),
         }
     }
+}
+
+/// Row-reordering ablation (§2.2.1): how much do the lexicographic
+/// and Gray-code heuristics shrink run-length-compressed bitmaps on
+/// the paper's data sets? Measured three ways — raw bit transitions
+/// (the quantity run-length codes pay for) and the summed compressed
+/// size of every bitmap under WAH, BBC, and Roaring. Returns the
+/// series for `BENCH_figures.json`
+/// (`figures.reorder.<dataset>.<order>.<metric>`).
+fn reorder_ablation(opts: &cli::Options) -> Vec<(String, f64)> {
+    use bitmap::{
+        apply_permutation, gray_order, lexicographic_order, total_transitions, BinnedTable,
+    };
+
+    /// Summed compressed bytes over every bitmap of every attribute.
+    fn codec_sizes(t: &BinnedTable) -> (usize, usize, usize) {
+        let (mut wah_sz, mut bbc_sz, mut roar_sz) = (0usize, 0usize, 0usize);
+        for col in t.columns() {
+            let mut per_bin: Vec<Vec<usize>> = vec![Vec::new(); col.cardinality as usize];
+            for (i, &b) in col.bins.iter().enumerate() {
+                per_bin[b as usize].push(i);
+            }
+            for ones in &per_bin {
+                wah_sz +=
+                    wah::WahBitmap::from_ones(t.num_rows(), ones.iter().copied()).size_bytes();
+                bbc_sz +=
+                    wah::BbcBitmap::from_ones(t.num_rows(), ones.iter().copied()).size_bytes();
+                let mut r = roar::RoaringBitmap::from_sorted(ones.iter().map(|&i| i as u32));
+                r.optimize();
+                roar_sz += r.size_bytes();
+            }
+        }
+        (wah_sz, bbc_sz, roar_sz)
+    }
+
+    let bundles = Bundle::paper_bundles(opts.scale, opts.seed);
+    let mut extras = Vec::new();
+    let mut rows = Vec::new();
+    for b in &bundles {
+        let natural = &b.ds.binned;
+        let orders: [(&str, BinnedTable); 3] = [
+            ("natural", natural.clone()),
+            (
+                "lex",
+                apply_permutation(natural, &lexicographic_order(natural)),
+            ),
+            ("gray", apply_permutation(natural, &gray_order(natural))),
+        ];
+        let base_wah = codec_sizes(natural).0 as f64;
+        for (order, t) in &orders {
+            let transitions = total_transitions(t);
+            let (wah_sz, bbc_sz, roar_sz) = codec_sizes(t);
+            rows.push(vec![
+                b.ds.name.clone(),
+                (*order).to_string(),
+                transitions.to_string(),
+                wah_sz.to_string(),
+                bbc_sz.to_string(),
+                roar_sz.to_string(),
+                format!("{:.2}x", base_wah / wah_sz as f64),
+            ]);
+            for (metric, v) in [
+                ("transitions", transitions as f64),
+                ("wah_bytes", wah_sz as f64),
+                ("bbc_bytes", bbc_sz as f64),
+                ("roaring_bytes", roar_sz as f64),
+            ] {
+                extras.push((format!("figures.reorder.{}.{order}.{metric}", b.ds.name), v));
+            }
+        }
+    }
+    print_table(
+        "Row reordering ablation: transitions and compressed bytes (WAH shrink vs natural)",
+        &[
+            "data set",
+            "order",
+            "transitions",
+            "WAH B",
+            "BBC B",
+            "Roaring B",
+            "WAH shrink",
+        ],
+        &rows,
+    );
+    extras
 }

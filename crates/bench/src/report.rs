@@ -223,6 +223,20 @@ struct HierRow {
     hier: Option<f64>,
 }
 
+/// One row of the folded hybrid-tier report: flat, hier, and hybrid
+/// throughput for the same (kernel, rect shape, selectivity) point,
+/// plus the false-positive rows the exact tier eliminated there.
+struct HybridRow {
+    source: String,
+    kernel: String,
+    rect: String,
+    sel: String,
+    flat: Option<f64>,
+    hier: Option<f64>,
+    hybrid: Option<f64>,
+    fp_eliminated: Option<f64>,
+}
+
 /// One row of the folded service-latency report.
 struct LatRow {
     source: String,
@@ -252,6 +266,9 @@ struct NetRow {
 /// entry (with per-config speedup vs that file's scalar baseline),
 /// a hierarchical-pruning table over every
 /// `hier.rows_per_sec.<flat|hier>.<kernel>.<rect>.<sel>` entry,
+/// a hybrid-tier table over every
+/// `hybrid.rows_per_sec.<flat|hier|hybrid>.<kernel>.<rect>.<sel>`
+/// entry (with the false-positive rows the exact tier eliminated),
 /// plus the snapshots' kernel counters.
 ///
 /// Returns the rendered report. **Missing** files are skipped with a
@@ -324,6 +341,54 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> Result<String, String> {
                 "flat" => row.flat = Some(v),
                 "hier" => row.hier = Some(v),
                 _ => {}
+            }
+        }
+    }
+    // Hybrid exact tier:
+    // extra.hybrid.rows_per_sec.<flat|hier|hybrid>.<kernel>.<rect>.<sel>
+    // plus extra.hybrid.fp_rows_eliminated.<rect>.<sel>.
+    let mut hybrid: Vec<HybridRow> = Vec::new();
+    for (source, snap) in &loaded {
+        for (suffix, v) in snap.with_prefix("extra.hybrid.rows_per_sec.") {
+            let parts: Vec<&str> = suffix.splitn(4, '.').collect();
+            let [mode, kernel, rect, sel] = parts[..] else {
+                continue;
+            };
+            let row = match hybrid.iter_mut().find(|r| {
+                r.source == *source && r.kernel == kernel && r.rect == rect && r.sel == sel
+            }) {
+                Some(r) => r,
+                None => {
+                    hybrid.push(HybridRow {
+                        source: source.clone(),
+                        kernel: kernel.to_string(),
+                        rect: rect.to_string(),
+                        sel: sel.to_string(),
+                        flat: None,
+                        hier: None,
+                        hybrid: None,
+                        fp_eliminated: None,
+                    });
+                    hybrid.last_mut().expect("just pushed")
+                }
+            };
+            match mode {
+                "flat" => row.flat = Some(v),
+                "hier" => row.hier = Some(v),
+                "hybrid" => row.hybrid = Some(v),
+                _ => {}
+            }
+        }
+        // The eliminated-rows count is per point, not per kernel:
+        // attach it to every kernel row of that point.
+        for (suffix, v) in snap.with_prefix("extra.hybrid.fp_rows_eliminated.") {
+            let parts: Vec<&str> = suffix.splitn(2, '.').collect();
+            let [rect, sel] = parts[..] else { continue };
+            for r in hybrid
+                .iter_mut()
+                .filter(|r| r.source == *source && r.rect == rect && r.sel == sel)
+            {
+                r.fp_eliminated = Some(v);
             }
         }
     }
@@ -433,9 +498,10 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> Result<String, String> {
             }
         }
     }
-    if rows.is_empty() && hier.is_empty() && lat.is_empty() && net.is_empty() {
+    if rows.is_empty() && hier.is_empty() && hybrid.is_empty() && lat.is_empty() && net.is_empty() {
         out.push_str(
-            "no kernel.rows_per_sec, hier.rows_per_sec, svc.latency_us, or net.* entries found\n",
+            "no kernel.rows_per_sec, hier.rows_per_sec, hybrid.rows_per_sec, svc.latency_us, \
+             or net.* entries found\n",
         );
         return Ok(out);
     }
@@ -506,6 +572,49 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> Result<String, String> {
                 fmt(r.flat),
                 fmt(r.hier),
                 speedup
+            );
+        }
+    }
+    if !hybrid.is_empty() {
+        out.push_str(
+            "\n## Hybrid tier (Mrows/s; speedup hybrid vs flat; fp rows eliminated per query)\n\n\
+             source  kernel   rect     sel           flat M/s   hier M/s    hyb M/s  speedup  fp elim\n\
+             ------  -------  -------  ----------   ---------  ---------  ---------  -------  -------\n",
+        );
+        hybrid.sort_by(|a, b| {
+            let sa = a.sel.trim_start_matches("sel").trim_end_matches("ppm");
+            let sb = b.sel.trim_start_matches("sel").trim_end_matches("ppm");
+            let (na, nb) = (
+                sa.parse::<u64>().unwrap_or(u64::MAX),
+                sb.parse::<u64>().unwrap_or(u64::MAX),
+            );
+            (&a.source, &a.kernel, &a.rect, na).cmp(&(&b.source, &b.kernel, &b.rect, nb))
+        });
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{:.2}", v / 1e6),
+            None => "-".to_string(),
+        };
+        for r in &hybrid {
+            let speedup = match (r.flat, r.hybrid) {
+                (Some(f), Some(h)) if f > 0.0 => format!("{:.2}x", h / f),
+                _ => "-".to_string(),
+            };
+            let fp = match r.fp_eliminated {
+                Some(v) => format!("{v:.0}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<6}  {:<7}  {:<7}  {:<10}   {:>9}  {:>9}  {:>9}  {:>7}  {:>7}",
+                r.source,
+                r.kernel,
+                r.rect,
+                r.sel,
+                fmt(r.flat),
+                fmt(r.hier),
+                fmt(r.hybrid),
+                speedup,
+                fp
             );
         }
     }
@@ -597,6 +706,23 @@ pub fn bench_report(paths: &[std::path::PathBuf]) -> Result<String, String> {
         for key in ["counters.hier.regions_pruned", "counters.hier.rows_skipped"] {
             if let Some(v) = snap.get(key) {
                 let _ = writeln!(out, "{source}: {} = {v}", &key["counters.".len()..]);
+            }
+        }
+        // Exact-tier shape and the planner's split from the hybrid
+        // repro.
+        for key in [
+            "extra.hybrid.backed_bins",
+            "extra.hybrid.container_bytes",
+            "counters.planner.split.exact",
+            "counters.planner.split.ab",
+            "counters.hybrid.fp_rows_eliminated",
+        ] {
+            if let Some(v) = snap.get(key) {
+                let label = key
+                    .strip_prefix("extra.")
+                    .or_else(|| key.strip_prefix("counters."))
+                    .unwrap_or(key);
+                let _ = writeln!(out, "{source}: {label} = {v}");
             }
         }
     }
@@ -727,6 +853,41 @@ mod tests {
         let dense = report.find("sel800ppm").expect("dense row");
         assert!(sparse < dense, "{report}");
         assert!(report.contains("hier.regions_pruned = 420"), "{report}");
+    }
+
+    #[test]
+    fn report_folds_hybrid_three_mode_points() {
+        let dir = std::env::temp_dir().join("bench_report_hybrid_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("BENCH_hybrid.json");
+        std::fs::write(
+            &p,
+            r#"{
+  "counters": {
+    "planner.split.exact": 13,
+    "planner.split.ab": 3
+  },
+  "extra": {
+    "hybrid.rows_per_sec.flat.batched.full.sel1000ppm": 2.0e7,
+    "hybrid.rows_per_sec.hier.batched.full.sel1000ppm": 2.5e7,
+    "hybrid.rows_per_sec.hybrid.batched.full.sel1000ppm": 6.0e9,
+    "hybrid.fp_rows_eliminated.full.sel1000ppm": 2538,
+    "hybrid.backed_bins": 13,
+    "hybrid.container_bytes": 62458
+  }
+}
+"#,
+        )
+        .unwrap();
+        let report = bench_report(&[p]).unwrap();
+        assert!(report.contains("## Hybrid tier"), "{report}");
+        // 6e9 / 2e7 = 300x speedup hybrid vs flat.
+        assert!(report.contains("300.00x"), "{report}");
+        // The per-point eliminated count rides the kernel row.
+        assert!(report.contains("2538"), "{report}");
+        // Split and shape land in the environment section.
+        assert!(report.contains("planner.split.exact = 13"), "{report}");
+        assert!(report.contains("hybrid.backed_bins = 13"), "{report}");
     }
 
     #[test]

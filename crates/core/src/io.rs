@@ -13,7 +13,12 @@
 //! ab count u32  | { n_bits u64, k u32, inserted u64, mapper, family,
 //!                   word count u64, words u64* }* |
 //! hier flag u8  | [ level count u32,
-//!                   { row_span u64, bin_group u32, AB record }* ]
+//!                   { row_span u64, bin_group u32, AB record }* ] |
+//! hybrid flag u8 | [ min_density f64, verify_cost f64,
+//!                    total_bins u32, bin count u32,
+//!                    { attribute u32, bin u32,
+//!                      exact_len u64, ROAR bytes,
+//!                      fp_len u64, ROAR bytes }* ]
 //! ```
 //!
 //! Version 3 appends the hierarchical-pruning pyramid (`hier flag` =
@@ -22,6 +27,16 @@
 //! those versions ignore any trailing bytes, and this build reads
 //! them with `hier = None` (callers may rebuild the pyramid from the
 //! base AB — the probe-sweep construction is deterministic).
+//!
+//! Version 4 appends the hybrid exact tier (`crate::hybrid`): per
+//! backed (attribute, bin), the exact and companion false-positive
+//! Roaring containers as length-prefixed self-checking `ROAR` streams
+//! (see `roar::bytes` — each carries its own magic, version and
+//! CRC-32, so a damaged container is pinpointed, quarantined and
+//! rebuilt without distrusting its neighbours). Bins must appear in
+//! strictly increasing (attribute, bin) order. Version ≤ 3 input
+//! decodes with `hybrid = None`; callers with source data may rebuild
+//! the tier (`AbIndex::ensure_hybrid` is deterministic).
 //!
 //! A row-range-sharded index (see `ab::shard_ranges` and the `svc`
 //! crate) persists as an `ABSH` envelope of independent `ABIX`
@@ -53,6 +68,7 @@
 use crate::analysis::Level;
 use crate::encoding::ApproximateBitmap;
 use crate::hier::{HierAb, HierLevelSpec};
+use crate::hybrid::{HybridAb, HybridConfig};
 use crate::level::{AbIndex, AttributeMeta};
 use bitmap::BitVec;
 use hashkit::{CellMapper, HashFamily, HashKind};
@@ -102,7 +118,7 @@ impl std::fmt::Display for IoError {
 impl std::error::Error for IoError {}
 
 const MAGIC: &[u8; 4] = b"ABIX";
-const VERSION: u16 = 3;
+const VERSION: u16 = 4;
 /// Oldest format version this build still reads (checksum-free).
 const MIN_VERSION: u16 = 1;
 
@@ -148,9 +164,9 @@ fn check_crc(stored: u32, payload: &[u8]) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Serializes an [`AbIndex`] to bytes (format version 3: the u32 after
+/// Serializes an [`AbIndex`] to bytes (format version 4: the u32 after
 /// the version field is a CRC-32 of everything that follows it,
-/// including the trailing hier section).
+/// including the trailing hier and hybrid sections).
 pub fn to_bytes(index: &AbIndex) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + index.size_bytes());
     out.extend_from_slice(MAGIC);
@@ -178,6 +194,25 @@ pub fn to_bytes(index: &AbIndex) -> Vec<u8> {
                 put_u64(&mut out, level.row_span() as u64);
                 put_u32(&mut out, level.bin_group());
                 write_ab(&mut out, level.ab());
+            }
+        }
+    }
+    match index.hybrid() {
+        None => out.push(0),
+        Some(hy) => {
+            out.push(1);
+            put_u64(&mut out, hy.config().min_density.to_bits());
+            put_u64(&mut out, hy.config().verify_cost.to_bits());
+            put_u32(&mut out, hy.total_bins());
+            put_u32(&mut out, hy.bins().len() as u32);
+            for hb in hy.bins() {
+                put_u32(&mut out, hb.attribute() as u32);
+                put_u32(&mut out, hb.bin());
+                for container in [hb.exact(), hb.fp()] {
+                    let blob = container.to_bytes();
+                    put_u64(&mut out, blob.len() as u64);
+                    out.extend_from_slice(&blob);
+                }
             }
         }
     }
@@ -315,7 +350,74 @@ fn parse_index_payload(r: &mut Reader<'_>, version: u16) -> Result<AbIndex, IoEr
     } else {
         None
     };
-    Ok(AbIndex::from_parts(level, abs, attributes, num_rows, hier))
+    let hybrid = if version >= 4 {
+        match r.u8()? {
+            0 => None,
+            1 => {
+                let min_density = f64::from_bits(r.u64()?);
+                let verify_cost = f64::from_bits(r.u64()?);
+                if !(0.0..=1.0).contains(&min_density)
+                    || !verify_cost.is_finite()
+                    || verify_cost < 0.0
+                {
+                    return Err(IoError::BadTag(1));
+                }
+                let total_bins = r.u32()?;
+                let count = r.u32()? as usize;
+                // Each backed-bin record is at least 52 bytes: ids +
+                // two length-prefixed minimal (empty) ROAR streams.
+                if count > r.remaining() / 52 || count > total_bins as usize {
+                    return Err(IoError::Truncated);
+                }
+                let mut parts = Vec::with_capacity(count);
+                let mut prev: Option<(u32, u32)> = None;
+                for _ in 0..count {
+                    let attribute = r.u32()?;
+                    let bin = r.u32()?;
+                    if prev.is_some_and(|p| p >= (attribute, bin)) {
+                        return Err(IoError::BadShardLayout);
+                    }
+                    prev = Some((attribute, bin));
+                    let exact = read_roar(r)?;
+                    let fp = read_roar(r)?;
+                    parts.push((attribute, bin, exact, fp));
+                }
+                Some(HybridAb::from_serialized(
+                    HybridConfig {
+                        min_density,
+                        verify_cost,
+                    },
+                    num_rows,
+                    total_bins,
+                    parts,
+                ))
+            }
+            t => return Err(IoError::BadTag(t)),
+        }
+    } else {
+        None
+    };
+    Ok(AbIndex::from_parts(
+        level, abs, attributes, num_rows, hier, hybrid,
+    ))
+}
+
+/// Reads one length-prefixed, self-checking `ROAR` container stream
+/// (see `roar::bytes`), mapping its typed errors onto [`IoError`].
+fn read_roar(r: &mut Reader<'_>) -> Result<roar::RoaringBitmap, IoError> {
+    let len = r.u64()? as usize;
+    let blob = r.take(len)?;
+    roar::RoaringBitmap::from_bytes(blob).map_err(|e| match e {
+        roar::RoarError::ChecksumMismatch { expected, actual } => IoError::ChecksumMismatch {
+            stored: expected,
+            computed: actual,
+        },
+        roar::RoarError::Truncated => IoError::Truncated,
+        roar::RoarError::BadMagic => IoError::BadMagic,
+        roar::RoarError::UnsupportedVersion(_) | roar::RoarError::Malformed(_) => {
+            IoError::BadTag(0)
+        }
+    })
 }
 
 const SHARD_MAGIC: &[u8; 4] = b"ABSH";
@@ -969,18 +1071,20 @@ mod tests {
         let mut idx = sample_index(Level::PerAttribute);
         idx.ensure_hier(&crate::hier::HierConfig::default());
         let mut bytes = to_bytes(&idx);
-        // The hier flag is the byte where the trailing section starts:
+        // The hier flag is the byte where the trailing sections start:
         // everything after the last base-AB word. Find it by
-        // re-encoding without the pyramid — the plain blob's length
-        // minus the 1-byte flag marks the offset.
+        // re-encoding without the pyramid — the plain blob ends with
+        // the hier flag followed by the hybrid flag, so the hier flag
+        // sits 2 bytes before its end.
         let plain = to_bytes(&AbIndex::from_parts(
             idx.level(),
             idx.abs().to_vec(),
             idx.attributes().to_vec(),
             idx.num_rows(),
             None,
+            None,
         ));
-        let flag_pos = plain.len() - 1;
+        let flag_pos = plain.len() - 2;
         assert_eq!(bytes[flag_pos], 1, "hier flag not where expected");
         bytes[flag_pos] = 7;
         let crc = crc32(&bytes[10..]);
@@ -1265,6 +1369,99 @@ mod tests {
         for (a, b) in back.abs().iter().zip(idx.abs()) {
             assert_eq!(a.bits(), b.bits());
         }
+    }
+
+    /// 512 clustered rows in 8 bins, every bin exactly backed.
+    fn hybrid_index() -> AbIndex {
+        let t = BinnedTable::new(vec![BinnedColumn::new(
+            "v",
+            (0..512u32).map(|i| i / 64).collect(),
+            8,
+        )]);
+        let mut idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(8));
+        idx.ensure_hybrid(
+            &t,
+            &crate::hybrid::HybridConfig {
+                min_density: 0.0,
+                ..Default::default()
+            },
+        );
+        idx
+    }
+
+    #[test]
+    fn version3_payload_without_hybrid_section_still_decodes() {
+        let mut idx = sample_index(Level::PerAttribute);
+        idx.ensure_hier(&crate::hier::HierConfig::default());
+        let v4 = to_bytes(&idx);
+        // v3 layout = v4 minus the trailing hybrid section, which for
+        // an index without a tier is the single 0 flag byte.
+        let mut v3 = v4.clone();
+        assert_eq!(v3.pop(), Some(0), "hybrid flag not trailing");
+        v3[4..6].copy_from_slice(&3u16.to_le_bytes());
+        reseal(&mut v3);
+        let back = from_bytes(&v3).unwrap();
+        assert!(back.hybrid().is_none());
+        assert!(back.hier().is_some(), "v3 hier section must still parse");
+        assert_eq!(back.attributes(), idx.attributes());
+    }
+
+    #[test]
+    fn roundtrip_preserves_hybrid_tier_bit_identically() {
+        let idx = hybrid_index();
+        assert!(!idx.hybrid().unwrap().bins().is_empty());
+        let bytes = to_bytes(&idx);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.hybrid(), idx.hybrid());
+        // Re-serializing the decoded index reproduces the same bytes —
+        // the store round trip is bit-identical to in-RAM serving.
+        assert_eq!(to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn corrupt_hybrid_flag_rejected() {
+        let idx = hybrid_index();
+        let mut bytes = to_bytes(&idx);
+        // The hybrid flag is the last byte of the tier-less encoding.
+        let plain = to_bytes(&AbIndex::from_parts(
+            idx.level(),
+            idx.abs().to_vec(),
+            idx.attributes().to_vec(),
+            idx.num_rows(),
+            None,
+            None,
+        ));
+        let flag_pos = plain.len() - 1;
+        assert_eq!(bytes[flag_pos], 1, "hybrid flag not where expected");
+        bytes[flag_pos] = 9;
+        reseal(&mut bytes);
+        assert!(matches!(from_bytes(&bytes), Err(IoError::BadTag(9))));
+    }
+
+    #[test]
+    fn damaged_container_is_caught_by_its_own_checksum() {
+        let idx = hybrid_index();
+        let mut bytes = to_bytes(&idx);
+        // Flip a byte inside the first ROAR stream's body and reseal
+        // the outer ABIX checksum: the container's own CRC still
+        // pinpoints the damage (this is what lets the store scrubber
+        // quarantine one container instead of distrusting the blob).
+        let pos = bytes
+            .windows(4)
+            .rposition(|w| w == b"ROAR")
+            .expect("no ROAR stream in hybrid section");
+        bytes[pos + 12] ^= 0x40;
+        reseal(&mut bytes);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(IoError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hybrid_abix_corruption_sweep_never_panics() {
+        let bytes = to_bytes(&hybrid_index());
+        corruption_sweep(&bytes, |b| from_bytes(b).map(|_| ()));
     }
 
     #[test]

@@ -211,8 +211,51 @@ impl std::fmt::Display for HierMode {
     }
 }
 
+/// Whether the exact tier ([`crate::hybrid::HybridAb`]) answers
+/// backed bins from Roaring containers instead of probing the AB.
+/// Exact-backed bins contribute zero false positives; results are a
+/// subset of (or equal to) the flat AB answer, never missing a true
+/// row.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HybridMode {
+    /// Never consult the exact tier, even if one is attached.
+    #[default]
+    Off,
+    /// Engage when an attached tier backs at least one bin the query
+    /// touches ([`crate::hybrid::HybridAb::covers_any`]).
+    Auto,
+    /// Always engage when a tier is attached (differential tests).
+    Force,
+}
+
+impl std::str::FromStr for HybridMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(HybridMode::Off),
+            "auto" => Ok(HybridMode::Auto),
+            "force" => Ok(HybridMode::Force),
+            other => Err(format!(
+                "unknown hybrid mode '{other}' (expected off|auto|force)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for HybridMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HybridMode::Off => "off",
+            HybridMode::Auto => "auto",
+            HybridMode::Force => "force",
+        })
+    }
+}
+
 /// Full kernel configuration: which engine, how deep the batches,
-/// whether hierarchical pruning runs first.
+/// whether hierarchical pruning runs first, whether the exact tier
+/// answers backed bins.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelOpts {
     /// The probe engine.
@@ -221,16 +264,20 @@ pub struct KernelOpts {
     pub batch_rows: BatchRows,
     /// The hierarchical-pruning policy.
     pub hier: HierMode,
+    /// The exact-tier policy.
+    #[serde(default)]
+    pub hybrid: HybridMode,
 }
 
 impl KernelOpts {
-    /// `kernel` with the default (adaptive) batch policy and pruning
-    /// off.
+    /// `kernel` with the default (adaptive) batch policy, pruning
+    /// off, and the exact tier off.
     pub fn new(kernel: KernelKind) -> Self {
         KernelOpts {
             kernel,
             batch_rows: BatchRows::default(),
             hier: HierMode::default(),
+            hybrid: HybridMode::default(),
         }
     }
 
@@ -243,6 +290,12 @@ impl KernelOpts {
     /// Overrides the hierarchical-pruning policy.
     pub fn with_hier(mut self, hier: HierMode) -> Self {
         self.hier = hier;
+        self
+    }
+
+    /// Overrides the exact-tier policy.
+    pub fn with_hybrid(mut self, hybrid: HybridMode) -> Self {
+        self.hybrid = hybrid;
         self
     }
 }

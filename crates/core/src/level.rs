@@ -17,6 +17,7 @@ use crate::analysis::Level;
 use crate::config::AbConfig;
 use crate::encoding::ApproximateBitmap;
 use crate::hier::{HierAb, HierConfig};
+use crate::hybrid::{HybridAb, HybridConfig};
 use bitmap::BinnedTable;
 use hashkit::{CellMapper, HashFamily};
 use serde::{Deserialize, Serialize};
@@ -57,6 +58,10 @@ pub struct AbIndex {
     /// Optional coarse-to-fine pruning pyramid (see [`crate::hier`]).
     /// Not built by default — attach with [`Self::ensure_hier`].
     hier: Option<HierAb>,
+    /// Optional exact tier: Roaring-backed hot bins answered without
+    /// probing the AB (see [`crate::hybrid`]). Not built by default —
+    /// attach with [`Self::ensure_hybrid`].
+    hybrid: Option<HybridAb>,
 }
 
 impl AbIndex {
@@ -125,6 +130,7 @@ impl AbIndex {
             attributes,
             num_rows,
             hier: None,
+            hybrid: None,
         };
         index.record_build_metrics(t0.elapsed().as_micros() as u64);
         index
@@ -199,6 +205,7 @@ impl AbIndex {
             attributes,
             num_rows: table.num_rows(),
             hier: None,
+            hybrid: None,
         };
         index.record_build_metrics(t0.elapsed().as_micros() as u64);
         index
@@ -347,6 +354,7 @@ impl AbIndex {
         attributes: Vec<AttributeMeta>,
         num_rows: usize,
         hier: Option<HierAb>,
+        hybrid: Option<HybridAb>,
     ) -> Self {
         AbIndex {
             level,
@@ -354,6 +362,7 @@ impl AbIndex {
             attributes,
             num_rows,
             hier,
+            hybrid,
         }
     }
 
@@ -381,6 +390,40 @@ impl AbIndex {
     /// Attaches (or replaces) a pre-built pyramid.
     pub fn attach_hier(&mut self, hier: HierAb) {
         self.hier = Some(hier);
+    }
+
+    /// The attached exact tier, if any.
+    pub fn hybrid(&self) -> Option<&HybridAb> {
+        self.hybrid.as_ref()
+    }
+
+    /// Builds and attaches a [`HybridAb`] exact tier under `config` if
+    /// one is not already present. Unlike [`Self::ensure_hier`] this
+    /// needs the source `table` back: exact containers hold the truth,
+    /// which the lossy AB cannot reproduce. The companion
+    /// false-positive containers *are* probe-swept from the base AB,
+    /// so the whole tier is deterministic for a given index + table
+    /// and a damaged container rebuilds bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` does not match the index's row count or
+    /// attribute schema.
+    pub fn ensure_hybrid(&mut self, table: &BinnedTable, config: &HybridConfig) {
+        if self.hybrid.is_none() {
+            let hybrid = HybridAb::build_parallel(
+                self,
+                table,
+                config,
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            );
+            self.hybrid = Some(hybrid);
+        }
+    }
+
+    /// Attaches (or replaces) a pre-built exact tier.
+    pub fn attach_hybrid(&mut self, hybrid: HybridAb) {
+        self.hybrid = Some(hybrid);
     }
 
     /// Average expected false-positive rate across the constituent

@@ -70,6 +70,7 @@ pub mod counting;
 pub mod encoding;
 pub mod exact;
 pub mod hier;
+pub mod hybrid;
 pub mod io;
 pub mod kernel;
 pub mod level;
@@ -88,9 +89,10 @@ pub use counting::CountingAb;
 pub use encoding::ApproximateBitmap;
 pub use exact::{execute_exact, prune_false_positives, row_matches};
 pub use hier::{HierAb, HierConfig, HierLevelSpec, HierPrune};
+pub use hybrid::{HybridAb, HybridBin, HybridConfig};
 pub use kernel::{
-    active_simd_engine, BatchRows, CacheModel, HierMode, KernelKind, KernelOpts, SimdEngine,
-    BATCH_ROWS, MAX_BATCH_ROWS, PREFETCH_ACTIVE, SIMD_COMPILED, SIMD_WAVE,
+    active_simd_engine, BatchRows, CacheModel, HierMode, HybridMode, KernelKind, KernelOpts,
+    SimdEngine, BATCH_ROWS, MAX_BATCH_ROWS, PREFETCH_ACTIVE, SIMD_COMPILED, SIMD_WAVE,
 };
 
 pub use io::{

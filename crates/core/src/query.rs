@@ -15,7 +15,8 @@
 //! [`PrecisionStats`].
 
 use crate::hier::HierAb;
-use crate::kernel::{HierMode, KernelKind, KernelOpts};
+use crate::hybrid::HybridAb;
+use crate::kernel::{HierMode, HybridMode, KernelKind, KernelOpts};
 use crate::level::AbIndex;
 use bitmap::RectQuery;
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,11 @@ pub struct QueryStats {
     /// Rows the pyramid skipped — rows the flat scan would have
     /// probed but which never reached the kernel.
     pub rows_skipped: u64,
+    /// False-positive rows the exact tier eliminated: rows the flat
+    /// AB scan would have reported but whose exact-backed bins reject
+    /// them (0 when the tier was off or didn't fire). The hybrid
+    /// answer is always `flat answer minus exactly these rows`.
+    pub fp_rows_eliminated: u64,
 }
 
 /// A rectangular query that cannot be executed against this index.
@@ -134,6 +140,54 @@ impl AbIndex {
         if tspan.enabled() {
             tspan.annotate("cells_probed", cells.len());
         }
+        // Exact-backed cells are answered from their containers (the
+        // truth — an AB false positive for such a cell comes back
+        // `false` here); the rest batch through the probe kernel and
+        // the two verdict streams merge back into query order.
+        let hybrid = match opts.hybrid {
+            HybridMode::Off => None,
+            HybridMode::Auto | HybridMode::Force => self.hybrid(),
+        };
+        if let Some(hy) = hybrid {
+            let mut out = vec![false; cells.len()];
+            let mut rest = Vec::new();
+            let mut rest_pos = Vec::new();
+            let mut exact_cells = 0u64;
+            for (i, c) in cells.iter().enumerate() {
+                match hy.backing(c.attribute, c.bin) {
+                    Some(hb) => {
+                        assert!(
+                            c.row < self.num_rows(),
+                            "row {} out of range {}",
+                            c.row,
+                            self.num_rows()
+                        );
+                        out[i] = hb.contains(c.row);
+                        exact_cells += 1;
+                    }
+                    None => {
+                        rest.push(*c);
+                        rest_pos.push(i);
+                    }
+                }
+            }
+            obs::counter!("hybrid.cells_exact").add(exact_cells);
+            if !rest.is_empty() {
+                for (i, v) in rest_pos
+                    .into_iter()
+                    .zip(self.retrieve_cells_base(&rest, opts))
+                {
+                    out[i] = v;
+                }
+            }
+            return out;
+        }
+        self.retrieve_cells_base(cells, opts)
+    }
+
+    /// The probe-kernel dispatch shared by the plain path and the
+    /// exact tier's unbacked remainder.
+    fn retrieve_cells_base(&self, cells: &[Cell], opts: KernelOpts) -> Vec<bool> {
         match opts.kernel {
             KernelKind::Scalar => {
                 obs::counter!("kernel.scalar_fallbacks").inc();
@@ -270,9 +324,26 @@ impl AbIndex {
                     && (opts.hier == HierMode::Force || crate::planner::plan_descent(h, query))
             }),
         };
-        let (rows, stats, short_circuits) = match hier {
-            Some(h) => self.execute_rect_hier(h, query, opts),
-            None => self.execute_rect_flat(query, opts),
+        // The exact tier engages under the same preconditions, when it
+        // backs at least one bin the query touches (Auto) or
+        // unconditionally (Force). It composes with hier: pruned
+        // intervals dispatch to the hybrid kernel instead of the flat
+        // one.
+        let hybrid = match opts.hybrid {
+            HybridMode::Off => None,
+            HybridMode::Auto | HybridMode::Force => self.hybrid().filter(|hy| {
+                !query.ranges.is_empty()
+                    && query.row_lo <= query.row_hi
+                    && (opts.hybrid == HybridMode::Force || hy.covers_any(query))
+            }),
+        };
+        if hybrid.is_some() {
+            obs::counter!("hybrid.queries").inc();
+        }
+        let (rows, stats, short_circuits) = match (hier, hybrid) {
+            (Some(h), hy) => self.execute_rect_hier(h, hy, query, opts),
+            (None, Some(hy)) => self.execute_rect_hybrid(hy, query, opts),
+            (None, None) => self.execute_rect_flat(query, opts),
         };
         if tspan.enabled() {
             tspan.annotate("cells_probed", stats.cells_probed);
@@ -282,12 +353,16 @@ impl AbIndex {
                 tspan.annotate("regions_pruned", stats.regions_pruned as usize);
                 tspan.annotate("rows_skipped", stats.rows_skipped as usize);
             }
+            if stats.fp_rows_eliminated > 0 {
+                tspan.annotate("fp_rows_eliminated", stats.fp_rows_eliminated as usize);
+            }
         }
         obs::counter!("ab.query.executed").inc();
         obs::counter!("ab.query.cells_probed").add(stats.cells_probed as u64);
         obs::counter!("ab.query.bits_read").add(stats.bits_read as u64);
         obs::counter!("ab.query.rows_matched").add(stats.rows_matched as u64);
         obs::counter!("ab.query.short_circuit_hits").add(short_circuits);
+        obs::counter!("hybrid.fp_rows_eliminated").add(stats.fp_rows_eliminated);
         Ok((rows, stats))
     }
 
@@ -320,6 +395,7 @@ impl AbIndex {
     fn execute_rect_hier(
         &self,
         hier: &HierAb,
+        hybrid: Option<&HybridAb>,
         query: &RectQuery,
         opts: KernelOpts,
     ) -> (Vec<usize>, QueryStats, u64) {
@@ -335,11 +411,124 @@ impl AbIndex {
         let mut short_circuits = 0u64;
         for &(lo, hi) in &prune.intervals {
             let sub = RectQuery::new(query.ranges.clone(), lo, hi);
-            let (r, s, c) = self.execute_rect_flat(&sub, opts);
+            let (r, s, c) = match hybrid {
+                Some(hy) => self.execute_rect_hybrid(hy, &sub, opts),
+                None => self.execute_rect_flat(&sub, opts),
+            };
             rows.extend(r);
             stats.cells_probed += s.cells_probed;
             stats.bits_read += s.bits_read;
+            stats.fp_rows_eliminated += s.fp_rows_eliminated;
             short_circuits += c;
+        }
+        stats.rows_matched = rows.len();
+        (rows, stats, short_circuits)
+    }
+
+    /// The exact-tier execution path for one row interval. Backed bins
+    /// are answered from their Roaring containers word-at-a-time —
+    /// zero hash probes, zero false positives — and merged with AB
+    /// probes for the unbacked bins. When every bin of every range is
+    /// backed the whole query resolves by word-parallel mask algebra;
+    /// otherwise a per-row loop combines container verdicts with
+    /// Figure 7 short-circuit probing of the remaining bins.
+    ///
+    /// Alongside the hybrid (exact-where-possible) verdict the kernel
+    /// tracks what the flat AB scan would have said, via the companion
+    /// false-positive containers (`exact ∪ fp` = AB verdict, see
+    /// [`crate::hybrid`]) — the divergence is
+    /// `QueryStats::fp_rows_eliminated`, at zero extra probe cost.
+    /// `cells_probed`/`bits_read` keep meaning "base-AB cell probes":
+    /// container lookups count as neither.
+    fn execute_rect_hybrid(
+        &self,
+        hy: &HybridAb,
+        query: &RectQuery,
+        opts: KernelOpts,
+    ) -> (Vec<usize>, QueryStats, u64) {
+        let _ = opts;
+        let mut stats = QueryStats::default();
+        if query.row_lo > query.row_hi {
+            return (Vec::new(), stats, 0);
+        }
+        if query.ranges.is_empty() {
+            // Vacuous AND: every row matches, identical to flat.
+            let rows: Vec<usize> = (query.row_lo..=query.row_hi).collect();
+            stats.rows_matched = rows.len();
+            return (rows, stats, 0);
+        }
+        let (row_lo, row_hi) = (query.row_lo, query.row_hi);
+        let plans: Vec<_> = query
+            .ranges
+            .iter()
+            .map(|r| hy.plan_range(r.attribute, r.lo, r.hi, row_lo, row_hi))
+            .collect();
+
+        if plans.iter().all(|p| p.unbacked.is_empty()) {
+            // Fully backed: word-parallel AND across ranges, for both
+            // the exact verdict and the flat-AB shadow.
+            let mut exact = plans[0].exact.clone();
+            let mut flat = plans[0].flat.clone();
+            for p in &plans[1..] {
+                for (d, s) in exact.iter_mut().zip(&p.exact) {
+                    *d &= s;
+                }
+                for (d, s) in flat.iter_mut().zip(&p.flat) {
+                    *d &= s;
+                }
+            }
+            let mut rows = Vec::new();
+            for (w, word) in exact.iter().enumerate() {
+                let mut word = *word;
+                while word != 0 {
+                    rows.push(row_lo + w * 64 + word.trailing_zeros() as usize);
+                    word &= word - 1;
+                }
+            }
+            let flat_rows: u64 = flat.iter().map(|w| w.count_ones() as u64).sum();
+            stats.rows_matched = rows.len();
+            stats.fp_rows_eliminated = flat_rows - rows.len() as u64;
+            return (rows, stats, 0);
+        }
+
+        // Mixed: container verdicts for backed bins, Figure 7 probing
+        // for the rest, per row. The flat shadow (`flat_and`) tracks
+        // what the AB alone would have concluded; `exact ⊆ flat`
+        // per range makes `!flat_and` imply `!hyb_and`, so the AND
+        // short-circuit stays safe for both.
+        let mut rows = Vec::new();
+        let mut short_circuits = 0u64;
+        for row in row_lo..=row_hi {
+            let i = row - row_lo;
+            let (mut hyb_and, mut flat_and) = (true, true);
+            for (range, plan) in query.ranges.iter().zip(&plans) {
+                let bit = |m: &[u64]| m[i / 64] >> (i % 64) & 1 == 1;
+                let mut hyb_or = bit(&plan.exact);
+                let mut flat_or = bit(&plan.flat);
+                if !hyb_or {
+                    for &bin in &plan.unbacked {
+                        stats.cells_probed += 1;
+                        let (hit, read) = self.test_cell_counted(row, range.attribute, bin);
+                        stats.bits_read += read as usize;
+                        if hit {
+                            hyb_or = true;
+                            flat_or = true;
+                            short_circuits += u64::from(Some(&bin) != plan.unbacked.last());
+                            break; // Figure 7 OR short-circuit
+                        }
+                    }
+                }
+                hyb_and &= hyb_or;
+                flat_and &= flat_or;
+                if !flat_and {
+                    break; // AND short-circuit (both verdicts settled)
+                }
+            }
+            if hyb_and {
+                rows.push(row);
+            } else if flat_and {
+                stats.fp_rows_eliminated += 1;
+            }
         }
         stats.rows_matched = rows.len();
         (rows, stats, short_circuits)
@@ -754,6 +943,230 @@ mod tests {
             .try_execute_rect_with_stats_opts(&q, KernelOpts::new(KernelKind::Batched))
             .unwrap();
         assert_eq!(off.1.regions_pruned, 0);
+    }
+
+    /// Exact tier over clustered data, alpha low enough (high FP rate)
+    /// that the flat scan reports false positives the tier eliminates.
+    fn hybrid_fixture() -> (bitmap::BinnedTable, AbIndex) {
+        use crate::hybrid::HybridConfig;
+        let t = BinnedTable::new(vec![
+            BinnedColumn::new("a", (0..2048u32).map(|i| i / 256).collect(), 8),
+            BinnedColumn::new("b", (0..2048u32).map(|i| (i / 64) % 8).collect(), 8),
+        ]);
+        let mut idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(4));
+        idx.ensure_hybrid(
+            &t,
+            &HybridConfig {
+                min_density: 0.0,
+                ..Default::default()
+            },
+        );
+        (t, idx)
+    }
+
+    #[test]
+    fn hybrid_rect_is_flat_minus_exactly_the_false_positives() {
+        use crate::kernel::{HybridMode, KernelOpts};
+        let (t, idx) = hybrid_fixture();
+        let mut eliminated_somewhere = false;
+        for (lo, hi, row_lo, row_hi) in [(0, 0, 0, 2047), (2, 5, 100, 1900), (7, 7, 512, 2047)] {
+            let q = RectQuery::new(vec![AttrRange::new(0, lo, hi)], row_lo, row_hi);
+            let flat = idx
+                .try_execute_rect_with_stats_opts(&q, KernelOpts::new(KernelKind::Batched))
+                .unwrap();
+            let hyb = idx
+                .try_execute_rect_with_stats_opts(
+                    &q,
+                    KernelOpts::new(KernelKind::Batched).with_hybrid(HybridMode::Force),
+                )
+                .unwrap();
+            // Fully backed: the hybrid answer is the exact answer.
+            let truth: Vec<usize> = (row_lo..=row_hi)
+                .filter(|&r| (lo..=hi).contains(&t.column(0).bins[r]))
+                .collect();
+            assert_eq!(hyb.0, truth, "hybrid answer not exact");
+            assert_eq!(flat.1.fp_rows_eliminated, 0);
+            assert_eq!(
+                flat.0.len() - hyb.0.len(),
+                hyb.1.fp_rows_eliminated as usize,
+                "fp accounting broken"
+            );
+            assert_eq!(hyb.1.cells_probed, 0, "backed bins must not probe the AB");
+            eliminated_somewhere |= hyb.1.fp_rows_eliminated > 0;
+            // Every true row survives (no false negatives) and the
+            // hybrid rows are a subset of the flat rows.
+            assert!(truth.iter().all(|r| flat.0.contains(r)));
+            assert!(hyb.0.iter().all(|r| flat.0.contains(r)));
+        }
+        assert!(
+            eliminated_somewhere,
+            "alpha 4 should produce false positives for the tier to eliminate"
+        );
+    }
+
+    #[test]
+    fn hybrid_mixed_backed_and_unbacked_ranges_agree_with_per_row_truth() {
+        use crate::hybrid::HybridConfig;
+        use crate::kernel::{HybridMode, KernelOpts};
+        // Back only attribute 0 (attribute 1 stays on the AB) by
+        // building the tier against a single-column view, then
+        // re-attaching: simplest is a config that backs nothing and a
+        // manual attach — instead, build with min_density 0 and strip
+        // bins of attribute 1.
+        let t = BinnedTable::new(vec![
+            BinnedColumn::new("a", (0..2048u32).map(|i| i / 256).collect(), 8),
+            BinnedColumn::new("b", (0..2048u32).map(|i| (i * 7) % 8).collect(), 8),
+        ]);
+        let mut idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(4));
+        let full = crate::hybrid::HybridAb::build(
+            &idx,
+            &t,
+            &HybridConfig {
+                min_density: 0.0,
+                ..Default::default()
+            },
+        );
+        let partial: Vec<_> = full
+            .bins()
+            .iter()
+            .filter(|b| b.attribute() == 0)
+            .map(|b| {
+                (
+                    b.attribute() as u32,
+                    b.bin(),
+                    b.exact().clone(),
+                    b.fp().clone(),
+                )
+            })
+            .collect();
+        idx.attach_hybrid(crate::hybrid::HybridAb::from_serialized(
+            full.config(),
+            full.num_rows(),
+            full.total_bins(),
+            partial,
+        ));
+        for kernel in [KernelKind::Scalar, KernelKind::Batched, KernelKind::Simd] {
+            let q = RectQuery::new(
+                vec![AttrRange::new(0, 1, 3), AttrRange::new(1, 2, 6)],
+                50,
+                2000,
+            );
+            let flat = idx
+                .try_execute_rect_with_stats_opts(&q, KernelOpts::new(kernel))
+                .unwrap();
+            let hyb = idx
+                .try_execute_rect_with_stats_opts(
+                    &q,
+                    KernelOpts::new(kernel).with_hybrid(HybridMode::Auto),
+                )
+                .unwrap();
+            // Attribute 0's verdict is exact, attribute 1's stays the
+            // AB's: the hybrid rows are the flat rows minus flat rows
+            // whose attribute-0 verdict was a false positive.
+            let expect: Vec<usize> = flat
+                .0
+                .iter()
+                .copied()
+                .filter(|&r| (1..=3).contains(&t.column(0).bins[r]))
+                .collect();
+            assert_eq!(hyb.0, expect, "{kernel} mixed-path rows wrong");
+            assert_eq!(
+                flat.0.len() - hyb.0.len(),
+                hyb.1.fp_rows_eliminated as usize,
+                "{kernel} fp accounting broken"
+            );
+            assert!(
+                hyb.1.cells_probed > 0,
+                "{kernel} unbacked range must still probe"
+            );
+            // No true row is ever dropped.
+            for &r in &hyb.0 {
+                assert!((1..=3).contains(&t.column(0).bins[r]));
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_composes_with_hier_pruning() {
+        use crate::hier::{HierConfig, HierLevelSpec};
+        use crate::hybrid::HybridConfig;
+        use crate::kernel::{HierMode, HybridMode, KernelOpts};
+        // Alpha high enough that the pyramid's super-cells actually
+        // reject regions (a high-FP base AB saturates the levels).
+        let t = BinnedTable::new(vec![BinnedColumn::new(
+            "v",
+            (0..2048u32).map(|i| i / 256).collect(),
+            8,
+        )]);
+        let mut idx = AbIndex::build(&t, &AbConfig::new(Level::PerAttribute).with_alpha(32));
+        idx.ensure_hybrid(
+            &t,
+            &HybridConfig {
+                min_density: 0.0,
+                ..Default::default()
+            },
+        );
+        idx.ensure_hier(&HierConfig {
+            levels: vec![HierLevelSpec {
+                row_span: 64,
+                bin_group: 2,
+            }],
+        });
+        let q = RectQuery::new(vec![AttrRange::new(0, 0, 0)], 0, 2047);
+        let hyb = idx
+            .try_execute_rect_with_stats_opts(
+                &q,
+                KernelOpts::new(KernelKind::Batched).with_hybrid(HybridMode::Force),
+            )
+            .unwrap();
+        let both = idx
+            .try_execute_rect_with_stats_opts(
+                &q,
+                KernelOpts::new(KernelKind::Batched)
+                    .with_hier(HierMode::Force)
+                    .with_hybrid(HybridMode::Force),
+            )
+            .unwrap();
+        assert_eq!(both.0, hyb.0, "hier+hybrid rows differ from hybrid");
+        assert!(both.1.regions_pruned > 0, "pyramid did not prune");
+        assert!(
+            both.1.fp_rows_eliminated <= hyb.1.fp_rows_eliminated,
+            "pruned intervals cannot eliminate more than the full scan"
+        );
+    }
+
+    #[test]
+    fn hybrid_off_leaves_stats_untouched_and_cells_exact() {
+        use crate::kernel::{HybridMode, KernelOpts};
+        let (t, idx) = hybrid_fixture();
+        let q = RectQuery::new(vec![AttrRange::new(0, 3, 4)], 0, 2047);
+        let off = idx
+            .try_execute_rect_with_stats_opts(&q, KernelOpts::new(KernelKind::Batched))
+            .unwrap();
+        assert_eq!(off.1.fp_rows_eliminated, 0);
+        assert!(off.1.cells_probed > 0);
+        // Cell-subset path: backed cells come back exact (an AB false
+        // positive answers `false`), unbacked behaviour unchanged.
+        let cells: Vec<Cell> = (0..2048)
+            .map(|r| Cell::new(r, 0, (r / 256) as u32))
+            .collect();
+        let exact = idx.retrieve_cells_with_opts(
+            &cells,
+            KernelOpts::new(KernelKind::Batched).with_hybrid(HybridMode::Auto),
+        );
+        assert!(exact.iter().all(|&v| v), "true cells must stay positive");
+        let miss: Vec<Cell> = (0..2048)
+            .map(|r| Cell::new(r, 0, ((r / 256) as u32 + 1) % 8))
+            .collect();
+        let verdicts = idx.retrieve_cells_with_opts(
+            &miss,
+            KernelOpts::new(KernelKind::Batched).with_hybrid(HybridMode::Auto),
+        );
+        assert!(
+            verdicts.iter().all(|&v| !v),
+            "backed cells answer exactly: no false positives"
+        );
+        let _ = t;
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Versioned byte serialization for [`RoaringBitmap`] with a CRC-32
+//! integrity check.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic  "ROAR"                      4 bytes
+//! version u16                        2 bytes   (currently 1)
+//! crc32   u32 over bytes[10..]       4 bytes
+//! chunks  u32                        4 bytes
+//! per chunk, ascending by key:
+//!   key   u16
+//!   kind  u8    0 = array, 1 = bitmap, 2 = run
+//!   count u32   elements (array), set bits (bitmap), runs (run)
+//!   payload     array: count × u16 ascending
+//!               bitmap: 1024 × u64 verbatim
+//!               run:    count × (start u16, end u16), ascending,
+//!                       disjoint, non-adjacent
+//! ```
+//!
+//! The physical container forms are preserved exactly, so
+//! `from_bytes(to_bytes(x)).to_bytes() == to_bytes(x)` — the
+//! round-trip byte identity the hybrid tier's scrub/repair path
+//! relies on. Decoding validates the checksum, the canonical chunk
+//! ordering, and every container's invariants before any container is
+//! materialized.
+
+use crate::container::Container;
+use crate::RoaringBitmap;
+
+/// Current serialization format version.
+pub const VERSION: u16 = 1;
+/// Oldest version [`RoaringBitmap::from_bytes`] still decodes.
+pub const MIN_VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = b"ROAR";
+/// Offset where the CRC-covered region starts (magic, version, and the
+/// checksum itself are excluded).
+const CRC_START: usize = 10;
+const WORDS: usize = 1024;
+
+/// Decode failures for the `ROAR` byte format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoarError {
+    /// The buffer does not start with `ROAR`.
+    BadMagic,
+    /// The format version is newer than this build understands (or
+    /// predates [`MIN_VERSION`]).
+    UnsupportedVersion(
+        /// The version found in the header.
+        u16,
+    ),
+    /// The payload does not match its stored checksum.
+    ChecksumMismatch {
+        /// CRC stored in the header.
+        expected: u32,
+        /// CRC computed over the payload.
+        actual: u32,
+    },
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A structural invariant failed (unordered chunks, a bad
+    /// container kind, an unsorted array, overlapping runs, …).
+    Malformed(
+        /// Which invariant failed.
+        &'static str,
+    ),
+}
+
+impl std::fmt::Display for RoarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoarError::BadMagic => write!(f, "not a ROAR byte stream"),
+            RoarError::UnsupportedVersion(v) => write!(f, "unsupported ROAR version {v}"),
+            RoarError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "ROAR checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            RoarError::Truncated => write!(f, "ROAR byte stream truncated"),
+            RoarError::Malformed(what) => write!(f, "malformed ROAR stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RoarError {}
+
+/// CRC-32 (IEEE 802.3, reflected) with a compile-time table — the
+/// same polynomial the `ab` index formats use.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                bit += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+impl RoaringBitmap {
+    /// Serializes to the versioned, checksummed `ROAR` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CRC_START + 4 + self.size_bytes());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]); // crc placeholder
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for (key, c) in &self.chunks {
+            out.extend_from_slice(&key.to_le_bytes());
+            match c {
+                Container::Array(vals) => {
+                    out.push(0);
+                    out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+                    for v in vals {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Container::Bitmap(words) => {
+                    out.push(1);
+                    out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+                    for w in words.iter() {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                Container::Run(runs) => {
+                    out.push(2);
+                    out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+                    for (s, e) in runs {
+                        out.extend_from_slice(&s.to_le_bytes());
+                        out.extend_from_slice(&e.to_le_bytes());
+                    }
+                }
+            }
+        }
+        let crc = crc32(&out[CRC_START..]);
+        out[6..10].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes [`Self::to_bytes`] output, verifying the checksum and
+    /// every structural invariant.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, RoarError> {
+        if data.len() < CRC_START + 4 {
+            return Err(
+                if data.starts_with(MAGIC) || MAGIC.starts_with(&data[..data.len().min(4)]) {
+                    RoarError::Truncated
+                } else {
+                    RoarError::BadMagic
+                },
+            );
+        }
+        if &data[..4] != MAGIC {
+            return Err(RoarError::BadMagic);
+        }
+        let version = u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
+        if !(MIN_VERSION..=VERSION).contains(&version) {
+            return Err(RoarError::UnsupportedVersion(version));
+        }
+        let expected = u32::from_le_bytes(data[6..10].try_into().expect("4 bytes"));
+        let actual = crc32(&data[CRC_START..]);
+        if expected != actual {
+            return Err(RoarError::ChecksumMismatch { expected, actual });
+        }
+        let mut r = Reader {
+            data,
+            pos: CRC_START,
+        };
+        let num_chunks = r.u32()? as usize;
+        let mut chunks: Vec<(u16, Container)> = Vec::with_capacity(num_chunks.min(1 << 16));
+        for _ in 0..num_chunks {
+            let key = r.u16()?;
+            if let Some((prev, _)) = chunks.last() {
+                if *prev >= key {
+                    return Err(RoarError::Malformed("chunk keys not strictly ascending"));
+                }
+            }
+            let kind = r.u8()?;
+            let count = r.u32()? as usize;
+            let container = match kind {
+                0 => {
+                    let mut vals = Vec::with_capacity(count.min(1 << 16));
+                    let mut prev: Option<u16> = None;
+                    for _ in 0..count {
+                        let v = r.u16()?;
+                        if prev.is_some_and(|p| p >= v) {
+                            return Err(RoarError::Malformed("array not strictly ascending"));
+                        }
+                        prev = Some(v);
+                        vals.push(v);
+                    }
+                    Container::Array(vals)
+                }
+                1 => {
+                    let mut words = vec![0u64; WORDS].into_boxed_slice();
+                    for w in words.iter_mut() {
+                        *w = r.u64()?;
+                    }
+                    let c = Container::Bitmap(words);
+                    if c.len() != count {
+                        return Err(RoarError::Malformed("bitmap cardinality mismatch"));
+                    }
+                    c
+                }
+                2 => {
+                    let mut runs = Vec::with_capacity(count.min(1 << 15));
+                    let mut prev_end: Option<u16> = None;
+                    for _ in 0..count {
+                        let s = r.u16()?;
+                        let e = r.u16()?;
+                        if s > e {
+                            return Err(RoarError::Malformed("run start past end"));
+                        }
+                        // Adjacent runs must be merged, so require a gap.
+                        if prev_end.is_some_and(|p| p == u16::MAX || p + 1 >= s) {
+                            return Err(RoarError::Malformed("runs overlap or touch"));
+                        }
+                        prev_end = Some(e);
+                        runs.push((s, e));
+                    }
+                    Container::Run(runs)
+                }
+                _ => return Err(RoarError::Malformed("unknown container kind")),
+            };
+            if container.is_empty() {
+                return Err(RoarError::Malformed("empty container"));
+            }
+            chunks.push((key, container));
+        }
+        Ok(RoaringBitmap { chunks })
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], RoarError> {
+        if self.pos + n > self.data.len() {
+            return Err(RoarError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, RoarError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, RoarError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, RoarError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, RoarError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RoaringBitmap {
+        let mut rb = RoaringBitmap::new();
+        rb.insert_range(1000, 70_000); // bitmap + partial chunk
+        for v in (0..500_000u32).step_by(977) {
+            rb.insert(v);
+        }
+        rb
+    }
+
+    #[test]
+    fn roundtrip_preserves_set_and_forms() {
+        for optimized in [false, true] {
+            let mut rb = sample();
+            if optimized {
+                rb.optimize();
+            }
+            let bytes = rb.to_bytes();
+            let back = RoaringBitmap::from_bytes(&bytes).expect("decodes");
+            assert_eq!(back, rb, "optimized={optimized}");
+            assert_eq!(back.to_bytes(), bytes, "re-serialization byte identity");
+        }
+    }
+
+    #[test]
+    fn empty_bitmap_roundtrips() {
+        let rb = RoaringBitmap::new();
+        let bytes = rb.to_bytes();
+        assert_eq!(bytes.len(), 14);
+        assert_eq!(RoaringBitmap::from_bytes(&bytes).unwrap(), rb);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(RoaringBitmap::from_bytes(&bytes), Err(RoarError::BadMagic));
+        let mut bytes = sample().to_bytes();
+        bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert_eq!(
+            RoaringBitmap::from_bytes(&bytes),
+            Err(RoarError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn corruption_is_caught_by_the_checksum() {
+        let bytes = sample().to_bytes();
+        for pos in (CRC_START..bytes.len()).step_by(61) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            assert!(
+                matches!(
+                    RoaringBitmap::from_bytes(&bad),
+                    Err(RoarError::ChecksumMismatch { .. })
+                ),
+                "flip at {pos} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = sample().to_bytes();
+        for n in 0..bytes.len().min(64) {
+            assert!(RoaringBitmap::from_bytes(&bytes[..n]).is_err());
+        }
+        for n in (0..bytes.len()).step_by(997) {
+            assert!(RoaringBitmap::from_bytes(&bytes[..n]).is_err());
+        }
+    }
+
+    #[test]
+    fn structural_invariants_are_validated() {
+        // Hand-build a stream with out-of-order array values and a
+        // valid checksum: the structural check must still reject it.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes()); // one chunk
+        body.extend_from_slice(&0u16.to_le_bytes()); // key 0
+        body.push(0); // array
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&5u16.to_le_bytes());
+        body.extend_from_slice(&3u16.to_le_bytes()); // descends!
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"ROAR");
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        assert_eq!(
+            RoaringBitmap::from_bytes(&bytes),
+            Err(RoarError::Malformed("array not strictly ascending"))
+        );
+    }
+
+    #[test]
+    fn crc_is_stable() {
+        // Known-answer check so the polynomial can't silently drift.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -9,9 +9,13 @@
 //! direct-access claim, alongside the paper's WAH comparisons. The
 //! `bench` crate races all three.
 //!
-//! This is a self-contained reimplementation of the core design (no
-//! run containers, no SIMD), enough for honest size and speed
-//! comparisons.
+//! This is a self-contained reimplementation of the core design —
+//! array, bitmap, *and* run containers (the Lemire et al. 2016
+//! refinement, via [`RoaringBitmap::optimize`]) plus a word-at-a-time
+//! batch membership kernel ([`RoaringBitmap::contains_batch`]) and a
+//! versioned, checksummed byte format ([`RoaringBitmap::to_bytes`]) —
+//! enough both for honest size/speed comparisons and for serving as
+//! the exact tier of the hybrid AB index (`ab::HybridAb`).
 //!
 //! # Examples
 //!
@@ -27,9 +31,11 @@
 
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod container;
 pub mod index;
 
+pub use bytes::RoarError;
 pub use container::Container;
 pub use index::RoaringIndex;
 
@@ -152,6 +158,53 @@ impl RoaringBitmap {
             let base = (*key as u32) << 16;
             c.iter().map(move |low| base | low as u32)
         })
+    }
+
+    /// Converts each container to its smallest physical form — the
+    /// `runOptimize` pass that turns clustered chunks into run
+    /// containers. Returns how many containers ended up in run form.
+    /// Deterministic, so two equal sets optimize to identical
+    /// representations (and identical [`Self::to_bytes`] output).
+    pub fn optimize(&mut self) -> usize {
+        let mut runs = 0;
+        for (_, c) in self.chunks.iter_mut() {
+            if c.optimize() {
+                runs += 1;
+            }
+        }
+        runs
+    }
+
+    /// Batch membership over the row interval `lo..=hi`: returns a
+    /// packed mask whose bit `i` is `self.contains(lo + i)`, computed
+    /// word-at-a-time from the containers rather than value-at-a-time
+    /// — the kernel the hybrid tier feeds hier-pruned rect intervals
+    /// into. Bits past `hi − lo` in the last word are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn contains_batch(&self, lo: u32, hi: u32) -> Vec<u64> {
+        assert!(lo <= hi, "empty interval {lo}..={hi}");
+        let n = (hi - lo) as usize + 1;
+        let mut mask = vec![0u64; n.div_ceil(64)];
+        let (klo, khi) = ((lo >> 16) as u16, (hi >> 16) as u16);
+        let first = self.chunks.partition_point(|(k, _)| *k < klo);
+        for (key, c) in &self.chunks[first..] {
+            if *key > khi {
+                break;
+            }
+            let base = (*key as u32) << 16;
+            let from = lo.max(base) - base;
+            let to = hi.min(base | 0xFFFF) - base;
+            let offset = (base + from - lo) as usize;
+            c.mask_range(from as u16, to as u16, offset, &mut mask);
+        }
+        let tail = n % 64;
+        if tail != 0 {
+            *mask.last_mut().expect("n >= 1") &= (1u64 << tail) - 1;
+        }
+        mask
     }
 
     /// Merging binary operation over chunk lists.
@@ -311,5 +364,56 @@ mod tests {
         let rb: RoaringBitmap = (0..60_000u32).collect();
         assert_eq!(rb.size_bytes(), 8_192 + 2); // one bitmap container
         assert_eq!(rb.len(), 60_000);
+    }
+
+    #[test]
+    fn optimize_compresses_clustered_chunks_without_changing_the_set() {
+        let mut rb = RoaringBitmap::new();
+        rb.insert_range(1000, 80_000); // clustered: spans two chunks
+        rb.insert(500_000);
+        let before: Vec<u32> = rb.iter().collect();
+        let bytes_before = rb.size_bytes();
+        let runs = rb.optimize();
+        assert_eq!(runs, 2, "both dense chunks should go run");
+        assert!(rb.size_bytes() < bytes_before / 100);
+        assert_eq!(rb.iter().collect::<Vec<_>>(), before);
+        assert_eq!(rb.len(), 79_002);
+        assert!(rb.contains(1000) && rb.contains(80_000) && !rb.contains(999));
+    }
+
+    #[test]
+    fn contains_batch_matches_contains() {
+        let mut rb = RoaringBitmap::new();
+        rb.insert_range(60_000, 70_000); // straddles the chunk boundary
+        for v in (0..200_000u32).step_by(97) {
+            rb.insert(v);
+        }
+        let mut run = rb.clone();
+        run.optimize();
+        for bm in [&rb, &run] {
+            for (lo, hi) in [
+                (0u32, 63),
+                (59_990, 70_010),
+                (65_530, 65_540),
+                (100_000, 100_000),
+                (0, 200_064),
+            ] {
+                let mask = bm.contains_batch(lo, hi);
+                assert_eq!(mask.len(), ((hi - lo) as usize + 1).div_ceil(64));
+                for v in lo..=hi {
+                    let i = (v - lo) as usize;
+                    assert_eq!(
+                        mask[i / 64] >> (i % 64) & 1 == 1,
+                        bm.contains(v),
+                        "value {v} in {lo}..={hi}"
+                    );
+                }
+                // Tail bits beyond the interval stay zero.
+                let n = (hi - lo) as usize + 1;
+                if !n.is_multiple_of(64) {
+                    assert_eq!(mask.last().unwrap() >> (n % 64), 0);
+                }
+            }
+        }
     }
 }

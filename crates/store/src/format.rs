@@ -5,7 +5,7 @@
 //! ```text
 //! page 0                meta page:
 //!   off  0  magic "ABPG"
-//!   off  4  version      u16  (= 2; 1 accepted on read)
+//!   off  4  version      u16  (= 3; 1 and 2 accepted on read)
 //!   off  6  page_size    u32  (power of two, 64..=1 MiB)
 //!   off 10  payload_len  u64  (exact ABSH byte length)
 //!   off 18  payload_crc  u32  (CRC-32 of the whole payload)
@@ -30,11 +30,14 @@ use crate::StoreError;
 
 /// Store magic: **A**pproximate **B**itmap **P**a**G**ed.
 pub const MAGIC: &[u8; 4] = b"ABPG";
-/// Current store format version. Version 2 segments may carry `ABIX`
-/// v3 payloads with trailing hierarchical-pyramid pages; version 1
-/// files (pre-pyramid) are still readable — the pyramid is rebuilt at
-/// open when hierarchical pruning is requested.
-pub const VERSION: u16 = 2;
+/// Current store format version. Version 3 segments may carry `ABIX`
+/// v4 payloads whose pages include the hybrid exact tier's Roaring
+/// containers (each a self-checking `ROAR` stream, so the scrubber
+/// can quarantine one damaged container and the service rebuild it
+/// bit-identically). Version 2 (pyramid-era) and version 1
+/// (pre-pyramid) files are still readable — missing tiers are rebuilt
+/// at open when requested.
+pub const VERSION: u16 = 3;
 /// Oldest version this reader still accepts.
 pub const MIN_VERSION: u16 = 1;
 /// Fixed byte length of the meaningful meta-page prefix.
@@ -260,15 +263,18 @@ mod tests {
     fn old_version_headers_still_decode() {
         let payload = sample_payload(100, 2);
         let (image, h) = encode(&payload, 64).unwrap();
-        // Rewrite the meta page as a v1 header (pre-pyramid format)
-        // and reseal the header CRC: readers must keep accepting it.
-        let mut meta = image[..64].to_vec();
-        meta[4..6].copy_from_slice(&1u16.to_le_bytes());
-        let crc = ab::crc32(&meta[0..30]);
-        meta[30..34].copy_from_slice(&crc.to_le_bytes());
-        let back = decode_header(&meta, Some(image.len() as u64)).unwrap();
-        assert_eq!(back.version, 1);
-        assert_eq!(back.payload_len, h.payload_len);
+        // Rewrite the meta page as a v1 (pre-pyramid) and v2
+        // (pre-hybrid) header and reseal the header CRC: readers must
+        // keep accepting both.
+        for old in [1u16, 2] {
+            let mut meta = image[..64].to_vec();
+            meta[4..6].copy_from_slice(&old.to_le_bytes());
+            let crc = ab::crc32(&meta[0..30]);
+            meta[30..34].copy_from_slice(&crc.to_le_bytes());
+            let back = decode_header(&meta, Some(image.len() as u64)).unwrap();
+            assert_eq!(back.version, old);
+            assert_eq!(back.payload_len, h.payload_len);
+        }
         // Version 0 and future versions stay typed errors.
         for v in [0u16, VERSION + 1] {
             let mut bad = image[..64].to_vec();

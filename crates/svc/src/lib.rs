@@ -90,4 +90,4 @@ pub use retry::{retry, retry_traced, RetryPolicy};
 pub use scrub::{scrub_pass, PassOutcome, RepairSource, Scrubber, StoreState, StoreStatus};
 pub use service::{Service, SvcConfig, CHUNK_ROWS};
 pub use shard::{Shard, ShardedIndex};
-pub use telemetry::TelemetryServer;
+pub use telemetry::{HybridStatus, TelemetryServer};

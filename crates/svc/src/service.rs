@@ -37,7 +37,10 @@ use crate::degrade::{degraded_marker, Response, ShardHealth};
 use crate::error::SvcError;
 use crate::pool::WorkerPool;
 use crate::shard::{Shard, ShardedIndex};
-use ab::{AbConfig, BatchRows, Cell, HierConfig, HierMode, KernelKind, KernelOpts, QueryError};
+use ab::{
+    AbConfig, BatchRows, Cell, HierConfig, HierMode, HybridConfig, HybridMode, KernelKind,
+    KernelOpts, QueryError,
+};
 use bitmap::{BinnedTable, RectQuery};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -88,6 +91,16 @@ pub struct SvcConfig {
     pub hier: HierMode,
     /// Pyramid geometry used when [`Self::hier`] is not `Off`.
     pub hier_config: HierConfig,
+    /// Exact-tier policy for rect and cell queries
+    /// ([`ab::HybridMode::Off`] by default). Anything other than `Off`
+    /// builds a [`ab::HybridAb`] per shard at build time (loaded
+    /// segments that already carry a tier serve it as-is); exact-backed
+    /// bins then answer straight from Roaring containers — zero hash
+    /// probes, zero false positives for those bins.
+    pub hybrid: HybridMode,
+    /// Split-decision calibration used when [`Self::hybrid`] is not
+    /// `Off`.
+    pub hybrid_config: HybridConfig,
 }
 
 impl Default for SvcConfig {
@@ -104,6 +117,8 @@ impl Default for SvcConfig {
             slow_query: None,
             hier: HierMode::Off,
             hier_config: HierConfig::default(),
+            hybrid: HybridMode::Off,
+            hybrid_config: HybridConfig::default(),
         }
     }
 }
@@ -222,6 +237,9 @@ impl Service {
         if cfg.hier != HierMode::Off {
             index.ensure_hier(&cfg.hier_config);
         }
+        if cfg.hybrid != HybridMode::Off {
+            index.ensure_hybrid(table, &cfg.hybrid_config);
+        }
         let health = Arc::new(ShardHealth::new(index.num_shards()));
         Service {
             index: Arc::new(index),
@@ -231,7 +249,8 @@ impl Service {
             chaos: None,
             kernel: KernelOpts::new(cfg.kernel)
                 .with_batch_rows(cfg.batch_rows)
-                .with_hier(cfg.hier),
+                .with_hier(cfg.hier)
+                .with_hybrid(cfg.hybrid),
             trace_requests: cfg.trace_requests,
             slow_query: cfg.slow_query,
         }
@@ -245,6 +264,15 @@ impl Service {
             // and freshly built services behave identically.
             index.ensure_hier(&cfg.hier_config);
         }
+        if cfg.hybrid != HybridMode::Off {
+            // The exact tier cannot be rebuilt here — it holds the
+            // truth, which needs the source table (`Service::build`
+            // or `abq store build --hybrid`). Loaded v4 segments that
+            // carry one are served as-is; replay their split decisions
+            // into the planner counters so `/metrics` reports the
+            // exact/ab split even though no build ran in-process.
+            index.record_hybrid_split_counters();
+        }
         let health = Arc::new(ShardHealth::new(index.num_shards()));
         Service {
             index: Arc::new(index),
@@ -254,7 +282,8 @@ impl Service {
             chaos: None,
             kernel: KernelOpts::new(cfg.kernel)
                 .with_batch_rows(cfg.batch_rows)
-                .with_hier(cfg.hier),
+                .with_hier(cfg.hier)
+                .with_hybrid(cfg.hybrid),
             trace_requests: cfg.trace_requests,
             slow_query: cfg.slow_query,
         }
@@ -1373,7 +1402,9 @@ mod tests {
                 .shards()
                 .iter()
                 .all(|s| s.index().hier().is_some()));
+            #[cfg(not(feature = "obs-off"))]
             let pruned_before = obs::counter!("hier.regions_pruned").get();
+            #[cfg(not(feature = "obs-off"))]
             let skipped_before = obs::counter!("hier.rows_skipped").get();
             for q in [
                 RectQuery::new(vec![AttrRange::new(0, 2, 2)], 0, n - 1),
@@ -1387,11 +1418,16 @@ mod tests {
                     "hier and flat services must answer bit-identically"
                 );
             }
-            assert!(
-                obs::counter!("hier.regions_pruned").get() > pruned_before,
-                "single-bin rects over clustered data must prune regions"
-            );
-            assert!(obs::counter!("hier.rows_skipped").get() > skipped_before);
+            // Counter mutations compile to no-ops under obs-off; the
+            // bit-identity loop above is the load-bearing assertion.
+            #[cfg(not(feature = "obs-off"))]
+            {
+                assert!(
+                    obs::counter!("hier.regions_pruned").get() > pruned_before,
+                    "single-bin rects over clustered data must prune regions"
+                );
+                assert!(obs::counter!("hier.rows_skipped").get() > skipped_before);
+            }
         }
     }
 

@@ -188,6 +188,53 @@ impl ShardedIndex {
         }
     }
 
+    /// Attaches a hybrid exact tier to every shard that lacks one (see
+    /// [`AbIndex::ensure_hybrid`]), each built over its own row slice
+    /// of `table`. Deterministic per shard, so attaching after a
+    /// [`Self::from_bytes`] of a pre-hybrid envelope produces the same
+    /// containers a build-time attach would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` does not cover this index's rows.
+    pub fn ensure_hybrid(&mut self, table: &BinnedTable, config: &ab::HybridConfig) {
+        assert_eq!(
+            table.num_rows(),
+            self.num_rows,
+            "table/index row count mismatch"
+        );
+        for shard in &mut self.shards {
+            let slice = table.slice_rows(shard.start..shard.end);
+            shard.index.ensure_hybrid(&slice, config);
+        }
+    }
+
+    /// Replays every shard tier's split decisions into the
+    /// `planner.split.{exact,ab}` counters — used when serving
+    /// pre-built tiers loaded from storage, where no in-process build
+    /// recorded them (see [`ab::HybridAb::record_split_counters`]).
+    pub fn record_hybrid_split_counters(&self) {
+        for shard in &self.shards {
+            if let Some(hy) = shard.index.hybrid() {
+                hy.record_split_counters();
+            }
+        }
+    }
+
+    /// Per-shard exact-tier split statistics for telemetry:
+    /// `(backed bins, total bins, container bytes)` per shard, `None`
+    /// for shards without a tier.
+    pub fn hybrid_split_stats(&self) -> Vec<Option<(usize, u32, usize)>> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.index
+                    .hybrid()
+                    .map(|hy| (hy.bins().len(), hy.total_bins(), hy.size_bytes()))
+            })
+            .collect()
+    }
+
     /// Which shard covers the given global row.
     ///
     /// # Panics
@@ -338,10 +385,12 @@ impl ShardedIndex {
                 wah: None,
             });
         }
-        // A rebuilt shard lacks the hierarchical pyramid its persisted
-        // sibling shards carry. The pyramid's probe-sweep construction
-        // is deterministic, so rebuilding it with a clean sibling's
-        // geometry restores the repaired segment byte-identically.
+        // A rebuilt shard lacks the hierarchical pyramid and hybrid
+        // exact tier its persisted sibling shards carry. Both
+        // constructions are deterministic (probe-sweep over the base
+        // AB, plus the table slice for exact containers), so
+        // rebuilding them with a clean sibling's configuration
+        // restores the repaired segment byte-identically.
         if !repaired.is_empty() {
             let sibling_config = shards
                 .iter()
@@ -351,6 +400,17 @@ impl ShardedIndex {
             if let Some(config) = sibling_config {
                 for &sid in &repaired {
                     shards[sid].index.ensure_hier(&config);
+                }
+            }
+            let sibling_hybrid = shards
+                .iter()
+                .enumerate()
+                .filter(|(sid, _)| !repaired.contains(sid))
+                .find_map(|(_, s)| s.index.hybrid().map(|h| h.config()));
+            if let Some(config) = sibling_hybrid {
+                for &sid in &repaired {
+                    let slice = table.slice_rows(ranges[sid].clone());
+                    shards[sid].index.ensure_hybrid(&slice, &config);
                 }
             }
         }
@@ -548,6 +608,60 @@ mod tests {
         // The rebuilt shard picked up its siblings' pyramid geometry,
         // so re-serializing reproduces the pristine envelope exactly.
         assert_eq!(repaired_idx.to_bytes(), pristine);
+    }
+
+    #[test]
+    fn repair_restores_hybrid_tier_byte_identically() {
+        let t = table(120);
+        let mut idx = ShardedIndex::build(&t, &cfg(), 4, false);
+        idx.ensure_hybrid(
+            &t,
+            &ab::HybridConfig {
+                min_density: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(idx
+            .shards()
+            .iter()
+            .all(|s| !s.index().hybrid().unwrap().bins().is_empty()));
+        let pristine = idx.to_bytes();
+        let mut bytes = pristine.clone();
+        let seg0_len = u64::from_le_bytes(bytes[18..26].try_into().unwrap()) as usize;
+        bytes[30 + seg0_len / 2] ^= 0x40;
+        let (repaired_idx, repaired) =
+            ShardedIndex::from_bytes_with_repair(&bytes, &t, &cfg()).unwrap();
+        assert_eq!(repaired.len(), 1);
+        // The rebuilt shard picked up its siblings' split calibration
+        // and rebuilt exact + fp containers from its table slice and
+        // deterministic probe sweep: the envelope is pristine again.
+        assert_eq!(repaired_idx.to_bytes(), pristine);
+    }
+
+    #[test]
+    fn ensure_hybrid_covers_every_shard_and_survives_roundtrip() {
+        let t = table(100);
+        let mut idx = ShardedIndex::build(&t, &cfg(), 4, false);
+        assert!(idx.shards().iter().all(|s| s.index().hybrid().is_none()));
+        idx.ensure_hybrid(
+            &t,
+            &ab::HybridConfig {
+                min_density: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(idx.shards().iter().all(|s| s.index().hybrid().is_some()));
+        let back = ShardedIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert!(back.shards().iter().all(|s| s.index().hybrid().is_some()));
+        let stats = back.hybrid_split_stats();
+        assert!(stats.iter().all(|s| s.is_some()));
+        // Shard-local queries agree with the original whole-table
+        // assignment: exact containers were built on the row slices.
+        let q = RectQuery::new(vec![AttrRange::new(0, 1, 3)], 0, 99);
+        assert_eq!(
+            back.execute_rect_sequential(&q).unwrap(),
+            idx.execute_rect_sequential(&q).unwrap()
+        );
     }
 
     #[test]

@@ -58,6 +58,20 @@ impl TelemetryServer {
         health: Arc<ShardHealth>,
         store: Option<Arc<StoreStatus>>,
     ) -> std::io::Result<Self> {
+        Self::bind_with_status(addr, health, store, None)
+    }
+
+    /// [`TelemetryServer::bind_with_store`] plus the hybrid exact
+    /// tier's per-shard split summary: when `hybrid` is given,
+    /// `/healthz` carries a `"hybrid"` object with the
+    /// planner-calibrated exact/ab split per shard (see
+    /// [`HybridStatus`]).
+    pub fn bind_with_status(
+        addr: impl ToSocketAddrs,
+        health: Arc<ShardHealth>,
+        store: Option<Arc<StoreStatus>>,
+        hybrid: Option<Arc<HybridStatus>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -74,7 +88,8 @@ impl TelemetryServer {
                         // accept loop.
                         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                        let _ = handle_connection(stream, &health, store.as_deref());
+                        let _ =
+                            handle_connection(stream, &health, store.as_deref(), hybrid.as_deref());
                     }
                 }
             })?;
@@ -115,12 +130,64 @@ impl Drop for TelemetryServer {
     }
 }
 
+/// Immutable per-shard summary of the hybrid exact tier for
+/// `/healthz`. The tier is built (or loaded) before serving starts and
+/// never changes while the process serves, so a plain snapshot — no
+/// atomics — is enough. Build one from
+/// [`crate::shard::ShardedIndex::hybrid_split_stats`].
+#[derive(Debug)]
+pub struct HybridStatus {
+    /// One entry per shard: `Some((bins_backed, bins_total, bytes))`
+    /// when the shard carries an exact tier, `None` when it does not
+    /// (e.g. a v≤3 segment loaded from a store).
+    shards: Vec<Option<(usize, u32, usize)>>,
+}
+
+impl HybridStatus {
+    /// Wraps the per-shard split stats verbatim.
+    pub fn new(shards: Vec<Option<(usize, u32, usize)>>) -> Self {
+        HybridStatus { shards }
+    }
+
+    /// The `"hybrid"` object for the `/healthz` JSON body: tier-wide
+    /// totals plus the per-shard split, so an operator can see at a
+    /// glance how much of the index the planner promoted to exact
+    /// containers and how big they are.
+    pub fn healthz_fragment(&self) -> String {
+        let backed_shards = self.shards.iter().filter(|s| s.is_some()).count();
+        let (mut bins_backed, mut bins_total, mut bytes) = (0usize, 0u64, 0usize);
+        let per_shard = self
+            .shards
+            .iter()
+            .map(|s| match s {
+                Some((backed, total, sz)) => {
+                    bins_backed += backed;
+                    bins_total += u64::from(*total);
+                    bytes += sz;
+                    format!(
+                        "{{\"bins_backed\":{backed},\"bins_total\":{total},\
+                         \"container_bytes\":{sz}}}"
+                    )
+                }
+                None => "null".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"backed_shards\":{backed_shards},\"bins_backed\":{bins_backed},\
+             \"bins_total\":{bins_total},\"container_bytes\":{bytes},\
+             \"per_shard\":[{per_shard}]}}"
+        )
+    }
+}
+
 /// Reads the request line, routes, writes one response. Any parse
 /// trouble gets a 400 rather than a hang.
 fn handle_connection(
     mut stream: TcpStream,
     health: &ShardHealth,
     store: Option<&StoreStatus>,
+    hybrid: Option<&HybridStatus>,
 ) -> std::io::Result<()> {
     obs::counter!("telemetry.requests").inc();
     // Read until the end of the request head (or a sane cap — GETs
@@ -175,6 +242,11 @@ fn handle_connection(
                 let store_block = store
                     .map(|s| format!(",\"store\":{}", s.healthz_fragment()))
                     .unwrap_or_default();
+                // Likewise the hybrid block: only when the exact tier
+                // is actually being served.
+                let hybrid_block = hybrid
+                    .map(|h| format!(",\"hybrid\":{}", h.healthz_fragment()))
+                    .unwrap_or_default();
                 (
                     "200 OK",
                     "application/json",
@@ -182,7 +254,7 @@ fn handle_connection(
                         "{{\"status\":\"{status}\",\"shards\":{},\"quarantined\":[{}],\
                          \"traces_recorded\":{},\"traces_dropped\":{},\
                          \"listener\":{{\"open\":{},\"accepted\":{accepted},\
-                         \"shed_at_accept\":{shed}}}{store_block}}}\n",
+                         \"shed_at_accept\":{shed}}}{store_block}{hybrid_block}}}\n",
                         health.len(),
                         ids.join(","),
                         obs::recorder().recorded(),
@@ -298,6 +370,34 @@ mod tests {
         let (_, body) = get(srv.local_addr(), "/healthz");
         assert!(
             body.contains("\"store\":{\"state\":\"healthy\",\"backend\":\"mmap\""),
+            "body: {body}"
+        );
+        srv.stop();
+    }
+
+    #[test]
+    fn healthz_hybrid_block_appears_only_with_a_tier() {
+        let srv = server_with(ShardHealth::new(2));
+        let (_, body) = get(srv.local_addr(), "/healthz");
+        assert!(!body.contains("\"hybrid\""), "body: {body}");
+        srv.stop();
+
+        let status = Arc::new(HybridStatus::new(vec![Some((3, 16, 1024)), None]));
+        let srv = TelemetryServer::bind_with_status(
+            "127.0.0.1:0",
+            Arc::new(ShardHealth::new(2)),
+            None,
+            Some(status),
+        )
+        .expect("bind");
+        let (_, body) = get(srv.local_addr(), "/healthz");
+        assert!(
+            body.contains(
+                "\"hybrid\":{\"backed_shards\":1,\"bins_backed\":3,\
+                 \"bins_total\":16,\"container_bytes\":1024,\
+                 \"per_shard\":[{\"bins_backed\":3,\"bins_total\":16,\
+                 \"container_bytes\":1024},null]}"
+            ),
             "body: {body}"
         );
         srv.stop();

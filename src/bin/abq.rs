@@ -11,11 +11,12 @@
 //! abq serve --csv data.csv [--threads N] [--shards N] [--bins N]
 //!           [--alpha N] [--deadline-ms N] [--wah] [--retries N]
 //!           [--kernel scalar|batched|simd] [--batch-rows adaptive|N]
-//!           [--hier [off|auto|force]]
+//!           [--hier [off|auto|force]] [--hybrid [off|auto|force]]
 //!           [--listen HOST:PORT [--max-conns N] [--drain-ms N]
 //!            [--trace-dump FILE]]
 //! abq store build --csv data.csv --out index.abpg [--shards N]
 //!           [--page-size N] [--bins N] [--alpha N] [--level L] [--hier]
+//!           [--hybrid]
 //! abq store verify --store index.abpg
 //! abq store scrub --store index.abpg [--pread] [--csv data.csv ...]
 //! abq loadgen --addr HOST:PORT [--conns N] [--secs S]
@@ -107,11 +108,12 @@ fn print_usage() {
          abq serve --csv FILE [--threads N] [--shards N] [--bins N] [--alpha N] \
          [--deadline-ms N] [--wah] [--retries N] [--kernel scalar|batched|simd] \
          [--batch-rows adaptive|N] [--hier [off|auto|force]] \
+         [--hybrid [off|auto|force]] \
          [--telemetry-addr HOST:PORT] [--slow-ms N] \
          [--store FILE [--store-pread] [--scrub-ms N]] \
          [--listen HOST:PORT [--max-conns N] [--drain-ms N] [--trace-dump FILE]]\n  \
          abq store build --csv FILE --out FILE [--shards N] [--page-size N] \
-         [--bins N] [--alpha N] [--level L] [--hier]\n  \
+         [--bins N] [--alpha N] [--level L] [--hier] [--hybrid]\n  \
          abq store verify --store FILE\n  \
          abq store scrub --store FILE [--pread] [--csv FILE [--bins N] [--alpha N] [--level L]]\n  \
          abq loadgen --addr HOST:PORT [--conns N] [--secs S] [--pipeline N | --rps R] \
@@ -441,6 +443,26 @@ fn parse_hier(args: &[String]) -> Result<ab::HierMode, String> {
     }
 }
 
+/// The `--hybrid` flag: hybrid exact-tier policy. Bare `--hybrid`
+/// means auto (queries touching exact-backed bins answer them from
+/// Roaring containers — zero hash probes, zero false positives — and
+/// fall back to the AB elsewhere); `--hybrid off|auto|force` is
+/// explicit. Which bins get exact backing is the planner's
+/// calibrated split decision (`AB_HYBRID` overrides it).
+fn parse_hybrid(args: &[String]) -> Result<ab::HybridMode, String> {
+    match args.iter().position(|a| a == "--hybrid") {
+        None => Ok(ab::HybridMode::Off),
+        // As with --hier, the mode operand is optional: only consume
+        // the next token when it names a mode.
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("off") => Ok(ab::HybridMode::Off),
+            Some("auto") | None => Ok(ab::HybridMode::Auto),
+            Some("force") => Ok(ab::HybridMode::Force),
+            Some(_) => Ok(ab::HybridMode::Auto),
+        },
+    }
+}
+
 /// Retry policy for the `serve`/`bench-svc` query paths: up to
 /// `--retries` attempts (default 4; 1 disables retrying) with
 /// decorrelated-jitter backoff against transient overload.
@@ -512,6 +534,7 @@ fn build_service(args: &[String], with_wah: bool) -> Result<Service, String> {
         batch_rows,
         slow_query,
         hier: parse_hier(args)?,
+        hybrid: parse_hybrid(args)?,
         ..SvcConfig::default()
     };
     let svc = Service::build(&binned, &config, &cfg);
@@ -559,7 +582,11 @@ fn build_service_from_store(
         slow_query,
         // Old (pre-pyramid) segments are fine: Service::from_index
         // rebuilds the pyramid per shard when hier is requested.
+        // Hybrid containers however live in the segment itself (v4
+        // ABIX built with `store build --hybrid`); the flag only
+        // controls whether the kernel consults them.
         hier: parse_hier(args)?,
+        hybrid: parse_hybrid(args)?,
         ..SvcConfig::default()
     };
     let svc = Service::from_index(index, &cfg);
@@ -685,9 +712,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // endpoint.
     let _telemetry = match flag_value(args, "--telemetry-addr") {
         Some(addr) => {
-            let srv =
-                svc::TelemetryServer::bind_with_store(addr, svc.health_arc(), store_status.clone())
-                    .map_err(|e| format!("telemetry bind {addr}: {e}"))?;
+            // Surface the exact tier's per-shard split in /healthz
+            // whenever any shard actually carries containers.
+            let split = svc.index().hybrid_split_stats();
+            let hybrid_status = split
+                .iter()
+                .any(|s| s.is_some())
+                .then(|| std::sync::Arc::new(svc::HybridStatus::new(split)));
+            let srv = svc::TelemetryServer::bind_with_status(
+                addr,
+                svc.health_arc(),
+                store_status.clone(),
+                hybrid_status,
+            )
+            .map_err(|e| format!("telemetry bind {addr}: {e}"))?;
             println!(
                 "telemetry: http://{}/metrics /healthz /debug/traces",
                 srv.local_addr()
@@ -831,6 +869,14 @@ fn cmd_store_build(args: &[String]) -> Result<(), String> {
         // pages in the segment); serving later needs no rebuild.
         index.ensure_hier(&ab::HierConfig::default());
     }
+    let hybrid = has_flag(args, "--hybrid");
+    if hybrid {
+        // Persist the planner-split exact tier alongside each shard
+        // (ABIX v4 pages): Roaring containers for the hot bins, built
+        // here once so serving can answer them with zero hash probes
+        // and zero false positives without the source table.
+        index.ensure_hybrid(&binned, &ab::HybridConfig::default());
+    }
     let payload = index.to_bytes();
     store::write(
         std::path::Path::new(out),
@@ -839,9 +885,21 @@ fn cmd_store_build(args: &[String]) -> Result<(), String> {
         &store::RealIo,
     )
     .map_err(|e| format!("{out}: {e}"))?;
+    let hybrid_note = if hybrid {
+        let (bins, bytes) = index
+            .hybrid_split_stats()
+            .iter()
+            .flatten()
+            .fold((0usize, 0usize), |(b, sz), (backed, _, s)| {
+                (b + backed, sz + s)
+            });
+        format!(", hybrid containers: {bins} exact-backed bins, {bytes} bytes")
+    } else {
+        String::new()
+    };
     println!(
         "stored {} rows x {} attributes as {} shard(s), {} payload bytes \
-         ({}-byte pages{}) -> {out}",
+         ({}-byte pages{}{hybrid_note}) -> {out}",
         index.num_rows(),
         index.attributes().len(),
         index.num_shards(),
@@ -1442,6 +1500,60 @@ mod tests {
         let st = store::Store::open_with(&abpg, false).unwrap();
         let idx = svc::ShardedIndex::from_bytes(st.payload()).unwrap();
         assert!(idx.shards().iter().all(|s| s.index().hier().is_some()));
+    }
+
+    #[test]
+    fn hybrid_flag_parses_bare_and_explicit() {
+        assert_eq!(parse_hybrid(&strings(&[])), Ok(ab::HybridMode::Off));
+        assert_eq!(
+            parse_hybrid(&strings(&["--hybrid"])),
+            Ok(ab::HybridMode::Auto)
+        );
+        assert_eq!(
+            parse_hybrid(&strings(&["--hybrid", "force"])),
+            Ok(ab::HybridMode::Force)
+        );
+        assert_eq!(
+            parse_hybrid(&strings(&["--hybrid", "off"])),
+            Ok(ab::HybridMode::Off)
+        );
+        // Bare --hybrid followed by another flag must not eat it.
+        assert_eq!(
+            parse_hybrid(&strings(&["--hybrid", "--listen"])),
+            Ok(ab::HybridMode::Auto)
+        );
+    }
+
+    #[test]
+    fn store_build_with_hybrid_persists_exact_containers() {
+        let dir = std::env::temp_dir().join("abq_test_store_hybrid");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("d.csv");
+        let abpg = dir.join("d.abpg");
+        // Clustered values: every bin is dense in its run of rows, so
+        // the planner's split decision backs bins exactly.
+        let mut body = String::from("v\n");
+        for i in 0..300 {
+            body.push_str(&format!("{}.0\n", i / 30));
+        }
+        std::fs::write(&csv, body).unwrap();
+        cmd_store_build(&strings(&[
+            "--csv",
+            csv.to_str().unwrap(),
+            "--out",
+            abpg.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--hybrid",
+        ]))
+        .unwrap();
+        cmd_store_verify(&strings(&["--store", abpg.to_str().unwrap()])).unwrap();
+        // The containers ride the segment (ABIX v4): loading needs no
+        // rebuild and no source table.
+        let st = store::Store::open_with(&abpg, false).unwrap();
+        let idx = svc::ShardedIndex::from_bytes(st.payload()).unwrap();
+        assert!(idx.shards().iter().all(|s| s.index().hybrid().is_some()));
+        assert!(idx.hybrid_split_stats().iter().all(|s| s.is_some()));
     }
 
     #[test]

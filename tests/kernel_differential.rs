@@ -17,8 +17,8 @@
 //! the narrower gather path on AVX-512 machines).
 
 use ab::{
-    AbConfig, AbIndex, BatchRows, Cell, HierConfig, HierLevelSpec, HierMode, KernelKind,
-    KernelOpts, Level,
+    AbConfig, AbIndex, BatchRows, Cell, HierConfig, HierLevelSpec, HierMode, HybridConfig,
+    HybridMode, KernelKind, KernelOpts, Level,
 };
 use bitmap::{AttrRange, BinnedTable, RectQuery};
 use datagen::small_uniform;
@@ -332,6 +332,103 @@ fn hier_pruning_is_bit_identical_and_never_probes_more() {
             }
         }
     }
+}
+
+/// The hybrid exact-tier axis over the full matrix. With every bin
+/// exact-backed (`min_density: 0.0` lets the cost model back them
+/// all) the hybrid answer for any rect IS the ground truth: a subset
+/// of the flat answer (it only removes the AB's false positives), a
+/// superset of the true rows (100 % recall is non-negotiable), and
+/// `fp_rows_eliminated` must account for the difference exactly.
+/// Every kernel × batch policy × hier on/off must agree, and
+/// `HybridMode::Off` must leave the flat path byte-for-byte untouched
+/// — same stats, zero hybrid accounting.
+#[test]
+fn hybrid_tier_is_exact_for_backed_bins_and_never_drops_rows() {
+    let mut eliminated_total = 0u64;
+    for (d, table) in datasets().iter().enumerate() {
+        for (c, cfg) in configs().iter().enumerate() {
+            let mut idx = AbIndex::build(table, cfg);
+            idx.ensure_hybrid(
+                table,
+                &HybridConfig {
+                    min_density: 0.0,
+                    ..HybridConfig::default()
+                },
+            );
+            idx.ensure_hier(&hier_configs()[0]);
+            for (qi, q) in queries(table).iter().enumerate() {
+                let ctx = format!("dataset {d}, config {c}, query {qi}");
+                // Ground truth straight off the binned table.
+                let truth: Vec<usize> = (q.row_lo..=q.row_hi.min(table.num_rows() - 1))
+                    .filter(|&r| {
+                        q.ranges.iter().all(|rg| {
+                            let b = table.column(rg.attribute).bins[r];
+                            rg.lo <= b && b <= rg.hi
+                        })
+                    })
+                    .collect();
+                let (flat_rows, flat_stats) = idx
+                    .try_execute_rect_with_stats_kernel(q, KernelKind::Scalar)
+                    .unwrap();
+                let flat_set: std::collections::HashSet<usize> =
+                    flat_rows.iter().copied().collect();
+                let href = KernelOpts::new(KernelKind::Scalar).with_hybrid(HybridMode::Force);
+                let (href_rows, href_stats) =
+                    idx.try_execute_rect_with_stats_opts(q, href).unwrap();
+                assert_eq!(
+                    href_rows, truth,
+                    "fully-backed hybrid answer is not the ground truth: {ctx}"
+                );
+                assert!(
+                    href_rows.iter().all(|r| flat_set.contains(r)),
+                    "hybrid returned a row flat did not: {ctx}"
+                );
+                assert_eq!(
+                    (flat_rows.len() - href_rows.len()) as u64,
+                    href_stats.fp_rows_eliminated,
+                    "fp_rows_eliminated does not account for flat minus hybrid: {ctx}"
+                );
+                eliminated_total += href_stats.fp_rows_eliminated;
+                for base in kernel_matrix() {
+                    for hier in [HierMode::Off, HierMode::Force] {
+                        let opts = base.with_hybrid(HybridMode::Force).with_hier(hier);
+                        let (rows, stats) = idx.try_execute_rect_with_stats_opts(q, opts).unwrap();
+                        let kctx = format!("{ctx}, kernel {opts:?}");
+                        assert_eq!(truth, rows, "hybrid rows diverged from truth: {kctx}");
+                        // Under hier, pruned regions never produce flat
+                        // false positives to eliminate, so the count may
+                        // only shrink — never grow, never go negative.
+                        assert!(
+                            stats.fp_rows_eliminated <= href_stats.fp_rows_eliminated,
+                            "hier+hybrid eliminated more fp rows than hybrid alone: {kctx}"
+                        );
+                    }
+                }
+                // HybridMode::Off with the tier attached: the flat path
+                // must be untouched — identical rows and probe stats,
+                // zero hybrid accounting.
+                let off = KernelOpts::new(KernelKind::Scalar).with_hybrid(HybridMode::Off);
+                let (off_rows, off_stats) = idx.try_execute_rect_with_stats_opts(q, off).unwrap();
+                assert_eq!(flat_rows, off_rows, "HybridMode::Off changed rows: {ctx}");
+                assert_eq!(
+                    flat_stats.cells_probed, off_stats.cells_probed,
+                    "HybridMode::Off changed probe accounting: {ctx}"
+                );
+                assert_eq!(
+                    off_stats.fp_rows_eliminated, 0,
+                    "Off reported fp elimination: {ctx}"
+                );
+            }
+        }
+    }
+    // The suite crosses enough α=8 configs that the AB is guaranteed
+    // to produce false positives somewhere; if the tier never
+    // eliminated any, the companion containers are broken.
+    assert!(
+        eliminated_total > 0,
+        "no false positives eliminated across the whole matrix"
+    );
 }
 
 /// `kernel.prefetches` must report only prefetch instructions that
